@@ -1,0 +1,78 @@
+// Reproduces Tables 2 and 3: data set inventories (cardinality, stored
+// size, bulk-loaded R*-tree size) for the synthetic TIGER and Sequoia data.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/index_build.h"
+#include "rtree/rstar_tree.h"
+
+namespace pbsm {
+namespace bench {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  uint64_t objects;
+  double data_mb;
+  double index_mb;
+};
+
+void Report(Workspace* ws, const char* name, std::vector<Tuple> tuples,
+            const PaperRow& paper, double scale) {
+  auto rel = LoadRelation(ws->pool(), nullptr, name, std::move(tuples));
+  PBSM_CHECK(rel.ok()) << rel.status().ToString();
+  auto index = BuildIndexByBulkLoad(ws->pool(), rel->AsInput(),
+                                    std::string(name) + ".rtree", 0.75);
+  PBSM_CHECK(index.ok()) << index.status().ToString();
+  auto stats = index->ComputeStats();
+  PBSM_CHECK(stats.ok()) << stats.status().ToString();
+
+  const double data_mb =
+      static_cast<double>(rel->info.total_bytes) / (1024 * 1024);
+  const double index_mb =
+      static_cast<double>(stats->size_bytes) / (1024 * 1024);
+  std::printf(
+      "  %-12s objects=%8llu (paper %8llu x%.2f)  data=%7.2f MB (paper "
+      "%6.1f x%.2f)  rtree=%6.2f MB (paper %5.1f x%.2f)  avg_pts=%5.1f\n",
+      name, static_cast<unsigned long long>(rel->info.cardinality),
+      static_cast<unsigned long long>(paper.objects), scale, data_mb,
+      paper.data_mb, scale, index_mb, paper.index_mb, scale,
+      rel->info.avg_points());
+  PBSM_CHECK(ws->pool()->DropFile(index->file()).ok());
+  PBSM_CHECK(ws->pool()->DropFile(rel->heap.file()).ok());
+}
+
+void Run() {
+  const double scale = ScaleFromEnv();
+  PrintTitle("Tables 2 & 3: data set inventories");
+  PrintScaleBanner(scale);
+  PrintNote("paper columns are the full-size TIGER/Sequoia values; compare "
+            "against paper * scale");
+
+  Workspace ws(64 << 20);
+  TigerData tiger = GenTiger(scale);
+  Report(&ws, "Road", std::move(tiger.roads),
+         {"Road", 456613, 62.4, 24.0}, scale);
+  Report(&ws, "Hydrography", std::move(tiger.hydro),
+         {"Hydrography", 122149, 25.2, 6.5}, scale);
+  Report(&ws, "Rail", std::move(tiger.rail), {"Rail", 16844, 2.4, 1.0},
+         scale);
+
+  SequoiaData sequoia = GenSequoia(scale);
+  Report(&ws, "Polygon", std::move(sequoia.polygons),
+         {"Polygon", 58115, 21.9, 3.2}, scale);
+  Report(&ws, "Island", std::move(sequoia.islands),
+         {"Island", 20000, 6.4, 1.1}, scale);
+  PrintNote("(paper does not report island cardinality/sizes; 20,000 "
+            "objects assumed)");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pbsm
+
+int main() {
+  pbsm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Figure 6: replication overhead vs number of tiles for the
+// Sequoia polygon data (16 partitions). The paper's point: polygon MBRs are
+// much larger than road-segment MBRs, so replication is far higher than in
+// Figure 5 (tens of percent instead of a few percent).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace pbsm;
+  using namespace pbsm::bench;
+  const double scale = ScaleFromEnv();
+  SequoiaGenerator gen(SequoiaGenerator::Params{});
+  const PaperCardinalities card;
+  const auto polys = gen.GeneratePolygons(Scaled(card.sequoia_polygons,
+                                                 scale));
+  RunReplicationBench(
+      "Figure 6: replication overhead, Sequoia polygon data (16 partitions)",
+      polys,
+      "paper: much higher overhead than the road data (large polygon MBRs "
+      "span many tiles)",
+      scale);
+  return 0;
+}

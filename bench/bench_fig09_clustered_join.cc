@@ -1,0 +1,27 @@
+// Reproduces Figure 9: Road JOIN Hydrography on spatially clustered inputs
+// (both relations Hilbert-ordered on disk).
+//
+// Paper result: every algorithm improves vs Figure 7 — index builds skip
+// the spatial sort, partition writes become near-sequential, and the
+// refinement step gets spatial locality. PBSM stays ~40% faster than the
+// R-tree join and 60-80% faster than INL.
+
+#include "bench/join_bench.h"
+
+int main() {
+  using namespace pbsm::bench;
+  const double scale = ScaleFromEnv();
+  const TigerData tiger = GenTiger(scale);
+  JoinBenchSpec spec;
+  spec.title = "Figure 9: clustered Road JOIN Hydrography";
+  spec.paper_note =
+      "paper shape: all algorithms faster than Figure 7; PBSM ~40% faster "
+      "than R-tree join, 60-80% faster than INL";
+  spec.r_tuples = &tiger.roads;
+  spec.s_tuples = &tiger.hydro;
+  spec.r_name = "road";
+  spec.s_name = "hydrography";
+  spec.clustered = true;
+  RunJoinSweep(spec, scale);
+  return 0;
+}

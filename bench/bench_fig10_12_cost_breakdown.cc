@@ -1,0 +1,62 @@
+// Reproduces Figures 10, 11 and 12: per-component cost breakdowns for the
+// Road JOIN Hydrography query, clustered vs non-clustered inputs, for the
+// R-tree join (Fig 10), Indexed Nested Loops (Fig 11) and PBSM (Fig 12).
+//
+// Paper findings to match:
+//  * R-tree join: clustering slashes the index-build cost (the spatial sort
+//    is skipped) and the refinement cost; tree-joining cost is unchanged
+//    because bulk loading builds the identical tree either way.
+//  * INL: clustering cuts both the index build and (for small pools) the
+//    probe cost.
+//  * PBSM: clustering mostly reduces the partitioning cost — consecutive
+//    tuples land in the same tile, so partition writes stop seeking.
+//  * PBSM and the R-tree join spend the same absolute time in refinement
+//    (~45% of PBSM's total, ~23% of the R-tree join's).
+
+#include "bench/join_bench.h"
+
+namespace pbsm {
+namespace bench {
+namespace {
+
+void Run() {
+  const double scale = ScaleFromEnv();
+  const TigerData tiger = GenTiger(scale);
+
+  PrintTitle(
+      "Figures 10-12: cost breakdowns, Road JOIN Hydrography, clustered "
+      "(C) vs non-clustered (NC)");
+  PrintScaleBanner(scale);
+  PrintNote("paper shape: clustering cuts index-build/partitioning costs; "
+            "tree-join cost unchanged; PBSM and R-tree join refinement "
+            "costs equal");
+
+  static const char* kAlgoNames[] = {"PBSM (Fig 12)", "R-tree join (Fig 10)",
+                                     "INL (Fig 11)"};
+  for (const auto& [pool_label, pool_bytes] : PoolSizes(scale)) {
+    std::printf("\n  ---- buffer pool %s ----\n", pool_label.c_str());
+    for (const bool clustered : {false, true}) {
+      for (const int algo : {1, 2, 0}) {  // Paper order: Fig 10, 11, 12.
+        JoinBenchSpec spec;
+        spec.r_tuples = &tiger.roads;
+        spec.s_tuples = &tiger.hydro;
+        spec.r_name = "road";
+        spec.s_name = "hydrography";
+        spec.clustered = clustered;
+        const JoinCostBreakdown cost = RunOneJoin(spec, pool_bytes, algo);
+        PrintBreakdown(std::string(kAlgoNames[algo]) +
+                           (clustered ? " [C]" : " [NC]"),
+                       cost);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pbsm
+
+int main() {
+  pbsm::bench::Run();
+  return 0;
+}

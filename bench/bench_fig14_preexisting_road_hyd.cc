@@ -1,0 +1,27 @@
+// Reproduces Figure 14: Road JOIN Hydrography when indices pre-exist on
+// one or both inputs.
+//
+// Paper shape: with both indices (Rtree-2-Indices) the R-tree join wins;
+// with an index only on the large input, the R-tree join still wins (the
+// small index is cheap to build); with an index only on the small input,
+// PBSM wins. INL-1-LargeIdx improves rapidly with pool size and INL beats
+// the R-tree variants at large pools.
+
+#include "bench/join_bench.h"
+
+int main() {
+  using namespace pbsm::bench;
+  const double scale = ScaleFromEnv();
+  const TigerData tiger = GenTiger(scale);
+  JoinBenchSpec spec;
+  spec.title = "Figure 14: pre-existing index variants, Road JOIN Hydrography";
+  spec.paper_note =
+      "paper shape: Rtree-2-Indices best; Rtree-1-LargeIdx close behind; "
+      "PBSM beats everything when only the small index exists";
+  spec.r_tuples = &tiger.roads;
+  spec.s_tuples = &tiger.hydro;
+  spec.r_name = "road";
+  spec.s_name = "hydrography";
+  RunPreexistingIndexSweep(spec, scale);
+  return 0;
+}

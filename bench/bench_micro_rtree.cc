@@ -1,0 +1,97 @@
+// Microbenchmarks for the R*-tree: insertion, window queries, bulk load.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "rtree/rstar_tree.h"
+
+namespace pbsm {
+namespace {
+
+std::vector<RTreeEntry> RandomEntries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RTreeEntry> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble(0, 1000);
+    const double y = rng.UniformDouble(0, 1000);
+    out.push_back(RTreeEntry{
+        Rect(x, y, x + rng.NextDouble() * 2, y + rng.NextDouble() * 2), i});
+  }
+  return out;
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  bench::Workspace ws(4096 * kPageSize);
+  auto tree = RStarTree::Create(ws.pool(), "t.rtree");
+  PBSM_CHECK(tree.ok());
+  Rng rng(1);
+  for (auto _ : state) {
+    const double x = rng.UniformDouble(0, 1000);
+    const double y = rng.UniformDouble(0, 1000);
+    PBSM_CHECK(tree->Insert(Rect(x, y, x + 1, y + 1), 1).ok());
+  }
+}
+BENCHMARK(BM_RTreeInsert);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto entries = RandomEntries(n, 2);
+  int run = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    bench::Workspace ws(4096 * kPageSize);
+    state.ResumeTiming();
+    auto tree = RStarTree::BulkLoad(
+        ws.pool(), "bl" + std::to_string(run++) + ".rtree", entries, 0.75);
+    PBSM_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(10000)->Arg(50000);
+
+void BM_RTreeWindowQuery(benchmark::State& state) {
+  bench::Workspace ws(4096 * kPageSize);
+  const auto entries = RandomEntries(50000, 3);
+  auto tree = RStarTree::BulkLoad(ws.pool(), "q.rtree", entries, 0.75);
+  PBSM_CHECK(tree.ok());
+  Rng rng(4);
+  std::vector<uint64_t> hits;
+  for (auto _ : state) {
+    hits.clear();
+    const double x = rng.UniformDouble(0, 990);
+    const double y = rng.UniformDouble(0, 990);
+    PBSM_CHECK(tree->WindowQuery(Rect(x, y, x + 10, y + 10), &hits).ok());
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_RTreeWindowQuery);
+
+void BM_RTreePointProbe(benchmark::State& state) {
+  // The INL inner loop: a probe with a tiny window.
+  bench::Workspace ws(4096 * kPageSize);
+  const auto entries = RandomEntries(50000, 5);
+  auto tree = RStarTree::BulkLoad(ws.pool(), "p.rtree", entries, 0.75);
+  PBSM_CHECK(tree.ok());
+  Rng rng(6);
+  std::vector<uint64_t> hits;
+  for (auto _ : state) {
+    hits.clear();
+    const double x = rng.UniformDouble(0, 999);
+    const double y = rng.UniformDouble(0, 999);
+    PBSM_CHECK(
+        tree->WindowQuery(Rect(x, y, x + 0.5, y + 0.5), &hits).ok());
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_RTreePointProbe);
+
+}  // namespace
+}  // namespace pbsm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,183 @@
+#ifndef PBSM_BENCH_JOIN_BENCH_H_
+#define PBSM_BENCH_JOIN_BENCH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/inl_join.h"
+#include "core/pbsm_join.h"
+#include "core/index_build.h"
+#include "core/rtree_join.h"
+
+namespace pbsm {
+namespace bench {
+
+/// Workload description for the Figure 7/8/9/13-style sweeps: one join
+/// query run by all three algorithms across the paper's buffer-pool sizes.
+struct JoinBenchSpec {
+  std::string title;
+  std::string paper_note;
+  const std::vector<Tuple>* r_tuples = nullptr;  // Larger input (e.g. Road).
+  const std::vector<Tuple>* s_tuples = nullptr;  // Smaller input.
+  std::string r_name;
+  std::string s_name;
+  SpatialPredicate pred = SpatialPredicate::kIntersects;
+  bool clustered = false;
+};
+
+inline JoinOptions MakeJoinOptions(size_t pool_bytes) {
+  JoinOptions opts;
+  // The operator memory budget is the buffer-pool grant, as in Paradise.
+  opts.memory_budget_bytes = pool_bytes;
+  opts.num_tiles = 1024;  // The paper's default tile count (§4.3).
+  return opts;
+}
+
+/// Runs one algorithm in a fresh (cold) workspace, as the paper did, and
+/// returns its cost breakdown. `algo`: 0 = PBSM, 1 = R-tree join, 2 = INL.
+inline JoinCostBreakdown RunOneJoin(const JoinBenchSpec& spec,
+                                    size_t pool_bytes, int algo) {
+  Workspace ws(pool_bytes);
+  // Containment workloads store precomputed MERs with the polygons.
+  const bool mers = spec.pred == SpatialPredicate::kContains;
+  auto r = LoadRelation(ws.pool(), nullptr, spec.r_name, *spec.r_tuples,
+                        spec.clustered, mers);
+  PBSM_CHECK(r.ok()) << r.status().ToString();
+  auto s = LoadRelation(ws.pool(), nullptr, spec.s_name, *spec.s_tuples,
+                        spec.clustered);
+  PBSM_CHECK(s.ok()) << s.status().ToString();
+  ws.disk()->ResetStats();
+
+  const JoinOptions opts = MakeJoinOptions(pool_bytes);
+  Result<JoinCostBreakdown> result = Status::Internal("unset");
+  switch (algo) {
+    case 0:
+      result = PbsmJoin(ws.pool(), r->AsInput(), s->AsInput(), spec.pred,
+                        opts);
+      break;
+    case 1:
+      result = RtreeJoin(ws.pool(), r->AsInput(), s->AsInput(), spec.pred,
+                         opts);
+      break;
+    case 2:
+      // INL builds the index on the smaller input (S) and probes it with
+      // the larger one, per §4.1. The join condition is pred(R, S), so the
+      // indexed input plays the predicate's right side.
+      result = IndexedNestedLoopsJoin(ws.pool(), s->AsInput(), r->AsInput(),
+                                      spec.pred, opts, /*sink=*/{},
+                                      /*preexisting_index=*/nullptr,
+                                      /*indexed_is_left=*/false);
+      break;
+  }
+  PBSM_CHECK(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+/// The Figure 7/8/9/13 harness: all three algorithms at 2/8/24 MB pools.
+inline void RunJoinSweep(const JoinBenchSpec& spec, double scale) {
+  PrintTitle(spec.title);
+  PrintScaleBanner(scale);
+  PrintNote(spec.paper_note);
+  static const char* kAlgoNames[] = {"PBSM", "R-tree join", "Idx nested loops"};
+  for (const auto& [pool_label, pool_bytes] : PoolSizes(scale)) {
+    std::printf("  -- buffer pool %s (scaled: %zu pages) --\n",
+                pool_label.c_str(), pool_bytes / kPageSize);
+    for (int algo = 0; algo < 3; ++algo) {
+      const JoinCostBreakdown cost = RunOneJoin(spec, pool_bytes, algo);
+      PrintJoinRow(kAlgoNames[algo], cost);
+    }
+  }
+}
+
+/// The Figures 14/15 harness: pre-existing-index variants. `r` is the
+/// larger input, `s` the smaller, matching the paper's Road/Hyd and
+/// Road/Rail labels.
+inline void RunPreexistingIndexSweep(const JoinBenchSpec& spec,
+                                     double scale) {
+  PrintTitle(spec.title);
+  PrintScaleBanner(scale);
+  PrintNote(spec.paper_note);
+
+  struct Variant {
+    const char* label;
+    bool idx_on_large;
+    bool idx_on_small;
+    int algo;  // 0 = PBSM, 1 = R-tree join, 2 = INL.
+  };
+  static const Variant kVariants[] = {
+      {"PBSM", false, false, 0},
+      {"Rtree-2-Indices", true, true, 1},
+      {"Rtree-1-LargeIdx", true, false, 1},
+      {"INL-1-LargeIdx", true, false, 2},
+      {"Rtree-1-SmallIdx", false, true, 1},
+      {"INL-1-SmallIdx", false, true, 2},
+  };
+
+  for (const auto& [pool_label, pool_bytes] : PoolSizes(scale)) {
+    std::printf("  -- buffer pool %s --\n", pool_label.c_str());
+    for (const Variant& v : kVariants) {
+      Workspace ws(pool_bytes);
+      auto r = LoadRelation(ws.pool(), nullptr, spec.r_name, *spec.r_tuples);
+      PBSM_CHECK(r.ok()) << r.status().ToString();
+      auto s = LoadRelation(ws.pool(), nullptr, spec.s_name, *spec.s_tuples);
+      PBSM_CHECK(s.ok()) << s.status().ToString();
+
+      // Pre-existing indices are built before measurement starts.
+      std::optional<RStarTree> large_idx, small_idx;
+      const JoinOptions opts = MakeJoinOptions(pool_bytes);
+      if (v.idx_on_large) {
+        auto idx = BuildIndexByBulkLoad(ws.pool(), r->AsInput(),
+                                        "pre_large.rtree",
+                                        opts.index_fill_factor);
+        PBSM_CHECK(idx.ok()) << idx.status().ToString();
+        large_idx.emplace(std::move(*idx));
+      }
+      if (v.idx_on_small) {
+        auto idx = BuildIndexByBulkLoad(ws.pool(), s->AsInput(),
+                                        "pre_small.rtree",
+                                        opts.index_fill_factor);
+        PBSM_CHECK(idx.ok()) << idx.status().ToString();
+        small_idx.emplace(std::move(*idx));
+      }
+      ws.disk()->ResetStats();
+
+      Result<JoinCostBreakdown> result = Status::Internal("unset");
+      switch (v.algo) {
+        case 0:
+          result = PbsmJoin(ws.pool(), r->AsInput(), s->AsInput(), spec.pred,
+                            opts);
+          break;
+        case 1:
+          result = RtreeJoin(ws.pool(), r->AsInput(), s->AsInput(),
+                             spec.pred, opts,
+                             /*sink=*/{},
+                             large_idx ? &*large_idx : nullptr,
+                             small_idx ? &*small_idx : nullptr);
+          break;
+        case 2:
+          // INL probes the pre-existing index with the other input (§4.5).
+          if (v.idx_on_large) {
+            result = IndexedNestedLoopsJoin(ws.pool(), r->AsInput(),
+                                            s->AsInput(), spec.pred, opts,
+                                            /*sink=*/{}, &*large_idx,
+                                            /*indexed_is_left=*/true);
+          } else {
+            result = IndexedNestedLoopsJoin(ws.pool(), s->AsInput(),
+                                            r->AsInput(), spec.pred, opts,
+                                            /*sink=*/{}, &*small_idx,
+                                            /*indexed_is_left=*/false);
+          }
+          break;
+      }
+      PBSM_CHECK(result.ok()) << result.status().ToString();
+      PrintJoinRow(v.label, *result);
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace pbsm
+
+#endif  // PBSM_BENCH_JOIN_BENCH_H_

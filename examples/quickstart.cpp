@@ -1,0 +1,87 @@
+// Quickstart: build two small spatial relations, run the PBSM spatial join,
+// and inspect the result and its cost breakdown.
+//
+//   ./examples/quickstart
+//
+// This walks the whole public API surface: storage (DiskManager/BufferPool/
+// HeapFile), data loading with catalog statistics, and the PbsmJoin call.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pbsm_join.h"
+#include "datagen/loader.h"
+#include "datagen/tiger_gen.h"
+#include "storage/tuple.h"
+
+int main() {
+  using namespace pbsm;
+
+  // 1. A workspace: one directory, one simulated disk, one buffer pool.
+  const std::string dir = "/tmp/pbsm_quickstart";
+  std::filesystem::remove_all(dir);
+  DiskManager disk(dir);
+  BufferPool pool(&disk, /*pool_bytes=*/8 << 20);
+
+  // 2. Two spatial relations. The TIGER-like generator produces polyline
+  //    features over a Wisconsin-shaped universe; LoadRelation stores them
+  //    in heap files and registers catalog statistics (cardinality and the
+  //    spatial universe) that the join will consult.
+  TigerGenerator gen(TigerGenerator::Params{});
+  Catalog catalog;
+  auto roads = LoadRelation(&pool, &catalog, "roads", gen.GenerateRoads(20000));
+  auto rivers =
+      LoadRelation(&pool, &catalog, "rivers", gen.GenerateHydrography(6000));
+  if (!roads.ok() || !rivers.ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  std::printf("loaded %llu roads (%u pages), %llu rivers (%u pages)\n",
+              (unsigned long long)roads->info.cardinality,
+              roads->heap.num_pages(),
+              (unsigned long long)rivers->info.cardinality,
+              rivers->heap.num_pages());
+
+  // 3. Run the Partition Based Spatial-Merge join: which roads cross which
+  //    rivers? The sink receives each result pair's OIDs.
+  JoinOptions options;
+  options.memory_budget_bytes = 2 << 20;
+  uint64_t shown = 0;
+  auto result = PbsmJoin(
+      &pool, roads->AsInput(), rivers->AsInput(),
+      SpatialPredicate::kIntersects, options,
+      [&](Oid road_oid, Oid river_oid) {
+        if (shown++ >= 3) return;  // Print just a few.
+        std::string r_rec, s_rec;
+        if (roads->heap.Fetch(road_oid, &r_rec).ok() &&
+            rivers->heap.Fetch(river_oid, &s_rec).ok()) {
+          auto road = Tuple::Parse(r_rec.data(), r_rec.size());
+          auto river = Tuple::Parse(s_rec.data(), s_rec.size());
+          if (road.ok() && river.ok()) {
+            std::printf("  crossing: %-12s x %s\n", road->name.c_str(),
+                        river->name.c_str());
+          }
+        }
+      });
+  if (!result.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. The cost breakdown mirrors the paper's Figures 10-12 components.
+  std::printf("\nPBSM: %llu candidates -> %llu results "
+              "(%llu duplicates removed), %u partitions over %u tiles\n",
+              (unsigned long long)result->candidates,
+              (unsigned long long)result->results,
+              (unsigned long long)result->duplicates_removed,
+              result->num_partitions, result->num_tiles);
+  for (const auto& [phase, cost] : result->phases) {
+    std::printf("  %-20s cpu=%7.3fs  physical I/O: %llu reads, %llu writes\n",
+                phase.c_str(), cost.cpu_seconds,
+                (unsigned long long)cost.io.reads,
+                (unsigned long long)cost.io.writes);
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}

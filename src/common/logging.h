@@ -1,0 +1,41 @@
+#ifndef PBSM_COMMON_LOGGING_H_
+#define PBSM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pbsm {
+namespace internal_logging {
+
+/// Streams a message and aborts when a PBSM_CHECK fails.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "PBSM_CHECK failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace pbsm
+
+/// Invariant check, active in all build types. Use for programmer errors
+/// (violated preconditions), never for data-dependent failures — those
+/// return Status.
+#define PBSM_CHECK(condition)                                              \
+  if (!(condition))                                                        \
+  ::pbsm::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)   \
+      .stream()
+
+#define PBSM_DCHECK(condition) PBSM_CHECK(condition)
+
+#endif  // PBSM_COMMON_LOGGING_H_

@@ -1,0 +1,10 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace pbsm {
+
+double Rng::Sqrt(double x) { return std::sqrt(x); }
+double Rng::Log(double x) { return std::log(x); }
+
+}  // namespace pbsm

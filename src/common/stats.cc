@@ -1,0 +1,34 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbsm {
+
+SampleStats ComputeStats(const std::vector<double>& values) {
+  SampleStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    s.sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (double v : values) {
+    const double d = v - s.mean;
+    sq += d * d;
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+SampleStats ComputeStats(const std::vector<uint64_t>& values) {
+  std::vector<double> d(values.begin(), values.end());
+  return ComputeStats(d);
+}
+
+}  // namespace pbsm

@@ -1,0 +1,33 @@
+#ifndef PBSM_COMMON_STATS_H_
+#define PBSM_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbsm {
+
+/// Summary statistics over a sample.
+struct SampleStats {
+  size_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+  double min = 0.0;
+  double max = 0.0;
+
+  /// stddev / mean — the paper's Figure 4 metric. 0 when mean == 0.
+  double CoefficientOfVariation() const {
+    return mean == 0.0 ? 0.0 : stddev / mean;
+  }
+};
+
+/// Computes SampleStats over `values`; all-zero stats for an empty sample.
+SampleStats ComputeStats(const std::vector<double>& values);
+
+/// Convenience overload for counters (e.g. tuples per partition).
+SampleStats ComputeStats(const std::vector<uint64_t>& values);
+
+}  // namespace pbsm
+
+#endif  // PBSM_COMMON_STATS_H_

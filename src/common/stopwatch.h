@@ -1,0 +1,61 @@
+#ifndef PBSM_COMMON_STOPWATCH_H_
+#define PBSM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pbsm {
+
+/// Wall-clock stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch and returns the elapsed seconds so far.
+  double Restart() {
+    const double s = ElapsedSeconds();
+    start_ = Clock::now();
+    return s;
+  }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple timed sections.
+class TimeAccumulator {
+ public:
+  /// RAII guard: adds the guarded scope's duration to the accumulator.
+  class Scope {
+   public:
+    explicit Scope(TimeAccumulator* acc) : acc_(acc) {}
+    ~Scope() { acc_->seconds_ += watch_.ElapsedSeconds(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TimeAccumulator* acc_;
+    Stopwatch watch_;
+  };
+
+  double seconds() const { return seconds_; }
+  void Add(double s) { seconds_ += s; }
+  void Reset() { seconds_ = 0.0; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_COMMON_STOPWATCH_H_

@@ -1,0 +1,41 @@
+#ifndef PBSM_CORE_INL_JOIN_H_
+#define PBSM_CORE_INL_JOIN_H_
+
+#include "common/status.h"
+#include "core/join_cost.h"
+#include "core/join_options.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+
+namespace pbsm {
+
+/// Indexed nested loops spatial join (the paper's §4.1).
+///
+/// `indexed` is the input carrying (or receiving) the R*-tree — the paper
+/// always indexes the smaller input when building from scratch; `probing`
+/// is scanned and probes the index tuple by tuple. For every probe hit the
+/// matching indexed tuple is fetched (a random I/O unless cached) and the
+/// exact predicate is evaluated immediately — INL has no separate
+/// refinement pass.
+///
+/// When `preexisting_index` is non-null the build phase is skipped
+/// (Figures 14/15's INL-1-* variants); otherwise the index is bulk loaded
+/// and its cost appears as the "build index" component.
+///
+/// Predicate orientation: the join condition is written pred(L, R) over
+/// logical inputs; because INL may index either physical input, the caller
+/// states which side the indexed input plays. With `indexed_is_left` (the
+/// default) the exact test runs as pred(indexed, probing); otherwise as
+/// pred(probing, indexed). Symmetric predicates (kIntersects) are
+/// unaffected; containment joins must set this correctly.
+///
+/// Result pairs are emitted as (indexed, probing) regardless.
+Result<JoinCostBreakdown> IndexedNestedLoopsJoin(
+    BufferPool* pool, const JoinInput& indexed, const JoinInput& probing,
+    SpatialPredicate pred, const JoinOptions& opts,
+    const ResultSink& sink = {}, const RStarTree* preexisting_index = nullptr,
+    bool indexed_is_left = true);
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_INL_JOIN_H_

@@ -1,0 +1,102 @@
+#include "core/interval_tree.h"
+
+#include <algorithm>
+
+namespace pbsm {
+
+double IntervalTree::MaxHi(const Node* n) {
+  return n == nullptr ? -1e300 : n->max_hi;
+}
+
+void IntervalTree::Pull(Node* n) {
+  n->max_hi = std::max({n->hi, MaxHi(n->left), MaxHi(n->right)});
+}
+
+IntervalTree::Node* IntervalTree::Merge(Node* a, Node* b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->priority > b->priority) {
+    a->right = Merge(a->right, b);
+    Pull(a);
+    return a;
+  }
+  b->left = Merge(a, b->left);
+  Pull(b);
+  return b;
+}
+
+void IntervalTree::Split(Node* n, double klo, uint64_t khandle, Node** left,
+                         Node** right) {
+  if (n == nullptr) {
+    *left = nullptr;
+    *right = nullptr;
+    return;
+  }
+  const bool goes_left =
+      n->lo < klo || (n->lo == klo && n->handle < khandle);
+  if (goes_left) {
+    Split(n->right, klo, khandle, &n->right, right);
+    *left = n;
+    Pull(n);
+  } else {
+    Split(n->left, klo, khandle, left, &n->left);
+    *right = n;
+    Pull(n);
+  }
+}
+
+void IntervalTree::FreeRec(Node* n) {
+  if (n == nullptr) return;
+  FreeRec(n->left);
+  FreeRec(n->right);
+  delete n;
+}
+
+void IntervalTree::Clear() {
+  FreeRec(root_);
+  root_ = nullptr;
+  size_ = 0;
+  handle_keys_.clear();
+}
+
+uint64_t IntervalTree::Insert(double lo, double hi, uint64_t payload) {
+  // xorshift32 priorities keep the treap balanced in expectation.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 17;
+  rng_state_ ^= rng_state_ << 5;
+
+  Node* n = new Node;
+  n->lo = lo;
+  n->hi = hi;
+  n->max_hi = hi;
+  n->payload = payload;
+  n->handle = next_handle_++;
+  n->priority = rng_state_;
+
+  Node *left, *right;
+  Split(root_, lo, n->handle, &left, &right);
+  root_ = Merge(Merge(left, n), right);
+  handle_keys_.emplace(n->handle, lo);
+  ++size_;
+  return n->handle;
+}
+
+bool IntervalTree::Remove(uint64_t handle) {
+  auto it = handle_keys_.find(handle);
+  if (it == handle_keys_.end()) return false;
+  const double lo = it->second;
+  handle_keys_.erase(it);
+
+  Node *left, *mid, *right;
+  Split(root_, lo, handle, &left, &mid);
+  Split(mid, lo, handle + 1, &mid, &right);
+  // `mid` is now exactly the node with key (lo, handle).
+  if (mid != nullptr) {
+    delete mid;
+    --size_;
+  }
+  root_ = Merge(left, right);
+  return mid != nullptr;
+}
+
+}  // namespace pbsm

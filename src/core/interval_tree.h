@@ -1,0 +1,81 @@
+#ifndef PBSM_CORE_INTERVAL_TREE_H_
+#define PBSM_CORE_INTERVAL_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+namespace pbsm {
+
+/// Dynamic set of closed 1-D intervals supporting O(log n + k) overlap
+/// queries — the interval tree the paper's §3.1 footnote suggests for
+/// accelerating the y-overlap test during the plane sweep.
+///
+/// Implemented as a treap keyed on (lo, sequence number) with a max-hi
+/// augmentation. Each interval carries an opaque 64-bit payload.
+class IntervalTree {
+ public:
+  IntervalTree() = default;
+  ~IntervalTree() { Clear(); }
+  IntervalTree(const IntervalTree&) = delete;
+  IntervalTree& operator=(const IntervalTree&) = delete;
+
+  /// Inserts [lo, hi] with `payload`; returns a handle usable with Remove.
+  uint64_t Insert(double lo, double hi, uint64_t payload);
+
+  /// Removes the interval previously returned by Insert. Returns false if
+  /// the handle is unknown (already removed).
+  bool Remove(uint64_t handle);
+
+  /// Invokes `fn(payload)` for every stored interval overlapping [lo, hi]
+  /// (closed-boundary semantics: touching intervals overlap).
+  template <typename Fn>
+  void QueryOverlaps(double lo, double hi, Fn fn) const {
+    QueryRec(root_, lo, hi, fn);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void Clear();
+
+ private:
+  struct Node {
+    double lo;
+    double hi;
+    double max_hi;  // Max hi in this subtree.
+    uint64_t payload;
+    uint64_t handle;
+    uint32_t priority;
+    Node* left = nullptr;
+    Node* right = nullptr;
+  };
+
+  static double MaxHi(const Node* n);
+  static void Pull(Node* n);
+  static Node* Merge(Node* a, Node* b);
+  /// Splits by (lo, handle) key: keys < (klo, khandle) go left.
+  static void Split(Node* n, double klo, uint64_t khandle, Node** left,
+                    Node** right);
+  static void FreeRec(Node* n);
+
+  template <typename Fn>
+  static void QueryRec(const Node* n, double lo, double hi, Fn fn) {
+    if (n == nullptr || n->max_hi < lo) return;
+    QueryRec(n->left, lo, hi, fn);
+    if (n->lo <= hi && lo <= n->hi) fn(n->payload);
+    // Right subtree keys have lo >= n->lo; prune when past the query.
+    if (n->lo <= hi) QueryRec(n->right, lo, hi, fn);
+  }
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  uint64_t next_handle_ = 1;
+  uint32_t rng_state_ = 0x9e3779b9u;
+  // handle -> lo key, needed to locate a node for removal.
+  std::unordered_map<uint64_t, double> handle_keys_;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_INTERVAL_TREE_H_

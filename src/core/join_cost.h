@@ -1,0 +1,98 @@
+#ifndef PBSM_CORE_JOIN_COST_H_
+#define PBSM_CORE_JOIN_COST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "storage/disk_manager.h"
+
+namespace pbsm {
+
+/// Cost of one join component (the rows of the paper's Table 4 and the bar
+/// segments of Figures 10-12).
+///
+/// `cpu_seconds` is measured wall time of the component; because the working
+/// files sit in the OS page cache, measured time is effectively pure CPU.
+/// `io` holds the physical page I/O the component issued, and
+/// `io.modeled_seconds` converts those I/Os to 1996-disk seconds. The
+/// paper-comparable total cost of a component is cpu + modeled I/O.
+struct PhaseCost {
+  double cpu_seconds = 0.0;
+  IoStats io;
+
+  double io_seconds() const { return io.modeled_seconds; }
+  double total_seconds() const { return cpu_seconds + io.modeled_seconds; }
+  /// Table 4's "I/O contribution" column.
+  double io_fraction() const {
+    const double t = total_seconds();
+    return t == 0.0 ? 0.0 : io.modeled_seconds / t;
+  }
+
+  PhaseCost& operator+=(const PhaseCost& o) {
+    cpu_seconds += o.cpu_seconds;
+    io.reads += o.io.reads;
+    io.writes += o.io.writes;
+    io.sequential_reads += o.io.sequential_reads;
+    io.sequential_writes += o.io.sequential_writes;
+    io.modeled_seconds += o.io.modeled_seconds;
+    return *this;
+  }
+};
+
+/// RAII capture of one component's cost: wall time plus the DiskManager
+/// stats delta over the guarded scope, accumulated into `*cost`.
+class PhaseTimer {
+ public:
+  PhaseTimer(DiskManager* disk, PhaseCost* cost)
+      : disk_(disk), cost_(cost), start_io_(disk->stats()) {}
+  ~PhaseTimer() {
+    cost_->cpu_seconds += watch_.ElapsedSeconds();
+    const IoStats delta = disk_->stats() - start_io_;
+    cost_->io.reads += delta.reads;
+    cost_->io.writes += delta.writes;
+    cost_->io.sequential_reads += delta.sequential_reads;
+    cost_->io.sequential_writes += delta.sequential_writes;
+    cost_->io.modeled_seconds += delta.modeled_seconds;
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  DiskManager* disk_;
+  PhaseCost* cost_;
+  IoStats start_io_;
+  Stopwatch watch_;
+};
+
+/// Per-component cost breakdown plus filter/refinement counters for one
+/// join execution.
+struct JoinCostBreakdown {
+  /// Ordered (component name, cost) pairs, e.g. ("partition R", ...).
+  std::vector<std::pair<std::string, PhaseCost>> phases;
+
+  uint64_t candidates = 0;          ///< Filter-step output pairs (with dups).
+  uint64_t duplicates_removed = 0;  ///< Dropped by the refinement sort.
+  uint64_t results = 0;             ///< Pairs satisfying the exact predicate.
+  uint32_t num_partitions = 0;      ///< PBSM only.
+  uint32_t num_tiles = 0;           ///< PBSM only.
+  uint64_t replicated = 0;          ///< Extra key-pointer copies (PBSM only).
+  uint64_t repartitioned_pairs = 0; ///< §3.5 overflow handling activations.
+
+  PhaseCost& AddPhase(const std::string& name) {
+    phases.emplace_back(name, PhaseCost());
+    return phases.back().second;
+  }
+
+  PhaseCost Total() const {
+    PhaseCost t;
+    for (const auto& [name, cost] : phases) t += cost;
+    return t;
+  }
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_JOIN_COST_H_

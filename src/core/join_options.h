@@ -1,0 +1,71 @@
+#ifndef PBSM_CORE_JOIN_OPTIONS_H_
+#define PBSM_CORE_JOIN_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/plane_sweep_join.h"
+#include "core/spatial_partitioner.h"
+#include "geom/predicates.h"
+#include "storage/catalog.h"
+#include "storage/heap_file.h"
+
+namespace pbsm {
+
+/// Exact join predicate evaluated by the refinement step.
+enum class SpatialPredicate {
+  kIntersects,  ///< R.geometry shares at least one point with S.geometry.
+  kContains,    ///< R.geometry (a polygon) fully contains S.geometry.
+};
+
+/// Receives every result pair (after refinement). May be empty when the
+/// caller only needs counts.
+using ResultSink = std::function<void(Oid r, Oid s)>;
+
+/// One join input: a stored relation plus its catalog entry.
+struct JoinInput {
+  const HeapFile* heap = nullptr;
+  RelationInfo info;
+};
+
+/// Knobs shared by all three join algorithms.
+struct JoinOptions {
+  /// Operator memory budget (Equation 1's M and the refinement block size).
+  size_t memory_budget_bytes = 4ull << 20;
+
+  // --- PBSM filter step (§3.1, §3.4) ---
+  uint32_t num_tiles = 1024;  ///< Requested NT (the paper's default).
+  TileMapping mapping = TileMapping::kHash;
+  SweepAlgorithm sweep = SweepAlgorithm::kForwardSweep;
+  /// 0 = use Equation 1; otherwise forces the partition count.
+  uint32_t num_partitions_override = 0;
+
+  // --- Partition overflow handling (§3.5; extension, on by default) ---
+  bool dynamic_repartition = true;
+  uint32_t max_repartition_depth = 3;
+
+  // --- Refinement step (§3.2, §4.4) ---
+  SegmentTestMode refinement_mode = SegmentTestMode::kPlaneSweep;
+  /// BKSS94 MBR/MER pre-filter for containment refinement.
+  bool use_mer_filter = false;
+
+  // --- Index construction (INL / R-tree join) ---
+  double index_fill_factor = 0.75;
+};
+
+/// Evaluates the exact predicate on two geometries.
+inline bool EvaluatePredicate(SpatialPredicate pred, const Geometry& r,
+                              const Geometry& s, SegmentTestMode mode) {
+  switch (pred) {
+    case SpatialPredicate::kIntersects:
+      return Intersects(r, s, mode);
+    case SpatialPredicate::kContains:
+      return Contains(r, s, mode);
+  }
+  return false;
+}
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_JOIN_OPTIONS_H_

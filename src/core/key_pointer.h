@@ -1,0 +1,38 @@
+#ifndef PBSM_CORE_KEY_POINTER_H_
+#define PBSM_CORE_KEY_POINTER_H_
+
+#include <cstdint>
+
+#include "geom/rect.h"
+
+namespace pbsm {
+
+/// The paper's key-pointer element: the MBR of a tuple's spatial join
+/// attribute plus the tuple's OID. 40 bytes; the unit of all filter-step
+/// I/O and of Equation 1's partition sizing.
+struct KeyPointer {
+  Rect mbr;
+  uint64_t oid = 0;
+};
+static_assert(sizeof(KeyPointer) == 40);
+
+/// A candidate produced by the filter step: OIDs of an R tuple and an S
+/// tuple whose MBRs overlap.
+struct OidPair {
+  uint64_t r = 0;
+  uint64_t s = 0;
+
+  friend bool operator==(const OidPair& a, const OidPair& b) {
+    return a.r == b.r && a.s == b.s;
+  }
+  /// Primary key OID_R, secondary OID_S — the refinement sort order (§3.2).
+  friend bool operator<(const OidPair& a, const OidPair& b) {
+    if (a.r != b.r) return a.r < b.r;
+    return a.s < b.s;
+  }
+};
+static_assert(sizeof(OidPair) == 16);
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_KEY_POINTER_H_

@@ -1,0 +1,82 @@
+#ifndef PBSM_CORE_PARALLEL_PBSM_H_
+#define PBSM_CORE_PARALLEL_PBSM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/join_cost.h"
+#include "core/join_options.h"
+#include "storage/buffer_pool.h"
+
+namespace pbsm {
+
+/// Options for the shared-nothing parallel PBSM simulation (the paper's §5
+/// future-work direction, implemented here as an extension).
+struct ParallelPbsmOptions {
+  uint32_t num_workers = 4;
+
+  /// The declustering function is the PBSM spatial partitioning function
+  /// itself: the universe is tiled and tiles are mapped to workers — the
+  /// paper's proposed "spatial equivalent of virtual processor round robin".
+  uint32_t num_tiles = 1024;
+  TileMapping mapping = TileMapping::kHash;
+
+  /// §5 tradeoff: replicate whole objects to every worker whose tiles they
+  /// touch (no remote fetches, more storage), or replicate only the
+  /// key-pointer (MBR + OID) and fetch the full tuples remotely during
+  /// refinement.
+  bool replicate_full_objects = true;
+
+  /// Modeled cost of one remote tuple fetch in the MBR-only scheme
+  /// (network round trip + remote read), in seconds.
+  double remote_fetch_seconds = 0.002;
+
+  /// Per-worker join knobs (sweep algorithm, refinement mode, ...).
+  JoinOptions join;
+};
+
+/// Cost and counters of one simulated worker.
+struct WorkerReport {
+  uint64_t r_tuples = 0;      ///< R tuples (or key-pointers) received.
+  uint64_t s_tuples = 0;
+  uint64_t candidates = 0;    ///< Filter-step output at this worker.
+  uint64_t results = 0;       ///< Refined results at this worker (pre-dedup).
+  uint64_t remote_fetches = 0;
+  PhaseCost cost;             ///< CPU + I/O this worker performed.
+};
+
+/// Outcome of the simulated parallel join.
+struct ParallelPbsmReport {
+  std::vector<WorkerReport> workers;
+  PhaseCost decluster_cost;  ///< Scanning + splitting both inputs.
+  uint64_t results = 0;      ///< Globally de-duplicated result pairs.
+  uint64_t replicated_r = 0; ///< Extra R copies created by declustering.
+  uint64_t replicated_s = 0;
+
+  /// Wall-clock of the simulated cluster: the decluster scan plus the
+  /// slowest worker (workers run concurrently). `cpu_scale` multiplies
+  /// measured CPU seconds (e.g. a 1996-hardware calibration factor) before
+  /// adding modeled I/O seconds.
+  double ParallelSeconds(double cpu_scale = 1.0) const;
+  /// Total work: decluster plus the sum over workers (1-worker equivalent).
+  double TotalWorkSeconds(double cpu_scale = 1.0) const;
+  /// TotalWorkSeconds / ParallelSeconds — the achieved speedup.
+  double Speedup(double cpu_scale = 1.0) const;
+  /// Coefficient of variation of per-worker total cost (load balance).
+  double WorkerCostCov(double cpu_scale = 1.0) const;
+};
+
+/// Simulates a shared-nothing parallel PBSM join of `r` and `s` on
+/// `num_workers` workers, executing each worker's filter + refinement
+/// serially on this machine while accounting each worker's CPU and I/O
+/// separately. Results are de-duplicated globally (an object pair can meet
+/// at several workers when both objects are replicated).
+Result<ParallelPbsmReport> SimulateParallelPbsm(
+    BufferPool* pool, const JoinInput& r, const JoinInput& s,
+    SpatialPredicate pred, const ParallelPbsmOptions& options,
+    const ResultSink& sink = {});
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_PARALLEL_PBSM_H_

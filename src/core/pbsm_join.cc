@@ -1,0 +1,241 @@
+#include "core/pbsm_join.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/plane_sweep_join.h"
+#include "core/refinement.h"
+#include "core/spatial_partitioner.h"
+#include "storage/spool_file.h"
+#include "storage/tuple.h"
+
+namespace pbsm {
+
+namespace {
+
+/// Scans `heap` and routes each tuple's key-pointer into the partition
+/// spools selected by the partitioning function. Counts extra copies
+/// created by replication in `*replicated`.
+Status PartitionInput(const HeapFile& heap, const SpatialPartitioner& part,
+                      std::vector<SpoolFile>* spools, uint64_t* replicated) {
+  std::vector<uint32_t> targets;
+  return heap.Scan([&](Oid oid, const char* data, size_t size) -> Status {
+    PBSM_ASSIGN_OR_RETURN(const Tuple tuple, Tuple::Parse(data, size));
+    const KeyPointer kp{tuple.geometry.Mbr(), oid.Encode()};
+    targets.clear();
+    part.PartitionsFor(kp.mbr, &targets);
+    *replicated += targets.size() - 1;
+    for (const uint32_t p : targets) {
+      PBSM_RETURN_IF_ERROR((*spools)[p].Append(&kp));
+    }
+    return Status::OK();
+  });
+}
+
+/// Reads an entire key-pointer spool into memory.
+Result<std::vector<KeyPointer>> ReadSpool(const SpoolFile& spool) {
+  std::vector<KeyPointer> out;
+  out.reserve(spool.num_records());
+  SpoolFile::Reader reader = spool.NewReader();
+  KeyPointer kp;
+  while (true) {
+    PBSM_ASSIGN_OR_RETURN(const bool has, reader.Next(&kp));
+    if (!has) break;
+    out.push_back(kp);
+  }
+  return out;
+}
+
+/// Sweeps two in-memory partition halves into the candidate sorter.
+Status SweepInto(std::vector<KeyPointer>* r, std::vector<KeyPointer>* s,
+                 const JoinOptions& opts, CandidateSorter* sorter,
+                 JoinCostBreakdown* breakdown) {
+  Status append_status;
+  breakdown->candidates +=
+      PlaneSweepJoin(r, s,
+                     [&](uint64_t r_oid, uint64_t s_oid) {
+                       if (!append_status.ok()) return;
+                       append_status = sorter->Add(OidPair{r_oid, s_oid});
+                     },
+                     opts.sweep);
+  return append_status;
+}
+
+/// Merges one partition pair, handling memory overflow per §3.5.
+Status MergePair(BufferPool* pool, SpoolFile* r_spool, SpoolFile* s_spool,
+                 const Rect& universe, const JoinOptions& opts,
+                 uint32_t depth, CandidateSorter* sorter,
+                 JoinCostBreakdown* breakdown) {
+  if (r_spool->num_records() == 0 || s_spool->num_records() == 0) {
+    return Status::OK();
+  }
+  const uint64_t pair_bytes =
+      (r_spool->num_records() + s_spool->num_records()) * sizeof(KeyPointer);
+
+  if (pair_bytes <= opts.memory_budget_bytes) {
+    PBSM_ASSIGN_OR_RETURN(std::vector<KeyPointer> r, ReadSpool(*r_spool));
+    PBSM_ASSIGN_OR_RETURN(std::vector<KeyPointer> s, ReadSpool(*s_spool));
+    return SweepInto(&r, &s, opts, sorter, breakdown);
+  }
+
+  if (opts.dynamic_repartition && depth < opts.max_repartition_depth) {
+    // Repartition the overflowing pair with a finer grid over the same
+    // universe. The grid shape changes with the tile count, so skewed
+    // clusters that landed in one partition spread across the sub-grid.
+    ++breakdown->repartitioned_pairs;
+    uint32_t sub_parts = SpatialPartitioner::EstimatePartitionCount(
+        r_spool->num_records(), s_spool->num_records(),
+        opts.memory_budget_bytes);
+    if (sub_parts < 2) sub_parts = 2;
+    const uint32_t sub_tiles = sub_parts * 16 + 7;  // Off the parent shape.
+    const SpatialPartitioner sub(universe, sub_tiles, sub_parts,
+                                 opts.mapping);
+
+    auto repartition =
+        [&](SpoolFile* parent,
+            std::vector<SpoolFile>* subs) -> Status {
+      for (uint32_t p = 0; p < sub_parts; ++p) {
+        PBSM_ASSIGN_OR_RETURN(SpoolFile spool,
+                              SpoolFile::Create(pool, sizeof(KeyPointer)));
+        subs->push_back(std::move(spool));
+      }
+      SpoolFile::Reader reader = parent->NewReader();
+      KeyPointer kp;
+      std::vector<uint32_t> targets;
+      while (true) {
+        PBSM_ASSIGN_OR_RETURN(const bool has, reader.Next(&kp));
+        if (!has) break;
+        targets.clear();
+        sub.PartitionsFor(kp.mbr, &targets);
+        for (const uint32_t p : targets) {
+          PBSM_RETURN_IF_ERROR((*subs)[p].Append(&kp));
+        }
+      }
+      return Status::OK();
+    };
+
+    std::vector<SpoolFile> r_subs, s_subs;
+    PBSM_RETURN_IF_ERROR(repartition(r_spool, &r_subs));
+    PBSM_RETURN_IF_ERROR(repartition(s_spool, &s_subs));
+    for (uint32_t p = 0; p < sub_parts; ++p) {
+      PBSM_RETURN_IF_ERROR(MergePair(pool, &r_subs[p], &s_subs[p], universe,
+                                     opts, depth + 1, sorter, breakdown));
+      PBSM_RETURN_IF_ERROR(r_subs[p].Drop());
+      PBSM_RETURN_IF_ERROR(s_subs[p].Drop());
+    }
+    // Sub-partitioning can replicate pairs across sub-partitions; the
+    // refinement sort removes them like any other duplicate.
+    return Status::OK();
+  }
+
+  // Chunked fallback: sweep memory-sized chunks of R against memory-sized
+  // chunks of S, re-reading the S spool once per R chunk (the quadratic
+  // I/O cost is why the paper prefers repartitioning).
+  const uint64_t chunk_records =
+      std::max<uint64_t>(1, opts.memory_budget_bytes / 2 / sizeof(KeyPointer));
+  SpoolFile::Reader r_reader = r_spool->NewReader();
+  while (true) {
+    std::vector<KeyPointer> r_chunk;
+    r_chunk.reserve(chunk_records);
+    KeyPointer kp;
+    while (r_chunk.size() < chunk_records) {
+      PBSM_ASSIGN_OR_RETURN(const bool has, r_reader.Next(&kp));
+      if (!has) break;
+      r_chunk.push_back(kp);
+    }
+    if (r_chunk.empty()) break;
+    SpoolFile::Reader s_reader = s_spool->NewReader();
+    while (true) {
+      std::vector<KeyPointer> s_chunk;
+      s_chunk.reserve(chunk_records);
+      while (s_chunk.size() < chunk_records) {
+        PBSM_ASSIGN_OR_RETURN(const bool has, s_reader.Next(&kp));
+        if (!has) break;
+        s_chunk.push_back(kp);
+      }
+      if (s_chunk.empty()) break;
+      PBSM_RETURN_IF_ERROR(SweepInto(&r_chunk, &s_chunk, opts, sorter,
+                                     breakdown));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
+                                   const JoinInput& s, SpatialPredicate pred,
+                                   const JoinOptions& opts,
+                                   const ResultSink& sink) {
+  JoinCostBreakdown breakdown;
+  DiskManager* disk = pool->disk();
+
+  // The partitioning function must see both inputs, so the universe is the
+  // combined catalog cover (§3.1's catalog estimate).
+  const Rect universe = Rect::Union(r.info.universe, s.info.universe);
+  if (universe.empty()) {
+    return Status::InvalidArgument("join inputs have an empty universe");
+  }
+
+  uint32_t num_partitions =
+      opts.num_partitions_override != 0
+          ? opts.num_partitions_override
+          : SpatialPartitioner::EstimatePartitionCount(
+                r.info.cardinality, s.info.cardinality,
+                opts.memory_budget_bytes);
+  const uint32_t num_tiles = std::max(opts.num_tiles, num_partitions);
+  const SpatialPartitioner partitioner(universe, num_tiles, num_partitions,
+                                       opts.mapping);
+  breakdown.num_partitions = num_partitions;
+  breakdown.num_tiles = partitioner.num_tiles();
+
+  // ---- Filter: partition both inputs. ----
+  std::vector<SpoolFile> r_spools, s_spools;
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    PBSM_ASSIGN_OR_RETURN(SpoolFile rs,
+                          SpoolFile::Create(pool, sizeof(KeyPointer)));
+    PBSM_ASSIGN_OR_RETURN(SpoolFile ss,
+                          SpoolFile::Create(pool, sizeof(KeyPointer)));
+    r_spools.push_back(std::move(rs));
+    s_spools.push_back(std::move(ss));
+  }
+
+  {
+    PhaseCost& cost = breakdown.AddPhase("partition " + r.info.name);
+    PhaseTimer timer(disk, &cost);
+    PBSM_RETURN_IF_ERROR(PartitionInput(*r.heap, partitioner, &r_spools,
+                                        &breakdown.replicated));
+  }
+  {
+    PhaseCost& cost = breakdown.AddPhase("partition " + s.info.name);
+    PhaseTimer timer(disk, &cost);
+    PBSM_RETURN_IF_ERROR(PartitionInput(*s.heap, partitioner, &s_spools,
+                                        &breakdown.replicated));
+  }
+
+  // ---- Filter: merge each partition pair with the plane sweep. ----
+  CandidateSorter sorter(pool, opts.memory_budget_bytes, OidPairLess{});
+  {
+    PhaseCost& cost = breakdown.AddPhase("merge partitions");
+    PhaseTimer timer(disk, &cost);
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      PBSM_RETURN_IF_ERROR(MergePair(pool, &r_spools[p], &s_spools[p],
+                                     universe, opts, /*depth=*/0, &sorter,
+                                     &breakdown));
+      PBSM_RETURN_IF_ERROR(r_spools[p].Drop());
+      PBSM_RETURN_IF_ERROR(s_spools[p].Drop());
+    }
+  }
+
+  // ---- Refinement. ----
+  {
+    PhaseCost& cost = breakdown.AddPhase("refinement");
+    PhaseTimer timer(disk, &cost);
+    PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, *r.heap, *s.heap, pred,
+                                          opts, sink, &breakdown));
+  }
+  return breakdown;
+}
+
+}  // namespace pbsm

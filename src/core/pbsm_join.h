@@ -1,0 +1,38 @@
+#ifndef PBSM_CORE_PBSM_JOIN_H_
+#define PBSM_CORE_PBSM_JOIN_H_
+
+#include "common/status.h"
+#include "core/join_cost.h"
+#include "core/join_options.h"
+#include "storage/buffer_pool.h"
+
+namespace pbsm {
+
+/// The Partition Based Spatial-Merge join (the paper's §3).
+///
+/// Filter step: both inputs are scanned once; each tuple's key-pointer
+/// (<MBR, OID>) is routed by the tiled spatial partitioning function into
+/// one or more of P on-disk partitions (P from Equation 1 unless
+/// overridden). Each partition pair is then merged in memory with a
+/// plane-sweep rectangle join, producing candidate OID pairs.
+///
+/// Refinement step: candidates are sorted on (OID_R, OID_S) with duplicate
+/// elimination, tuples are fetched block-wise (R in physical order, S
+/// sequentially per block) and the exact predicate is evaluated.
+///
+/// Partition pairs that exceed the memory budget are handled per §3.5:
+/// dynamically repartitioned with a finer tile grid (when
+/// opts.dynamic_repartition, an extension over the paper's implementation),
+/// falling back to chunked sweeps with S re-reads once the recursion depth
+/// is exhausted.
+///
+/// Returns the per-component cost breakdown; result pairs go to `sink`
+/// (which may be empty when only counts are needed).
+Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
+                                   const JoinInput& s, SpatialPredicate pred,
+                                   const JoinOptions& opts,
+                                   const ResultSink& sink = {});
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_PBSM_JOIN_H_

@@ -1,0 +1,39 @@
+#ifndef PBSM_CORE_PLANE_SWEEP_JOIN_H_
+#define PBSM_CORE_PLANE_SWEEP_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/key_pointer.h"
+
+namespace pbsm {
+
+/// Algorithm used to merge one partition pair of key-pointer sets.
+enum class SweepAlgorithm {
+  /// The paper's §3.1 algorithm: sort both inputs on MBR.xlo, repeatedly
+  /// pick the unprocessed element with the smallest xlo and scan the other
+  /// input up to its xhi, testing y-overlap per element.
+  kForwardSweep,
+  /// The footnote's variant: an event-driven sweep that keeps the active
+  /// y-intervals of each input in an interval tree, so the y-overlap test
+  /// is a tree query instead of a per-element check.
+  kIntervalTreeSweep,
+  /// All-pairs with MBR test; only sensible for tests and tiny inputs.
+  kNestedLoops,
+};
+
+/// Emits every (r.oid, s.oid) pair whose MBRs overlap.
+using PairEmitter = std::function<void(uint64_t r_oid, uint64_t s_oid)>;
+
+/// In-memory rectangle join between two key-pointer sets (one partition
+/// pair). Sorts `r` and `s` in place as a side effect. Returns the number
+/// of emitted pairs.
+uint64_t PlaneSweepJoin(std::vector<KeyPointer>* r,
+                        std::vector<KeyPointer>* s, const PairEmitter& emit,
+                        SweepAlgorithm algorithm =
+                            SweepAlgorithm::kForwardSweep);
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_PLANE_SWEEP_JOIN_H_

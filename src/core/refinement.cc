@@ -1,0 +1,167 @@
+#include "core/refinement.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "geom/mer.h"
+#include "storage/tuple.h"
+
+namespace pbsm {
+
+namespace {
+
+/// An R tuple held in memory for one refinement block.
+struct BlockTuple {
+  uint64_t oid = 0;
+  Geometry geometry;
+  size_t bytes = 0;  // Serialized size, for budget accounting.
+  // Lazily computed MER (containment pre-filter). nullopt = not computed.
+  std::optional<Rect> mer;
+};
+
+/// One candidate inside a block: index of the R tuple + the S OID.
+struct BlockPair {
+  size_t r_index = 0;
+  uint64_t s_oid = 0;
+};
+
+}  // namespace
+
+Status RefineCandidates(CandidateSorter* candidates,
+                        const HeapFile& r_heap, const HeapFile& s_heap,
+                        SpatialPredicate pred, const JoinOptions& opts,
+                        const ResultSink& sink,
+                        JoinCostBreakdown* breakdown) {
+  PBSM_RETURN_IF_ERROR(candidates->Finish());
+
+  bool have_prev = false;
+  OidPair prev{};
+  OidPair next{};
+  bool pending = false;  // `next` holds an unconsumed pair.
+  std::string record;
+
+  // Reads the next de-duplicated pair; false at end.
+  auto next_unique = [&](OidPair* out) -> Result<bool> {
+    if (pending) {
+      // A pair pushed back at a block boundary was already de-duplicated on
+      // its first read; return it as-is (prev still equals it, so genuine
+      // later duplicates are still caught).
+      pending = false;
+      *out = next;
+      return true;
+    }
+    while (true) {
+      OidPair pair;
+      PBSM_ASSIGN_OR_RETURN(const bool has, candidates->Next(&pair));
+      if (!has) return false;
+      if (have_prev && pair == prev) {
+        ++breakdown->duplicates_removed;
+        continue;
+      }
+      have_prev = true;
+      prev = pair;
+      *out = pair;
+      return true;
+    }
+  };
+
+  while (true) {
+    // ---- Build one block of R tuples + their candidate pairs. ----
+    std::vector<BlockTuple> r_tuples;
+    std::vector<BlockPair> pairs;
+    size_t block_bytes = 0;
+    bool end_of_stream = false;
+
+    while (true) {
+      OidPair pair;
+      PBSM_ASSIGN_OR_RETURN(const bool has, next_unique(&pair));
+      if (!has) {
+        end_of_stream = true;
+        break;
+      }
+      if (r_tuples.empty() || r_tuples.back().oid != pair.r) {
+        // New R tuple: check the budget *before* admitting it.
+        if (!r_tuples.empty() &&
+            block_bytes + sizeof(BlockPair) >= opts.memory_budget_bytes) {
+          // Block full; push the pair back for the next block.
+          next = pair;
+          pending = true;
+          // Un-consume for dedup purposes: `prev` already equals `pair`,
+          // which is correct — the same pair cannot reappear.
+          break;
+        }
+        PBSM_RETURN_IF_ERROR(r_heap.Fetch(Oid::Decode(pair.r), &record));
+        PBSM_ASSIGN_OR_RETURN(Tuple tuple,
+                              Tuple::Parse(record.data(), record.size()));
+        BlockTuple bt;
+        bt.oid = pair.r;
+        bt.geometry = std::move(tuple.geometry);
+        if (!tuple.mer.empty()) bt.mer = tuple.mer;  // Stored MER (BKSS94).
+        bt.bytes = record.size();
+        block_bytes += bt.bytes;
+        r_tuples.push_back(std::move(bt));
+      }
+      pairs.push_back(BlockPair{r_tuples.size() - 1, pair.s});
+      block_bytes += sizeof(BlockPair);
+      if (block_bytes >= opts.memory_budget_bytes) break;
+    }
+
+    if (pairs.empty()) {
+      if (end_of_stream) break;
+      continue;
+    }
+
+    // ---- "Swizzle": sort the block's pairs by OID_S so the S relation is
+    // read sequentially. ----
+    std::sort(pairs.begin(), pairs.end(),
+              [](const BlockPair& a, const BlockPair& b) {
+                return a.s_oid < b.s_oid;
+              });
+
+    uint64_t cached_s_oid = ~0ull;
+    Geometry cached_s_geometry;
+    for (const BlockPair& bp : pairs) {
+      if (bp.s_oid != cached_s_oid) {
+        PBSM_RETURN_IF_ERROR(s_heap.Fetch(Oid::Decode(bp.s_oid), &record));
+        PBSM_ASSIGN_OR_RETURN(Tuple tuple,
+                              Tuple::Parse(record.data(), record.size()));
+        cached_s_geometry = std::move(tuple.geometry);
+        cached_s_oid = bp.s_oid;
+      }
+      BlockTuple& rt = r_tuples[bp.r_index];
+
+      bool is_result;
+      if (pred == SpatialPredicate::kContains && opts.use_mer_filter &&
+          rt.geometry.type() == GeometryType::kPolygon) {
+        // BKSS94: MBR of the inner inside the MER of the outer proves
+        // containment without the exact test. Uses the MER stored with the
+        // tuple when the relation was loaded with precompute_mers;
+        // otherwise computes (and caches) one per block.
+        if (!rt.mer.has_value()) rt.mer = ComputeMer(rt.geometry);
+        if (!rt.geometry.Mbr().Contains(cached_s_geometry.Mbr())) {
+          is_result = false;
+        } else if (!rt.mer->empty() &&
+                   rt.mer->Contains(cached_s_geometry.Mbr())) {
+          is_result = true;
+        } else {
+          is_result = EvaluatePredicate(pred, rt.geometry,
+                                        cached_s_geometry,
+                                        opts.refinement_mode);
+        }
+      } else {
+        is_result = EvaluatePredicate(pred, rt.geometry, cached_s_geometry,
+                                      opts.refinement_mode);
+      }
+      if (is_result) {
+        ++breakdown->results;
+        if (sink) sink(Oid::Decode(rt.oid), Oid::Decode(bp.s_oid));
+      }
+    }
+
+    if (end_of_stream) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace pbsm

@@ -1,0 +1,45 @@
+#ifndef PBSM_CORE_REFINEMENT_H_
+#define PBSM_CORE_REFINEMENT_H_
+
+#include "common/status.h"
+#include "core/join_cost.h"
+#include "core/join_options.h"
+#include "core/key_pointer.h"
+#include "storage/external_sort.h"
+
+namespace pbsm {
+
+/// Comparator for candidate pairs (primary OID_R, secondary OID_S).
+struct OidPairLess {
+  bool operator()(const OidPair& a, const OidPair& b) const { return a < b; }
+};
+
+/// External sorter over filter-step candidates.
+using CandidateSorter = ExternalSorter<OidPair, OidPairLess>;
+
+/// The refinement step shared by PBSM and the R-tree join (§3.2):
+///
+///  1. externally sorts the candidate pairs on (OID_R, OID_S), dropping
+///     duplicates during the merge (a tuple pair can be produced by several
+///     partitions / tile overlaps);
+///  2. reads as many R tuples as fit in the memory budget, in OID_R order
+///     (physical order, so the reads are near-sequential);
+///  3. "swizzles" each pair's OID_R to the in-memory R tuple, re-sorts the
+///     block's pairs on OID_S, and fetches S tuples sequentially;
+///  4. evaluates the exact predicate, forwarding hits to `sink`.
+///
+/// With opts.use_mer_filter set and a containment predicate, a precomputed
+/// maximal-enclosed-rectangle test short-circuits the exact check (BKSS94,
+/// discussed in §4.4).
+///
+/// Updates breakdown->duplicates_removed and breakdown->results; the caller
+/// wraps the call in a PhaseTimer for cost capture.
+Status RefineCandidates(CandidateSorter* candidates,
+                        const HeapFile& r_heap, const HeapFile& s_heap,
+                        SpatialPredicate pred, const JoinOptions& opts,
+                        const ResultSink& sink,
+                        JoinCostBreakdown* breakdown);
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_REFINEMENT_H_

@@ -1,0 +1,154 @@
+#include "core/rtree_join.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/index_build.h"
+#include "core/plane_sweep_join.h"
+#include "core/refinement.h"
+
+namespace pbsm {
+
+namespace {
+
+/// Converts a node's entries into key-pointers for the entry sweep.
+std::vector<KeyPointer> ToKeyPointers(const std::vector<RTreeEntry>& entries) {
+  std::vector<KeyPointer> out(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out[i] = KeyPointer{entries[i].mbr, entries[i].handle};
+  }
+  return out;
+}
+
+/// Synchronized depth-first traversal (BKS93). Joins the nodes rooted at
+/// `r_page`/`s_page`; leaf-leaf matches are appended to `sorter`.
+Status JoinNodes(const RStarTree& r_tree, uint32_t r_page,
+                 const RStarTree& s_tree, uint32_t s_page,
+                 const JoinOptions& opts, CandidateSorter* sorter,
+                 JoinCostBreakdown* breakdown) {
+  uint16_t r_level = 0, s_level = 0;
+  std::vector<RTreeEntry> r_entries, s_entries;
+  PBSM_RETURN_IF_ERROR(r_tree.ReadNode(r_page, &r_level, &r_entries));
+  PBSM_RETURN_IF_ERROR(s_tree.ReadNode(s_page, &s_level, &s_entries));
+
+  // Unequal heights: descend the deeper (higher-level) side alone until
+  // the levels line up, restricting to children overlapping the other
+  // node's MBR.
+  if (r_level != s_level) {
+    if (r_level > s_level) {
+      Rect s_mbr;
+      for (const auto& e : s_entries) s_mbr.Expand(e.mbr);
+      for (const RTreeEntry& e : r_entries) {
+        if (!e.mbr.Intersects(s_mbr)) continue;
+        PBSM_RETURN_IF_ERROR(JoinNodes(r_tree,
+                                       static_cast<uint32_t>(e.handle),
+                                       s_tree, s_page, opts, sorter,
+                                       breakdown));
+      }
+    } else {
+      Rect r_mbr;
+      for (const auto& e : r_entries) r_mbr.Expand(e.mbr);
+      for (const RTreeEntry& e : s_entries) {
+        if (!e.mbr.Intersects(r_mbr)) continue;
+        PBSM_RETURN_IF_ERROR(JoinNodes(r_tree, r_page, s_tree,
+                                       static_cast<uint32_t>(e.handle),
+                                       opts, sorter, breakdown));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Same level: plane sweep over the two entry sets (the technique BKS93
+  // itself borrowed for node joining, §3.1).
+  std::vector<KeyPointer> r_kps = ToKeyPointers(r_entries);
+  std::vector<KeyPointer> s_kps = ToKeyPointers(s_entries);
+
+  if (r_level == 0) {
+    Status append_status;
+    breakdown->candidates += PlaneSweepJoin(
+        &r_kps, &s_kps,
+        [&](uint64_t r_oid, uint64_t s_oid) {
+          if (!append_status.ok()) return;
+          append_status = sorter->Add(OidPair{r_oid, s_oid});
+        },
+        opts.sweep);
+    return append_status;
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> child_pairs;
+  PlaneSweepJoin(&r_kps, &s_kps,
+                 [&](uint64_t r_child, uint64_t s_child) {
+                   child_pairs.emplace_back(
+                       static_cast<uint32_t>(r_child),
+                       static_cast<uint32_t>(s_child));
+                 },
+                 opts.sweep);
+  for (const auto& [rc, sc] : child_pairs) {
+    PBSM_RETURN_IF_ERROR(
+        JoinNodes(r_tree, rc, s_tree, sc, opts, sorter, breakdown));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
+                                    const JoinInput& s, SpatialPredicate pred,
+                                    const JoinOptions& opts,
+                                    const ResultSink& sink,
+                                    const RStarTree* r_index,
+                                    const RStarTree* s_index) {
+  JoinCostBreakdown breakdown;
+  DiskManager* disk = pool->disk();
+
+  std::optional<RStarTree> r_built, s_built;
+  if (r_index == nullptr) {
+    PhaseCost& cost = breakdown.AddPhase("build index " + r.info.name);
+    PhaseTimer timer(disk, &cost);
+    PBSM_ASSIGN_OR_RETURN(
+        RStarTree tree,
+        BuildIndexByBulkLoad(pool, r, "rtj_idx_" + r.info.name + ".rtree",
+                             opts.index_fill_factor,
+                             opts.memory_budget_bytes));
+    r_built.emplace(std::move(tree));
+    r_index = &*r_built;
+  }
+  if (s_index == nullptr) {
+    PhaseCost& cost = breakdown.AddPhase("build index " + s.info.name);
+    PhaseTimer timer(disk, &cost);
+    PBSM_ASSIGN_OR_RETURN(
+        RStarTree tree,
+        BuildIndexByBulkLoad(pool, s, "rtj_idx_" + s.info.name + ".rtree",
+                             opts.index_fill_factor,
+                             opts.memory_budget_bytes));
+    s_built.emplace(std::move(tree));
+    s_index = &*s_built;
+  }
+
+  CandidateSorter sorter(pool, opts.memory_budget_bytes, OidPairLess{});
+  {
+    PhaseCost& cost = breakdown.AddPhase("join trees");
+    PhaseTimer timer(disk, &cost);
+    PBSM_RETURN_IF_ERROR(JoinNodes(*r_index, r_index->root_page(), *s_index,
+                                   s_index->root_page(), opts, &sorter,
+                                   &breakdown));
+  }
+
+  {
+    PhaseCost& cost = breakdown.AddPhase("refinement");
+    PhaseTimer timer(disk, &cost);
+    PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, *r.heap, *s.heap, pred,
+                                          opts, sink, &breakdown));
+  }
+
+  if (r_built.has_value()) {
+    PBSM_RETURN_IF_ERROR(pool->DropFile(r_built->file()));
+  }
+  if (s_built.has_value()) {
+    PBSM_RETURN_IF_ERROR(pool->DropFile(s_built->file()));
+  }
+  return breakdown;
+}
+
+}  // namespace pbsm

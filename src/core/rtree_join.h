@@ -1,0 +1,32 @@
+#ifndef PBSM_CORE_RTREE_JOIN_H_
+#define PBSM_CORE_RTREE_JOIN_H_
+
+#include "common/status.h"
+#include "core/join_cost.h"
+#include "core/join_options.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+
+namespace pbsm {
+
+/// R-tree based spatial join (Brinkhoff, Kriegel, Seeger — SIGMOD '93),
+/// the paper's §4.2 baseline.
+///
+/// Bulk loads an R*-tree on each input that lacks one (pass non-null
+/// `r_index`/`s_index` for the Figures 14/15 pre-existing-index variants),
+/// then performs a synchronized depth-first traversal of the two trees:
+/// at each step the entries of one R node and one S node are joined with
+/// the same plane-sweep technique PBSM uses, and matching child pairs are
+/// traversed in tandem. Leaf-level matches become candidate OID pairs,
+/// which run through the shared refinement step (§3.2 semantics, identical
+/// to PBSM's).
+Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
+                                    const JoinInput& s, SpatialPredicate pred,
+                                    const JoinOptions& opts,
+                                    const ResultSink& sink = {},
+                                    const RStarTree* r_index = nullptr,
+                                    const RStarTree* s_index = nullptr);
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_RTREE_JOIN_H_

@@ -1,0 +1,75 @@
+#ifndef PBSM_CORE_SELECTIVITY_H_
+#define PBSM_CORE_SELECTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/rect.h"
+#include "storage/heap_file.h"
+
+namespace pbsm {
+
+/// Grid histogram of a spatial relation for join-selectivity estimation —
+/// an extension of the paper's catalog (§3.1 uses only the universe MBR).
+///
+/// Each grid cell records how many feature MBRs are centered in it plus the
+/// average MBR width/height of those features. Two histograms over the same
+/// universe estimate the *filter-step* output cardinality of a spatial
+/// join: per cell, the expected number of overlapping MBR pairs under a
+/// uniform-within-cell assumption,
+///
+///   E[pairs] = n1 * n2 * min(1, (w1+w2)(h1+h2) / cell_area).
+///
+/// A database system would use this to budget the candidate sorter, choose
+/// partition counts, or cost join orders.
+class SpatialHistogram {
+ public:
+  /// Grid of nx x ny cells over `universe`. Precondition: non-empty
+  /// universe, nx, ny >= 1.
+  SpatialHistogram(const Rect& universe, uint32_t nx, uint32_t ny);
+
+  /// Accounts one feature MBR (binned by its center).
+  void Add(const Rect& mbr);
+
+  /// Builds a histogram by scanning a stored relation.
+  static Result<SpatialHistogram> Build(const HeapFile& heap,
+                                        const Rect& universe, uint32_t nx,
+                                        uint32_t ny);
+
+  /// Estimated filter-step candidate pairs of joining `this` (as R) with
+  /// `other` (as S). Precondition: same grid shape and universe.
+  double EstimateJoinCandidates(const SpatialHistogram& other) const;
+
+  /// Estimated number of features whose MBR overlaps `window`.
+  double EstimateWindowCount(const Rect& window) const;
+
+  uint64_t total_count() const { return total_count_; }
+  uint32_t nx() const { return nx_; }
+  uint32_t ny() const { return ny_; }
+  const Rect& universe() const { return universe_; }
+
+ private:
+  struct Cell {
+    uint64_t count = 0;
+    double sum_w = 0.0;
+    double sum_h = 0.0;
+
+    double avg_w() const { return count == 0 ? 0.0 : sum_w / count; }
+    double avg_h() const { return count == 0 ? 0.0 : sum_h / count; }
+  };
+
+  size_t CellIndex(const Point& p) const;
+
+  Rect universe_;
+  uint32_t nx_;
+  uint32_t ny_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<Cell> cells_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_SELECTIVITY_H_

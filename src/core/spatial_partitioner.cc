@@ -1,0 +1,95 @@
+#include "core/spatial_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/key_pointer.h"
+
+namespace pbsm {
+
+namespace {
+
+/// 64-bit finalizer (SplitMix64) — a high-quality stateless tile hash.
+uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SpatialPartitioner::SpatialPartitioner(const Rect& universe,
+                                       uint32_t num_tiles,
+                                       uint32_t num_partitions,
+                                       TileMapping mapping)
+    : universe_(universe), num_partitions_(num_partitions), mapping_(mapping) {
+  PBSM_CHECK(!universe.empty()) << "partitioner needs a non-empty universe";
+  PBSM_CHECK(num_partitions >= 1);
+  PBSM_CHECK(num_tiles >= num_partitions)
+      << "need at least as many tiles as partitions";
+  nx_ = static_cast<uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_tiles))));
+  if (nx_ == 0) nx_ = 1;
+  ny_ = (num_tiles + nx_ - 1) / nx_;
+  if (ny_ == 0) ny_ = 1;
+  tile_w_ = universe_.width() / nx_;
+  tile_h_ = universe_.height() / ny_;
+}
+
+uint32_t SpatialPartitioner::TileFor(double x, double y) const {
+  auto clamp_cell = [](double v, double lo, double extent, uint32_t cells) {
+    if (extent <= 0) return 0u;
+    const double c = (v - lo) / extent * cells;
+    if (c <= 0) return 0u;
+    uint32_t cell = static_cast<uint32_t>(c);
+    return std::min(cell, cells - 1);
+  };
+  const uint32_t col = clamp_cell(x, universe_.xlo, universe_.width(), nx_);
+  // Row 0 is the *top* row (Figure 3 numbers tiles from the upper left).
+  const uint32_t row_from_bottom =
+      clamp_cell(y, universe_.ylo, universe_.height(), ny_);
+  const uint32_t row = ny_ - 1 - row_from_bottom;
+  return row * nx_ + col;
+}
+
+uint32_t SpatialPartitioner::PartitionOfTile(uint32_t tile) const {
+  switch (mapping_) {
+    case TileMapping::kRoundRobin:
+      return tile % num_partitions_;
+    case TileMapping::kHash:
+      return static_cast<uint32_t>(MixHash(tile) % num_partitions_);
+  }
+  return 0;
+}
+
+void SpatialPartitioner::PartitionsFor(const Rect& mbr,
+                                       std::vector<uint32_t>* out) const {
+  const uint32_t t_lo = TileFor(mbr.xlo, mbr.ylo);
+  const uint32_t t_hi = TileFor(mbr.xhi, mbr.yhi);
+  const uint32_t col_lo = t_lo % nx_;
+  const uint32_t col_hi = t_hi % nx_;
+  // ylo maps to the *larger* row number (rows count from the top).
+  const uint32_t row_hi = t_lo / nx_;
+  const uint32_t row_lo = t_hi / nx_;
+  for (uint32_t row = row_lo; row <= row_hi; ++row) {
+    for (uint32_t col = col_lo; col <= col_hi; ++col) {
+      out->push_back(PartitionOfTile(row * nx_ + col));
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+uint32_t SpatialPartitioner::EstimatePartitionCount(uint64_t r_cardinality,
+                                                    uint64_t s_cardinality,
+                                                    size_t memory_bytes) {
+  PBSM_CHECK(memory_bytes > 0);
+  const double bytes = static_cast<double>(r_cardinality + s_cardinality) *
+                       sizeof(KeyPointer);
+  const double p = std::ceil(bytes / static_cast<double>(memory_bytes));
+  return p < 1.0 ? 1u : static_cast<uint32_t>(p);
+}
+
+}  // namespace pbsm

@@ -1,0 +1,70 @@
+#ifndef PBSM_CORE_SPATIAL_PARTITIONER_H_
+#define PBSM_CORE_SPATIAL_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace pbsm {
+
+/// Tile-to-partition mapping scheme (§3.4's two design-space axes).
+enum class TileMapping {
+  kRoundRobin,  ///< partition = tile_number mod P.
+  kHash,        ///< partition = hash(tile_number) mod P.
+};
+
+/// The paper's spatial partitioning function (§3.4).
+///
+/// The universe is decomposed regularly into a grid of NT tiles, numbered
+/// row-major starting at the upper-left corner (as in Figure 3), and each
+/// tile is mapped to one of P partitions by round robin or hashing. A
+/// key-pointer element is inserted into the partition of *every* tile its
+/// MBR overlaps — objects spanning tiles of multiple partitions are
+/// replicated, which is the overhead Figures 5 and 6 measure.
+class SpatialPartitioner {
+ public:
+  /// `num_tiles` is a request; the actual grid is nx x ny with
+  /// nx = ceil(sqrt(NT)) columns and ny = ceil(NT / nx) rows, so the
+  /// effective tile count may be slightly larger. Precondition:
+  /// num_partitions >= 1, num_tiles >= num_partitions, non-empty universe.
+  SpatialPartitioner(const Rect& universe, uint32_t num_tiles,
+                     uint32_t num_partitions, TileMapping mapping);
+
+  /// Appends to `out` the sorted, de-duplicated list of partitions whose
+  /// tiles `mbr` overlaps. MBRs outside the universe are clamped to the
+  /// border tiles (the catalog universe always covers the data, but a join
+  /// partitions both inputs with the *combined* universe).
+  void PartitionsFor(const Rect& mbr, std::vector<uint32_t>* out) const;
+
+  /// Tile number of a point (row-major from the upper-left corner).
+  uint32_t TileFor(double x, double y) const;
+
+  /// Partition a given tile maps to.
+  uint32_t PartitionOfTile(uint32_t tile) const;
+
+  /// Equation 1: number of partitions such that one R partition and one S
+  /// partition of key-pointers fit in `memory_bytes` together.
+  static uint32_t EstimatePartitionCount(uint64_t r_cardinality,
+                                         uint64_t s_cardinality,
+                                         size_t memory_bytes);
+
+  uint32_t num_tiles() const { return nx_ * ny_; }
+  uint32_t num_partitions() const { return num_partitions_; }
+  uint32_t grid_nx() const { return nx_; }
+  uint32_t grid_ny() const { return ny_; }
+  const Rect& universe() const { return universe_; }
+
+ private:
+  Rect universe_;
+  uint32_t nx_ = 1;
+  uint32_t ny_ = 1;
+  uint32_t num_partitions_ = 1;
+  TileMapping mapping_;
+  double tile_w_ = 0.0;
+  double tile_h_ = 0.0;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_SPATIAL_PARTITIONER_H_

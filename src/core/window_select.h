@@ -1,0 +1,39 @@
+#ifndef PBSM_CORE_WINDOW_SELECT_H_
+#define PBSM_CORE_WINDOW_SELECT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/join_cost.h"
+#include "core/join_options.h"
+#include "rtree/rstar_tree.h"
+
+namespace pbsm {
+
+/// How a window selection locates candidates.
+enum class SelectAccessPath {
+  kFullScan,  ///< Scan the heap file, test every tuple.
+  kIndex,     ///< Probe an R*-tree (must be supplied).
+};
+
+/// Result of a window selection.
+struct SelectResult {
+  std::vector<Oid> oids;     ///< Tuples whose geometry intersects the window.
+  uint64_t candidates = 0;   ///< Tuples that passed the MBR filter.
+  PhaseCost cost;
+};
+
+/// The spatial-database selection operator: all tuples of `input` whose
+/// geometry exactly intersects `window` (two-step: MBR filter via scan or
+/// index, then the exact predicate on the fetched tuples — the same
+/// filter/refine discipline as the joins).
+///
+/// `index` is required for SelectAccessPath::kIndex and must index `input`.
+Result<SelectResult> WindowSelect(BufferPool* pool, const JoinInput& input,
+                                  const Rect& window, SelectAccessPath path,
+                                  const JoinOptions& opts,
+                                  const RStarTree* index = nullptr);
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_WINDOW_SELECT_H_

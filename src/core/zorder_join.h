@@ -1,0 +1,49 @@
+#ifndef PBSM_CORE_ZORDER_JOIN_H_
+#define PBSM_CORE_ZORDER_JOIN_H_
+
+#include "common/status.h"
+#include "core/join_cost.h"
+#include "core/join_options.h"
+#include "storage/buffer_pool.h"
+
+namespace pbsm {
+
+/// Options for the z-value transform join.
+struct ZOrderJoinOptions {
+  /// Quadtree depth: the universe is a 2^max_level x 2^max_level pixel
+  /// grid. Orenstein's grid-choice sensitivity ([Ore89], discussed in the
+  /// paper's §2): finer grids filter better but need more z-elements per
+  /// object.
+  uint32_t max_level = 8;
+  /// Cap on quadtree cells approximating one MBR (the space/precision
+  /// knob). The decomposition stops refining once it would exceed this.
+  uint32_t max_cells_per_object = 4;
+
+  JoinOptions join;  ///< Memory budget, refinement mode, etc.
+};
+
+/// Orenstein-style z-value spatial join ([Ore86, OM88] — the
+/// "transform the approximation into another dimension" family of the
+/// paper's Table 1, built as an additional comparison baseline).
+///
+/// Filter: each tuple's MBR is approximated by up to
+/// `max_cells_per_object` quadtree cells; each cell is a z-order interval
+/// [lo, hi). Both inputs become z-interval lists, externally sorted by
+/// (lo asc, hi desc). Because quadtree intervals are either nested or
+/// disjoint, a single merge pass with one containment stack per input
+/// finds every R/S pair with overlapping intervals — the 1-D "merge" the
+/// transform approach buys. The filter never misses a truly intersecting
+/// pair (cell covers are supersets of the MBRs) but produces more false
+/// positives than the MBR filter, which is the drawback the paper cites.
+///
+/// Refinement: identical to PBSM's (shared RefineCandidates), including
+/// duplicate elimination — one object pair can meet through several cells.
+Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
+                                     const JoinInput& s,
+                                     SpatialPredicate pred,
+                                     const ZOrderJoinOptions& options,
+                                     const ResultSink& sink = {});
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_ZORDER_JOIN_H_

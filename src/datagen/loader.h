@@ -1,0 +1,45 @@
+#ifndef PBSM_DATAGEN_LOADER_H_
+#define PBSM_DATAGEN_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/join_options.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/heap_file.h"
+#include "storage/tuple.h"
+
+namespace pbsm {
+
+/// A relation materialized in a heap file together with its catalog entry.
+struct StoredRelation {
+  HeapFile heap;
+  RelationInfo info;
+
+  /// View usable as a join input (valid while this object lives).
+  JoinInput AsInput() const { return JoinInput{&heap, info}; }
+};
+
+/// Loads `tuples` into a new heap file named `name`, computes catalog
+/// statistics (cardinality, universe, vertex counts) and registers them in
+/// `catalog` (when non-null).
+///
+/// With `clustered` set the tuples are first sorted by the Hilbert value of
+/// their MBR center — the spatial clustering whose effect §4.4 studies.
+///
+/// With `precompute_mers` set a maximal enclosed rectangle is computed and
+/// stored for every polygon tuple (BKSS94's multi-step refinement: "extra
+/// information that is precomputed and stored along with each spatial
+/// feature"); the containment refinement then short-circuits on it when
+/// JoinOptions::use_mer_filter is enabled.
+Result<StoredRelation> LoadRelation(BufferPool* pool, Catalog* catalog,
+                                    const std::string& name,
+                                    std::vector<Tuple> tuples,
+                                    bool clustered = false,
+                                    bool precompute_mers = false);
+
+}  // namespace pbsm
+
+#endif  // PBSM_DATAGEN_LOADER_H_

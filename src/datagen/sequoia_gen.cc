@@ -1,0 +1,126 @@
+#include "datagen/sequoia_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace pbsm {
+
+SequoiaGenerator::SequoiaGenerator(const Params& params) : params_(params) {
+  Rng rng(params_.seed);
+  cluster_centers_.reserve(params_.num_clusters);
+  for (uint32_t i = 0; i < params_.num_clusters; ++i) {
+    cluster_centers_.push_back(
+        Point{rng.UniformDouble(params_.universe.xlo, params_.universe.xhi),
+              rng.UniformDouble(params_.universe.ylo, params_.universe.yhi)});
+  }
+}
+
+Point SequoiaGenerator::SampleCenter(Rng* rng) const {
+  const Rect& u = params_.universe;
+  if (!rng->Bernoulli(params_.cluster_fraction) || cluster_centers_.empty()) {
+    return Point{rng->UniformDouble(u.xlo, u.xhi),
+                 rng->UniformDouble(u.ylo, u.yhi)};
+  }
+  const Point& c = cluster_centers_[rng->Uniform(cluster_centers_.size())];
+  Point p{c.x + rng->NextGaussian() * 0.4, c.y + rng->NextGaussian() * 0.4};
+  p.x = std::clamp(p.x, u.xlo, u.xhi);
+  p.y = std::clamp(p.y, u.ylo, u.yhi);
+  return p;
+}
+
+std::vector<Point> SequoiaGenerator::MakeRing(Rng* rng, const Point& center,
+                                              double radius, uint32_t n,
+                                              double roughness) const {
+  std::vector<Point> ring;
+  ring.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * M_PI * i / n;
+    const double r =
+        radius * (1.0 + roughness * (2.0 * rng->NextDouble() - 1.0));
+    ring.push_back(Point{center.x + std::cos(angle) * r,
+                         center.y + std::sin(angle) * r});
+  }
+  return ring;
+}
+
+std::vector<Tuple> SequoiaGenerator::GeneratePolygons(uint64_t count) {
+  Rng rng(params_.seed * 0x9e3779b9ULL + 11);
+  std::vector<Tuple> out;
+  out.reserve(count);
+  polygon_cores_.clear();
+  polygon_cores_.reserve(count);
+
+  for (uint64_t i = 0; i < count; ++i) {
+    const Point center = SampleCenter(&rng);
+    const double radius =
+        params_.mean_radius * (0.4 + 1.2 * rng.NextDouble());
+    const uint32_t n = static_cast<uint32_t>(rng.UniformInt(30, 62));
+    constexpr double kRoughness = 0.3;
+    std::vector<std::vector<Point>> rings;
+    rings.push_back(MakeRing(&rng, center, radius, n, kRoughness));
+    const double r_min = radius * (1.0 - kRoughness);
+
+    if (rng.Bernoulli(params_.hole_fraction)) {
+      // Hole rings live in the [0.55, 0.95] * r_min annulus, leaving the
+      // polygon core island-safe.
+      const uint32_t holes = 1 + static_cast<uint32_t>(rng.Uniform(2));
+      for (uint32_t h = 0; h < holes; ++h) {
+        const double angle = rng.UniformDouble(0.0, 2.0 * M_PI);
+        const double dist = rng.UniformDouble(0.70, 0.80) * r_min;
+        const Point hc{center.x + std::cos(angle) * dist,
+                       center.y + std::sin(angle) * dist};
+        const double hr = rng.UniformDouble(0.05, 0.15) * r_min;
+        const uint32_t hn = static_cast<uint32_t>(rng.UniformInt(6, 12));
+        rings.push_back(MakeRing(&rng, hc, hr, hn, 0.2));
+      }
+    }
+
+    Tuple t;
+    t.id = i;
+    t.feature_class = static_cast<uint32_t>(rng.Uniform(16));
+    t.name = "Landuse #" + std::to_string(i);
+    t.geometry = Geometry::MakePolygon(std::move(rings));
+    out.push_back(std::move(t));
+    polygon_cores_.emplace_back(center, r_min);
+  }
+  return out;
+}
+
+std::vector<Tuple> SequoiaGenerator::GenerateIslands(uint64_t count) {
+  Rng rng(params_.seed * 0x9e3779b9ULL + 23);
+  std::vector<Tuple> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Point center;
+    double radius;
+    if (!polygon_cores_.empty() &&
+        rng.Bernoulli(params_.contained_fraction)) {
+      // Place strictly inside a polygon core: center within 0.1 * r_min of
+      // the polygon center, extent bounded by 0.46 * r_min — clear of both
+      // the outer ring (>= r_min) and any hole (>= 0.55 * r_min).
+      const auto& [pc, r_min] =
+          polygon_cores_[rng.Uniform(polygon_cores_.size())];
+      const double angle = rng.UniformDouble(0.0, 2.0 * M_PI);
+      const double dist = rng.NextDouble() * 0.10 * r_min;
+      center = Point{pc.x + std::cos(angle) * dist,
+                     pc.y + std::sin(angle) * dist};
+      radius = rng.UniformDouble(0.08, 0.27) * r_min;
+    } else {
+      center = SampleCenter(&rng);
+      radius = params_.mean_radius * rng.UniformDouble(0.05, 0.25);
+    }
+    const uint32_t n = static_cast<uint32_t>(rng.UniformInt(24, 46));
+    std::vector<std::vector<Point>> rings;
+    rings.push_back(MakeRing(&rng, center, radius, n, 0.3));
+    Tuple t;
+    t.id = i;
+    t.feature_class = static_cast<uint32_t>(rng.Uniform(4));
+    t.name = "Island #" + std::to_string(i);
+    t.geometry = Geometry::MakePolygon(std::move(rings));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace pbsm

@@ -1,0 +1,69 @@
+#ifndef PBSM_DATAGEN_SEQUOIA_GEN_H_
+#define PBSM_DATAGEN_SEQUOIA_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/rect.h"
+#include "storage/tuple.h"
+
+namespace pbsm {
+
+/// Synthetic stand-in for the Sequoia 2000 polygon and island data sets.
+///
+/// * "Polygons" are landuse regions: star-shaped polygons with ~46 vertices
+///   on average, clustered over a California/Nevada-shaped universe; a
+///   configurable fraction are swiss-cheese polygons carrying 1-2 hole
+///   rings (the paper's motivating complex type).
+/// * "Islands" are small polygons (~35 vertices); a configurable fraction
+///   is placed strictly inside some landuse polygon (these drive the
+///   containment-join result), the rest floats freely.
+///
+/// Polygons overlap each other, so one island can be contained in several
+/// polygons — the paper's result cardinality (25,260) likewise exceeds the
+/// island count.
+class SequoiaGenerator {
+ public:
+  struct Params {
+    uint64_t seed = 2000;
+    Rect universe = Rect(-124.4, 32.5, -114.1, 42.0);
+    uint32_t num_clusters = 32;
+    double cluster_fraction = 0.75;
+    /// Fraction of landuse polygons carrying hole rings.
+    double hole_fraction = 0.25;
+    /// Fraction of islands placed inside some polygon.
+    double contained_fraction = 0.6;
+    /// Mean polygon radius in universe units.
+    double mean_radius = 0.08;
+  };
+
+  explicit SequoiaGenerator(const Params& params);
+
+  /// Landuse polygons, avg 46 vertices (plus hole vertices).
+  std::vector<Tuple> GeneratePolygons(uint64_t count);
+
+  /// Islands, avg 35 vertices. Must be called *after* GeneratePolygons —
+  /// contained islands are placed inside polygons from the last generated
+  /// polygon set.
+  std::vector<Tuple> GenerateIslands(uint64_t count);
+
+  const Rect& universe() const { return params_.universe; }
+
+ private:
+  /// Star-shaped ring: `n` vertices at noisy radii around `center`.
+  std::vector<Point> MakeRing(Rng* rng, const Point& center, double radius,
+                              uint32_t n, double roughness) const;
+
+  Point SampleCenter(Rng* rng) const;
+
+  Params params_;
+  std::vector<Point> cluster_centers_;
+  /// (center, safe inner radius) of each generated landuse polygon, used to
+  /// place contained islands.
+  std::vector<std::pair<Point, double>> polygon_cores_;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_DATAGEN_SEQUOIA_GEN_H_

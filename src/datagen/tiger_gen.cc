@@ -1,0 +1,109 @@
+#include "datagen/tiger_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace pbsm {
+
+TigerGenerator::TigerGenerator(const Params& params) : params_(params) {
+  Rng rng(params_.seed);
+  clusters_.reserve(params_.num_clusters);
+  double cum = 0.0;
+  for (uint32_t i = 0; i < params_.num_clusters; ++i) {
+    Cluster c;
+    c.center.x = rng.UniformDouble(params_.universe.xlo, params_.universe.xhi);
+    c.center.y = rng.UniformDouble(params_.universe.ylo, params_.universe.yhi);
+    // Power-law weights: a few "Milwaukees", many small towns.
+    const double w = std::pow(rng.NextDouble(), 4.0) * 12.0 + 0.05;
+    c.sigma = rng.UniformDouble(0.15, 0.70);
+    cum += w;
+    c.cum_weight = cum;
+    clusters_.push_back(c);
+  }
+  total_weight_ = cum;
+}
+
+Point TigerGenerator::SamplePoint(Rng* rng,
+                                  double cluster_fraction) const {
+  const Rect& u = params_.universe;
+  if (!rng->Bernoulli(cluster_fraction) || clusters_.empty()) {
+    return Point{rng->UniformDouble(u.xlo, u.xhi),
+                 rng->UniformDouble(u.ylo, u.yhi)};
+  }
+  const double pick = rng->NextDouble() * total_weight_;
+  const auto it = std::lower_bound(
+      clusters_.begin(), clusters_.end(), pick,
+      [](const Cluster& c, double v) { return c.cum_weight < v; });
+  const Cluster& c = it == clusters_.end() ? clusters_.back() : *it;
+  Point p{c.center.x + rng->NextGaussian() * c.sigma,
+          c.center.y + rng->NextGaussian() * c.sigma};
+  p.x = std::clamp(p.x, u.xlo, u.xhi);
+  p.y = std::clamp(p.y, u.ylo, u.yhi);
+  return p;
+}
+
+std::vector<Point> TigerGenerator::Walk(Rng* rng, const Point& start,
+                                        uint32_t num_points, double step,
+                                        double persistence) const {
+  const Rect& u = params_.universe;
+  std::vector<Point> pts;
+  pts.reserve(num_points);
+  pts.push_back(start);
+  double heading = rng->UniformDouble(0.0, 2.0 * M_PI);
+  Point p = start;
+  for (uint32_t i = 1; i < num_points; ++i) {
+    heading += rng->NextGaussian() * (1.0 - persistence) * 1.2;
+    const double len = step * (0.5 + rng->NextDouble());
+    p.x += std::cos(heading) * len;
+    p.y += std::sin(heading) * len;
+    p.x = std::clamp(p.x, u.xlo, u.xhi);
+    p.y = std::clamp(p.y, u.ylo, u.yhi);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+std::vector<Tuple> TigerGenerator::Generate(uint64_t count, uint64_t salt,
+                                            uint32_t min_points,
+                                            uint32_t max_points, double step,
+                                            double persistence,
+                                            double cluster_fraction,
+                                            const char* name_prefix) {
+  Rng rng(params_.seed * 0x9e3779b9ULL + salt);
+  std::vector<Tuple> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t n = static_cast<uint32_t>(
+        rng.UniformInt(min_points, max_points));
+    Tuple t;
+    t.id = i;
+    t.feature_class = static_cast<uint32_t>(rng.Uniform(8));
+    t.name = std::string(name_prefix) + " #" + std::to_string(i);
+    t.geometry = Geometry::MakePolyline(
+        Walk(&rng, SamplePoint(&rng, cluster_fraction), n, step,
+             persistence));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Tuple> TigerGenerator::GenerateRoads(uint64_t count) {
+  // Average 8 vertices; short urban steps.
+  return Generate(count, /*salt=*/1, 4, 12, 0.0012, 0.7,
+                  params_.cluster_fraction, "Road");
+}
+
+std::vector<Tuple> TigerGenerator::GenerateHydrography(uint64_t count) {
+  // Average 19 vertices; longer meandering steps.
+  return Generate(count, /*salt=*/2, 10, 28, 0.0012, 0.85, 0.5,
+                  "Hydro");
+}
+
+std::vector<Tuple> TigerGenerator::GenerateRail(uint64_t count) {
+  // Average 7 vertices; long, nearly straight runs.
+  return Generate(count, /*salt=*/3, 4, 10, 0.012, 0.97, 0.5,
+                  "Rail");
+}
+
+}  // namespace pbsm

@@ -1,0 +1,79 @@
+#ifndef PBSM_DATAGEN_TIGER_GEN_H_
+#define PBSM_DATAGEN_TIGER_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/rect.h"
+#include "storage/tuple.h"
+
+namespace pbsm {
+
+/// Synthetic stand-in for the paper's TIGER/Line Wisconsin extracts.
+///
+/// The generator reproduces the statistical properties the experiments
+/// depend on rather than the actual cartography:
+///  * three polyline relations — Road, Hydrography, Rail — over one shared
+///    geography, with the paper's cardinality ratios and average vertex
+///    counts (8 / 19 / 7);
+///  * heavy spatial skew: features concentrate around power-law-weighted
+///    population centers (the source of Figure 4's partition skew);
+///  * spatial correlation between the relations (roads and rivers share the
+///    dense regions, so the join result is non-trivial);
+///  * polylines are random walks with direction persistence, so their MBRs
+///    are small relative to the universe, as for real road segments.
+///
+/// All output is deterministic in the seed.
+class TigerGenerator {
+ public:
+  struct Params {
+    uint64_t seed = 1996;
+    /// Universe roughly shaped like Wisconsin in lon/lat degrees.
+    Rect universe = Rect(-92.9, 42.5, -86.8, 47.1);
+    uint32_t num_clusters = 96;
+    /// Default fraction of features whose start point is drawn from a
+    /// cluster (roads; hydrography and rail are less cluster-bound).
+    double cluster_fraction = 0.8;
+  };
+
+  explicit TigerGenerator(const Params& params);
+
+  /// Road polylines: short urban walks, 8 vertices on average.
+  std::vector<Tuple> GenerateRoads(uint64_t count);
+  /// Hydrography polylines: longer meanders, 19 vertices on average.
+  std::vector<Tuple> GenerateHydrography(uint64_t count);
+  /// Rail polylines: long near-straight runs between centers, 7 vertices.
+  std::vector<Tuple> GenerateRail(uint64_t count);
+
+  const Rect& universe() const { return params_.universe; }
+
+ private:
+  struct Cluster {
+    Point center;
+    double sigma;       // Spatial spread of the cluster.
+    double cum_weight;  // Cumulative sampling weight.
+  };
+
+  /// Draws a feature start point (cluster mixture + uniform background).
+  /// `cluster_fraction` is the probability of sampling from a cluster.
+  Point SamplePoint(Rng* rng, double cluster_fraction) const;
+
+  /// Random walk polyline from `start` with the given step profile.
+  std::vector<Point> Walk(Rng* rng, const Point& start, uint32_t num_points,
+                          double step, double persistence) const;
+
+  std::vector<Tuple> Generate(uint64_t count, uint64_t salt,
+                              uint32_t min_points, uint32_t max_points,
+                              double step, double persistence,
+                              double cluster_fraction,
+                              const char* name_prefix);
+
+  Params params_;
+  std::vector<Cluster> clusters_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_DATAGEN_TIGER_GEN_H_

@@ -1,0 +1,169 @@
+#include "geom/geometry.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pbsm {
+
+namespace {
+
+void AppendRaw(std::string* out, const void* p, size_t n) {
+  out->append(reinterpret_cast<const char*>(p), n);
+}
+
+template <typename T>
+bool ReadRaw(const uint8_t* data, size_t size, size_t* off, T* out) {
+  if (*off + sizeof(T) > size) return false;
+  std::memcpy(out, data + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+Geometry::Geometry(GeometryType type, std::vector<std::vector<Point>> rings)
+    : type_(type), rings_(std::move(rings)) {
+  for (const auto& ring : rings_) {
+    for (const Point& p : ring) mbr_.Expand(p);
+  }
+}
+
+Geometry Geometry::MakePoint(const Point& p) {
+  return Geometry(GeometryType::kPoint, {{p}});
+}
+
+Geometry Geometry::MakePolyline(std::vector<Point> pts) {
+  PBSM_CHECK(pts.size() >= 2) << "polyline needs >= 2 vertices";
+  std::vector<std::vector<Point>> rings;
+  rings.push_back(std::move(pts));
+  return Geometry(GeometryType::kPolyline, std::move(rings));
+}
+
+Geometry Geometry::MakePolygon(std::vector<std::vector<Point>> rings) {
+  PBSM_CHECK(!rings.empty()) << "polygon needs an outer ring";
+  for (const auto& ring : rings) {
+    PBSM_CHECK(ring.size() >= 3) << "polygon ring needs >= 3 vertices";
+  }
+  return Geometry(GeometryType::kPolygon, std::move(rings));
+}
+
+size_t Geometry::num_points() const {
+  size_t n = 0;
+  for (const auto& ring : rings_) n += ring.size();
+  return n;
+}
+
+void Geometry::CollectSegments(std::vector<Segment>* out) const {
+  for (const auto& ring : rings_) {
+    if (ring.size() < 2) continue;
+    for (size_t i = 0; i + 1 < ring.size(); ++i) {
+      out->push_back(Segment{ring[i], ring[i + 1]});
+    }
+    if (type_ == GeometryType::kPolygon) {
+      out->push_back(Segment{ring.back(), ring.front()});
+    }
+  }
+}
+
+size_t Geometry::SerializedSize() const {
+  size_t n = sizeof(uint8_t) + sizeof(uint32_t);
+  for (const auto& ring : rings_) {
+    n += sizeof(uint32_t) + ring.size() * sizeof(Point);
+  }
+  return n;
+}
+
+void Geometry::AppendTo(std::string* out) const {
+  const uint8_t type = static_cast<uint8_t>(type_);
+  AppendRaw(out, &type, sizeof(type));
+  const uint32_t nrings = static_cast<uint32_t>(rings_.size());
+  AppendRaw(out, &nrings, sizeof(nrings));
+  for (const auto& ring : rings_) {
+    const uint32_t npts = static_cast<uint32_t>(ring.size());
+    AppendRaw(out, &npts, sizeof(npts));
+    AppendRaw(out, ring.data(), ring.size() * sizeof(Point));
+  }
+}
+
+Result<Geometry> Geometry::Parse(const uint8_t* data, size_t size,
+                                 size_t* consumed) {
+  size_t off = 0;
+  uint8_t type_raw = 0;
+  uint32_t nrings = 0;
+  if (!ReadRaw(data, size, &off, &type_raw) ||
+      !ReadRaw(data, size, &off, &nrings)) {
+    return Status::Corruption("geometry header truncated");
+  }
+  if (type_raw < 1 || type_raw > 3) {
+    return Status::Corruption("bad geometry type tag");
+  }
+  if (nrings == 0 || nrings > (1u << 20)) {
+    return Status::Corruption("bad geometry ring count");
+  }
+  std::vector<std::vector<Point>> rings;
+  rings.reserve(nrings);
+  for (uint32_t r = 0; r < nrings; ++r) {
+    uint32_t npts = 0;
+    if (!ReadRaw(data, size, &off, &npts)) {
+      return Status::Corruption("geometry ring header truncated");
+    }
+    const size_t bytes = static_cast<size_t>(npts) * sizeof(Point);
+    if (off + bytes > size) {
+      return Status::Corruption("geometry ring data truncated");
+    }
+    std::vector<Point> ring(npts);
+    std::memcpy(ring.data(), data + off, bytes);
+    off += bytes;
+    rings.push_back(std::move(ring));
+  }
+  *consumed = off;
+  return Geometry(static_cast<GeometryType>(type_raw), std::move(rings));
+}
+
+std::string Geometry::ToWkt() const {
+  auto append_ring = [](std::string* out, const std::vector<Point>& ring,
+                        bool close) {
+    out->push_back('(');
+    for (size_t i = 0; i < ring.size(); ++i) {
+      if (i > 0) out->append(", ");
+      out->append(std::to_string(ring[i].x));
+      out->push_back(' ');
+      out->append(std::to_string(ring[i].y));
+    }
+    if (close && !ring.empty()) {
+      out->append(", ");
+      out->append(std::to_string(ring[0].x));
+      out->push_back(' ');
+      out->append(std::to_string(ring[0].y));
+    }
+    out->push_back(')');
+  };
+
+  std::string out;
+  switch (type_) {
+    case GeometryType::kPoint:
+      out = "POINT (";
+      out.append(std::to_string(rings_[0][0].x));
+      out.push_back(' ');
+      out.append(std::to_string(rings_[0][0].y));
+      out.push_back(')');
+      break;
+    case GeometryType::kPolyline:
+      out = "LINESTRING ";
+      append_ring(&out, rings_[0], /*close=*/false);
+      break;
+    case GeometryType::kPolygon: {
+      out = "POLYGON (";
+      for (size_t r = 0; r < rings_.size(); ++r) {
+        if (r > 0) out.append(", ");
+        append_ring(&out, rings_[r], /*close=*/true);
+      }
+      out.push_back(')');
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pbsm

@@ -1,0 +1,84 @@
+#ifndef PBSM_GEOM_GEOMETRY_H_
+#define PBSM_GEOM_GEOMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+
+namespace pbsm {
+
+/// Kinds of spatial feature stored in a tuple's spatial attribute.
+enum class GeometryType : uint8_t {
+  kPoint = 1,
+  kPolyline = 2,  ///< Open chain of >= 2 vertices (roads, rivers, rails).
+  kPolygon = 3,   ///< Outer ring plus zero or more hole rings
+                  ///< (the paper's "swiss-cheese polygon").
+};
+
+/// A spatial feature: point, polyline, or polygon-with-holes.
+///
+/// Representation: a list of vertex rings.
+///  * kPoint     — one ring with exactly one vertex.
+///  * kPolyline  — one ring, an *open* vertex chain.
+///  * kPolygon   — ring 0 is the outer boundary, rings 1..n are holes; rings
+///                 are stored without the repeated closing vertex and are
+///                 implicitly closed.
+///
+/// Geometries are immutable after construction; the MBR is computed once.
+class Geometry {
+ public:
+  /// Constructs an empty point at the origin (needed by containers only).
+  Geometry() : Geometry(MakePoint(Point{0, 0})) {}
+
+  static Geometry MakePoint(const Point& p);
+  /// Precondition: pts.size() >= 2.
+  static Geometry MakePolyline(std::vector<Point> pts);
+  /// Precondition: rings non-empty, every ring has >= 3 vertices.
+  static Geometry MakePolygon(std::vector<std::vector<Point>> rings);
+
+  GeometryType type() const { return type_; }
+  const Rect& Mbr() const { return mbr_; }
+  const std::vector<std::vector<Point>>& rings() const { return rings_; }
+
+  /// Total vertex count across all rings.
+  size_t num_points() const;
+  /// Number of hole rings (0 unless kPolygon).
+  size_t num_holes() const {
+    return type_ == GeometryType::kPolygon ? rings_.size() - 1 : 0;
+  }
+
+  /// Appends every boundary segment to `out`. For polygons the implicit
+  /// closing segment of each ring is included; points contribute nothing.
+  void CollectSegments(std::vector<Segment>* out) const;
+
+  /// Appends the serialized form (type, ring table, vertices) to `out`.
+  void AppendTo(std::string* out) const;
+  /// Bytes AppendTo will produce.
+  size_t SerializedSize() const;
+  /// Parses one geometry from `data`; sets `*consumed` to bytes read.
+  static Result<Geometry> Parse(const uint8_t* data, size_t size,
+                                size_t* consumed);
+
+  /// WKT-style rendering, e.g. "LINESTRING (0 0, 1 1)".
+  std::string ToWkt() const;
+
+  friend bool operator==(const Geometry& a, const Geometry& b) {
+    return a.type_ == b.type_ && a.rings_ == b.rings_;
+  }
+
+ private:
+  Geometry(GeometryType type, std::vector<std::vector<Point>> rings);
+
+  GeometryType type_;
+  std::vector<std::vector<Point>> rings_;
+  Rect mbr_;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_GEOM_GEOMETRY_H_

@@ -1,0 +1,62 @@
+#include "geom/hilbert.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pbsm {
+
+uint64_t HilbertD2XY(uint32_t order, uint32_t x, uint32_t y) {
+  PBSM_CHECK(order <= 31);
+  uint64_t rx, ry, d = 0;
+  for (uint64_t s = 1ULL << (order - 1); s > 0; s >>= 1) {
+    rx = (x & s) > 0 ? 1 : 0;
+    ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = static_cast<uint32_t>(s - 1 - x);
+        y = static_cast<uint32_t>(s - 1 - y);
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+uint64_t ZOrderKey(uint32_t order, uint32_t x, uint32_t y) {
+  PBSM_CHECK(order <= 31);
+  uint64_t key = 0;
+  for (uint32_t i = 0; i < order; ++i) {
+    key |= (static_cast<uint64_t>(x >> i) & 1ULL) << (2 * i);
+    key |= (static_cast<uint64_t>(y >> i) & 1ULL) << (2 * i + 1);
+  }
+  return key;
+}
+
+SpaceFillingCurve::SpaceFillingCurve(Kind kind, const Rect& universe,
+                                     uint32_t order)
+    : kind_(kind), universe_(universe), order_(order) {
+  PBSM_CHECK(!universe.empty()) << "curve needs a non-empty universe";
+  PBSM_CHECK(order >= 1 && order <= 31);
+  const double cells = static_cast<double>(1ULL << order);
+  x_scale_ = universe_.width() > 0 ? cells / universe_.width() : 0.0;
+  y_scale_ = universe_.height() > 0 ? cells / universe_.height() : 0.0;
+}
+
+uint64_t SpaceFillingCurve::Key(const Point& p) const {
+  const uint32_t max_cell = (1u << order_) - 1;
+  auto to_cell = [max_cell](double v, double lo, double scale) {
+    const double c = (v - lo) * scale;
+    if (c <= 0) return 0u;
+    const uint32_t cell = static_cast<uint32_t>(c);
+    return std::min(cell, max_cell);
+  };
+  const uint32_t cx = to_cell(p.x, universe_.xlo, x_scale_);
+  const uint32_t cy = to_cell(p.y, universe_.ylo, y_scale_);
+  return kind_ == Kind::kHilbert ? HilbertD2XY(order_, cx, cy)
+                                 : ZOrderKey(order_, cx, cy);
+}
+
+}  // namespace pbsm

@@ -1,0 +1,46 @@
+#ifndef PBSM_GEOM_HILBERT_H_
+#define PBSM_GEOM_HILBERT_H_
+
+#include <cstdint>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace pbsm {
+
+/// Space-filling curves used for spatial sorting (bulk loading, clustering).
+///
+/// Both curves map a 2-D cell on a 2^order x 2^order grid to a 1-D key.
+/// `order` is the number of bits per dimension (<= 31).
+
+/// Hilbert curve distance of grid cell (x, y). Precondition: x, y < 2^order.
+uint64_t HilbertD2XY(uint32_t order, uint32_t x, uint32_t y);
+
+/// Z-order (Morton) key of grid cell (x, y): bit-interleave of x and y.
+uint64_t ZOrderKey(uint32_t order, uint32_t x, uint32_t y);
+
+/// Maps continuous coordinates to curve keys over a bounded universe.
+class SpaceFillingCurve {
+ public:
+  enum class Kind { kHilbert, kZOrder };
+
+  /// Grid resolution is 2^order cells per side over `universe`.
+  SpaceFillingCurve(Kind kind, const Rect& universe, uint32_t order = 16);
+
+  /// Curve key of the grid cell containing `p` (clamped to the universe).
+  uint64_t Key(const Point& p) const;
+
+  /// Curve key of the center of `r`; the paper's bulk-load sort key.
+  uint64_t Key(const Rect& r) const { return Key(r.Center()); }
+
+ private:
+  Kind kind_;
+  Rect universe_;
+  uint32_t order_;
+  double x_scale_;
+  double y_scale_;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_GEOM_HILBERT_H_

@@ -1,0 +1,28 @@
+#ifndef PBSM_GEOM_POINT_H_
+#define PBSM_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace pbsm {
+
+/// A point in the 2-D plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+};
+
+/// Euclidean distance between `a` and `b`.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace pbsm
+
+#endif  // PBSM_GEOM_POINT_H_

@@ -1,0 +1,290 @@
+#include "geom/predicates.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pbsm {
+
+namespace {
+
+bool PointOnRingBoundary(const Point& p, const std::vector<Point>& ring) {
+  const size_t n = ring.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (PointOnSegment(p, Segment{ring[i], ring[(i + 1) % n]})) return true;
+  }
+  return false;
+}
+
+/// Ray-casting crossing parity; boundary handled by the caller.
+bool PointInRingInterior(const Point& p, const std::vector<Point>& ring) {
+  bool inside = false;
+  const size_t n = ring.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = ring[i];
+    const Point& b = ring[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_cross = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+/// Naive all-pairs red/blue segment intersection with MBR quick reject.
+bool SegmentSetsIntersectNaive(const std::vector<Segment>& red,
+                               const std::vector<Segment>& blue) {
+  for (const Segment& r : red) {
+    const Rect rm = r.Mbr();
+    for (const Segment& b : blue) {
+      if (!rm.Intersects(b.Mbr())) continue;
+      if (SegmentsIntersect(r, b)) return true;
+    }
+  }
+  return false;
+}
+
+struct SweepSeg {
+  Rect mbr;
+  const Segment* seg;
+};
+
+/// Forward plane sweep (Brinkhoff et al. style): both sides sorted by
+/// MBR.xlo; repeatedly take the head with the smaller xlo and scan the other
+/// side while its xlo is within the head's x-extent.
+bool SegmentSetsIntersectSweep(const std::vector<Segment>& red,
+                               const std::vector<Segment>& blue) {
+  std::vector<SweepSeg> r(red.size());
+  std::vector<SweepSeg> b(blue.size());
+  for (size_t i = 0; i < red.size(); ++i) r[i] = {red[i].Mbr(), &red[i]};
+  for (size_t i = 0; i < blue.size(); ++i) b[i] = {blue[i].Mbr(), &blue[i]};
+  auto by_xlo = [](const SweepSeg& a, const SweepSeg& c) {
+    return a.mbr.xlo < c.mbr.xlo;
+  };
+  std::sort(r.begin(), r.end(), by_xlo);
+  std::sort(b.begin(), b.end(), by_xlo);
+
+  auto scan = [](const SweepSeg& head, const std::vector<SweepSeg>& other,
+                 size_t from) {
+    for (size_t k = from;
+         k < other.size() && other[k].mbr.xlo <= head.mbr.xhi; ++k) {
+      if (head.mbr.ylo <= other[k].mbr.yhi &&
+          other[k].mbr.ylo <= head.mbr.yhi &&
+          SegmentsIntersect(*head.seg, *other[k].seg)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  size_t i = 0, j = 0;
+  while (i < r.size() && j < b.size()) {
+    if (r[i].mbr.xlo <= b[j].mbr.xlo) {
+      if (scan(r[i], b, j)) return true;
+      ++i;
+    } else {
+      if (scan(b[j], r, i)) return true;
+      ++j;
+    }
+  }
+  return false;
+}
+
+/// One representative vertex of each geometry (first vertex of first ring).
+const Point& AnyVertex(const Geometry& g) { return g.rings()[0][0]; }
+
+bool PolygonBoundariesIntersect(const Geometry& a, const Geometry& b,
+                                SegmentTestMode mode) {
+  std::vector<Segment> sa, sb;
+  a.CollectSegments(&sa);
+  b.CollectSegments(&sb);
+  return SegmentSetsIntersect(sa, sb, mode);
+}
+
+}  // namespace
+
+bool PointInRing(const Point& p, const std::vector<Point>& ring) {
+  PBSM_CHECK(ring.size() >= 3) << "ring needs >= 3 vertices";
+  if (PointOnRingBoundary(p, ring)) return true;
+  return PointInRingInterior(p, ring);
+}
+
+bool PointInPolygon(const Point& p, const Geometry& polygon) {
+  PBSM_CHECK(polygon.type() == GeometryType::kPolygon);
+  const auto& rings = polygon.rings();
+  if (!PointInRing(p, rings[0])) return false;
+  for (size_t h = 1; h < rings.size(); ++h) {
+    // Strictly inside a hole => outside the polygon. On the hole boundary
+    // still counts as inside the polygon.
+    if (!PointOnRingBoundary(p, rings[h]) &&
+        PointInRingInterior(p, rings[h])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SegmentSetsIntersect(const std::vector<Segment>& red,
+                          const std::vector<Segment>& blue,
+                          SegmentTestMode mode) {
+  if (red.empty() || blue.empty()) return false;
+  switch (mode) {
+    case SegmentTestMode::kNaive:
+      return SegmentSetsIntersectNaive(red, blue);
+    case SegmentTestMode::kPlaneSweep:
+      return SegmentSetsIntersectSweep(red, blue);
+  }
+  return false;
+}
+
+bool Intersects(const Geometry& a, const Geometry& b, SegmentTestMode mode) {
+  if (!a.Mbr().Intersects(b.Mbr())) return false;
+
+  const GeometryType ta = a.type();
+  const GeometryType tb = b.type();
+
+  // Normalize so the "simpler" type is first.
+  if (static_cast<int>(ta) > static_cast<int>(tb)) {
+    return Intersects(b, a, mode);
+  }
+
+  if (ta == GeometryType::kPoint) {
+    const Point& p = AnyVertex(a);
+    switch (tb) {
+      case GeometryType::kPoint:
+        return p == AnyVertex(b);
+      case GeometryType::kPolyline: {
+        const auto& chain = b.rings()[0];
+        for (size_t i = 0; i + 1 < chain.size(); ++i) {
+          if (PointOnSegment(p, Segment{chain[i], chain[i + 1]})) return true;
+        }
+        return false;
+      }
+      case GeometryType::kPolygon:
+        return PointInPolygon(p, b);
+    }
+  }
+
+  if (ta == GeometryType::kPolyline && tb == GeometryType::kPolyline) {
+    std::vector<Segment> sa, sb;
+    a.CollectSegments(&sa);
+    b.CollectSegments(&sb);
+    return SegmentSetsIntersect(sa, sb, mode);
+  }
+
+  if (ta == GeometryType::kPolyline && tb == GeometryType::kPolygon) {
+    if (PolygonBoundariesIntersect(a, b, mode)) return true;
+    // No boundary contact: the polyline is either entirely inside or
+    // entirely outside the polygon — one vertex decides.
+    return PointInPolygon(AnyVertex(a), b);
+  }
+
+  // Polygon x polygon.
+  if (PolygonBoundariesIntersect(a, b, mode)) return true;
+  // Disjoint boundaries: either one contains the other or they are disjoint.
+  return PointInPolygon(AnyVertex(a), b) || PointInPolygon(AnyVertex(b), a);
+}
+
+void BoundaryIntersectionPoints(const Geometry& a, const Geometry& b,
+                                size_t max_points, std::vector<Point>* out) {
+  if (max_points == 0 || !a.Mbr().Intersects(b.Mbr())) return;
+  std::vector<Segment> sa, sb;
+  a.CollectSegments(&sa);
+  b.CollectSegments(&sb);
+  if (sa.empty() || sb.empty()) return;
+
+  std::vector<SweepSeg> r(sa.size());
+  std::vector<SweepSeg> s(sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) r[i] = {sa[i].Mbr(), &sa[i]};
+  for (size_t i = 0; i < sb.size(); ++i) s[i] = {sb[i].Mbr(), &sb[i]};
+  auto by_xlo = [](const SweepSeg& x, const SweepSeg& y) {
+    return x.mbr.xlo < y.mbr.xlo;
+  };
+  std::sort(r.begin(), r.end(), by_xlo);
+  std::sort(s.begin(), s.end(), by_xlo);
+
+  auto scan = [&](const SweepSeg& head, const std::vector<SweepSeg>& other,
+                  size_t from) {
+    for (size_t k = from;
+         k < other.size() && other[k].mbr.xlo <= head.mbr.xhi; ++k) {
+      if (out->size() >= max_points) return;
+      if (head.mbr.ylo > other[k].mbr.yhi ||
+          other[k].mbr.ylo > head.mbr.yhi) {
+        continue;
+      }
+      Point witness;
+      if (SegmentIntersectionPoint(*head.seg, *other[k].seg, &witness)) {
+        out->push_back(witness);
+      }
+    }
+  };
+  size_t i = 0, j = 0;
+  while (i < r.size() && j < s.size() && out->size() < max_points) {
+    if (r[i].mbr.xlo <= s[j].mbr.xlo) {
+      scan(r[i], s, j);
+      ++i;
+    } else {
+      scan(s[j], r, i);
+      ++j;
+    }
+  }
+}
+
+bool Contains(const Geometry& outer, const Geometry& inner,
+              SegmentTestMode mode) {
+  if (outer.type() != GeometryType::kPolygon) return false;
+  if (!outer.Mbr().Contains(inner.Mbr())) return false;
+
+  if (inner.type() == GeometryType::kPoint) {
+    return PointInPolygon(AnyVertex(inner), outer);
+  }
+
+  std::vector<Segment> inner_segs, outer_segs;
+  inner.CollectSegments(&inner_segs);
+  outer.CollectSegments(&outer_segs);
+  const bool boundaries_touch =
+      SegmentSetsIntersect(inner_segs, outer_segs, mode);
+
+  if (boundaries_touch) {
+    // Conservative fallback: with boundary contact, require every vertex and
+    // every edge midpoint of `inner` to lie in `outer`. This accepts inner
+    // geometries that touch the boundary from the inside and rejects any
+    // proper crossing (a crossing leaves some midpoint or vertex outside for
+    // non-degenerate inputs).
+    for (const auto& ring : inner.rings()) {
+      for (const Point& p : ring) {
+        if (!PointInPolygon(p, outer)) return false;
+      }
+    }
+    for (const Segment& s : inner_segs) {
+      const Point mid{(s.a.x + s.b.x) / 2, (s.a.y + s.b.y) / 2};
+      if (!PointInPolygon(mid, outer)) return false;
+    }
+  } else {
+    // Boundaries disjoint: `inner` is wholly inside or wholly outside.
+    if (mode == SegmentTestMode::kNaive) {
+      // The unoptimized Paradise-style path checks every vertex.
+      for (const auto& ring : inner.rings()) {
+        for (const Point& p : ring) {
+          if (!PointInPolygon(p, outer)) return false;
+        }
+      }
+    } else {
+      if (!PointInPolygon(AnyVertex(inner), outer)) return false;
+    }
+  }
+
+  // A hole of `outer` strictly inside `inner`'s area would carve it.
+  if (inner.type() == GeometryType::kPolygon) {
+    const auto& outer_rings = outer.rings();
+    for (size_t h = 1; h < outer_rings.size(); ++h) {
+      if (PointInPolygon(outer_rings[h][0], inner) &&
+          !PointOnRingBoundary(outer_rings[h][0], inner.rings()[0])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pbsm

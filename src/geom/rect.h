@@ -1,0 +1,105 @@
+#ifndef PBSM_GEOM_RECT_H_
+#define PBSM_GEOM_RECT_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace pbsm {
+
+/// An axis-aligned rectangle; the library's minimum bounding rectangle (MBR).
+///
+/// The default-constructed Rect is *empty* (inverted bounds); unioning a point
+/// or rectangle into an empty Rect yields that point/rectangle. All predicates
+/// treat boundaries as closed: rectangles that merely touch do intersect,
+/// matching the paper's filter-step semantics (touching MBRs must survive the
+/// filter because the exact geometries may still intersect).
+struct Rect {
+  double xlo = std::numeric_limits<double>::infinity();
+  double ylo = std::numeric_limits<double>::infinity();
+  double xhi = -std::numeric_limits<double>::infinity();
+  double yhi = -std::numeric_limits<double>::infinity();
+
+  Rect() = default;
+  Rect(double x_lo, double y_lo, double x_hi, double y_hi)
+      : xlo(x_lo), ylo(y_lo), xhi(x_hi), yhi(y_hi) {}
+
+  /// Rectangle covering exactly one point.
+  static Rect FromPoint(const Point& p) { return Rect(p.x, p.y, p.x, p.y); }
+
+  /// True when the rectangle contains no points (inverted bounds).
+  bool empty() const { return xlo > xhi || ylo > yhi; }
+
+  double width() const { return empty() ? 0.0 : xhi - xlo; }
+  double height() const { return empty() ? 0.0 : yhi - ylo; }
+  double Area() const { return width() * height(); }
+  /// Half-perimeter; the R*-tree margin metric.
+  double Margin() const { return width() + height(); }
+
+  Point Center() const { return Point{(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+
+  /// Closed-boundary intersection test.
+  bool Intersects(const Rect& o) const {
+    if (empty() || o.empty()) return false;
+    return xlo <= o.xhi && o.xlo <= xhi && ylo <= o.yhi && o.ylo <= yhi;
+  }
+
+  /// True when `o` lies entirely inside this rectangle (boundaries allowed).
+  bool Contains(const Rect& o) const {
+    if (empty() || o.empty()) return false;
+    return xlo <= o.xlo && o.xhi <= xhi && ylo <= o.ylo && o.yhi <= yhi;
+  }
+
+  bool Contains(const Point& p) const {
+    return !empty() && xlo <= p.x && p.x <= xhi && ylo <= p.y && p.y <= yhi;
+  }
+
+  /// Grows this rectangle to cover `p`.
+  void Expand(const Point& p) {
+    xlo = std::min(xlo, p.x);
+    ylo = std::min(ylo, p.y);
+    xhi = std::max(xhi, p.x);
+    yhi = std::max(yhi, p.y);
+  }
+
+  /// Grows this rectangle to cover `o`.
+  void Expand(const Rect& o) {
+    if (o.empty()) return;
+    xlo = std::min(xlo, o.xlo);
+    ylo = std::min(ylo, o.ylo);
+    xhi = std::max(xhi, o.xhi);
+    yhi = std::max(yhi, o.yhi);
+  }
+
+  /// Smallest rectangle covering both inputs.
+  static Rect Union(const Rect& a, const Rect& b) {
+    Rect r = a;
+    r.Expand(b);
+    return r;
+  }
+
+  /// Intersection of `a` and `b`; empty Rect when they do not intersect.
+  static Rect Intersection(const Rect& a, const Rect& b) {
+    Rect r(std::max(a.xlo, b.xlo), std::max(a.ylo, b.ylo),
+           std::min(a.xhi, b.xhi), std::min(a.yhi, b.yhi));
+    return r;
+  }
+
+  /// Area of overlap between `a` and `b` (0 when disjoint).
+  static double OverlapArea(const Rect& a, const Rect& b) {
+    const Rect i = Intersection(a, b);
+    return i.empty() ? 0.0 : i.Area();
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    if (a.empty() && b.empty()) return true;
+    return a.xlo == b.xlo && a.ylo == b.ylo && a.xhi == b.xhi &&
+           a.yhi == b.yhi;
+  }
+  friend bool operator!=(const Rect& a, const Rect& b) { return !(a == b); }
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_GEOM_RECT_H_

@@ -1,0 +1,87 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+
+namespace pbsm {
+
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  // Evaluated in long double to push the exactness threshold well past the
+  // coordinate magnitudes produced by the data generators.
+  const long double cross =
+      (static_cast<long double>(b.x) - a.x) *
+          (static_cast<long double>(c.y) - a.y) -
+      (static_cast<long double>(b.y) - a.y) *
+          (static_cast<long double>(c.x) - a.x);
+  if (cross > 0) return 1;
+  if (cross < 0) return -1;
+  return 0;
+}
+
+bool PointOnSegment(const Point& p, const Segment& s) {
+  if (Orientation(s.a, s.b, p) != 0) return false;
+  return std::min(s.a.x, s.b.x) <= p.x && p.x <= std::max(s.a.x, s.b.x) &&
+         std::min(s.a.y, s.b.y) <= p.y && p.y <= std::max(s.a.y, s.b.y);
+}
+
+bool SegmentsIntersect(const Segment& s1, const Segment& s2) {
+  const int o1 = Orientation(s1.a, s1.b, s2.a);
+  const int o2 = Orientation(s1.a, s1.b, s2.b);
+  const int o3 = Orientation(s2.a, s2.b, s1.a);
+  const int o4 = Orientation(s2.a, s2.b, s1.b);
+
+  if (o1 != o2 && o3 != o4) return true;  // Proper crossing.
+
+  // Collinear / endpoint-touching cases.
+  if (o1 == 0 && PointOnSegment(s2.a, s1)) return true;
+  if (o2 == 0 && PointOnSegment(s2.b, s1)) return true;
+  if (o3 == 0 && PointOnSegment(s1.a, s2)) return true;
+  if (o4 == 0 && PointOnSegment(s1.b, s2)) return true;
+  return false;
+}
+
+bool SegmentIntersectionPoint(const Segment& s1, const Segment& s2,
+                              Point* out) {
+  if (!SegmentsIntersect(s1, s2)) return false;
+
+  const double d1x = s1.b.x - s1.a.x, d1y = s1.b.y - s1.a.y;
+  const double d2x = s2.b.x - s2.a.x, d2y = s2.b.y - s2.a.y;
+  const double denom = d1x * d2y - d1y * d2x;
+  if (denom != 0.0) {
+    // Proper (or endpoint-touching, non-parallel) crossing.
+    const double t =
+        ((s2.a.x - s1.a.x) * d2y - (s2.a.y - s1.a.y) * d2x) / denom;
+    *out = Point{s1.a.x + t * d1x, s1.a.y + t * d1y};
+    return true;
+  }
+  // Collinear overlap: any endpoint lying on the other segment is a
+  // witness.
+  for (const Point& p : {s2.a, s2.b}) {
+    if (PointOnSegment(p, s1)) {
+      *out = p;
+      return true;
+    }
+  }
+  for (const Point& p : {s1.a, s1.b}) {
+    if (PointOnSegment(p, s2)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;  // Unreachable for intersecting segments.
+}
+
+bool SegmentIntersectsRect(const Segment& s, const Rect& r) {
+  if (r.empty()) return false;
+  if (!s.Mbr().Intersects(r)) return false;
+  // Either endpoint inside suffices.
+  if (r.Contains(s.a) || r.Contains(s.b)) return true;
+  // Otherwise the segment must cross one of the rectangle's edges.
+  const Point p00{r.xlo, r.ylo}, p10{r.xhi, r.ylo};
+  const Point p11{r.xhi, r.yhi}, p01{r.xlo, r.yhi};
+  return SegmentsIntersect(s, Segment{p00, p10}) ||
+         SegmentsIntersect(s, Segment{p10, p11}) ||
+         SegmentsIntersect(s, Segment{p11, p01}) ||
+         SegmentsIntersect(s, Segment{p01, p00});
+}
+
+}  // namespace pbsm

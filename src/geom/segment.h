@@ -1,0 +1,44 @@
+#ifndef PBSM_GEOM_SEGMENT_H_
+#define PBSM_GEOM_SEGMENT_H_
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace pbsm {
+
+/// A closed line segment between two endpoints.
+struct Segment {
+  Point a;
+  Point b;
+
+  Rect Mbr() const {
+    Rect r = Rect::FromPoint(a);
+    r.Expand(b);
+    return r;
+  }
+};
+
+/// Sign of the signed area of triangle (a, b, c):
+/// +1 counter-clockwise, -1 clockwise, 0 collinear.
+int Orientation(const Point& a, const Point& b, const Point& c);
+
+/// True when point `p` lies on the closed segment `s`.
+bool PointOnSegment(const Point& p, const Segment& s);
+
+/// Closed-segment intersection test (touching endpoints count).
+bool SegmentsIntersect(const Segment& s1, const Segment& s2);
+
+/// True when segment `s` has at least one point inside or on `r`.
+bool SegmentIntersectsRect(const Segment& s, const Rect& r);
+
+/// Computes a witness point of the intersection of two segments known (or
+/// suspected) to intersect. Returns true and writes the point when the
+/// segments intersect: the proper crossing point when they cross, or a
+/// point of the shared subsegment / the touching endpoint for
+/// collinear-overlap and endpoint cases. Returns false when disjoint.
+bool SegmentIntersectionPoint(const Segment& s1, const Segment& s2,
+                              Point* out);
+
+}  // namespace pbsm
+
+#endif  // PBSM_GEOM_SEGMENT_H_

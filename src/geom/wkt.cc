@@ -1,0 +1,145 @@
+#include "geom/wkt.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace pbsm {
+
+namespace {
+
+/// Minimal recursive-descent scanner over the WKT text.
+class WktScanner {
+ public:
+  explicit WktScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  /// Consumes `c` (after whitespace); false if the next char differs.
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads a case-insensitive identifier ([A-Za-z]+).
+  std::string ReadTag() {
+    SkipSpace();
+    std::string tag;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      tag.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(text_[pos_]))));
+      ++pos_;
+    }
+    return tag;
+  }
+
+  /// Parses one double; false on malformed input.
+  bool ReadDouble(double* out) {
+    SkipSpace();
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<std::vector<Point>> ParsePointList(WktScanner* scan) {
+  if (!scan->Consume('(')) {
+    return Status::InvalidArgument("WKT: expected '('");
+  }
+  std::vector<Point> pts;
+  while (true) {
+    Point p;
+    if (!scan->ReadDouble(&p.x) || !scan->ReadDouble(&p.y)) {
+      return Status::InvalidArgument("WKT: expected coordinate pair");
+    }
+    pts.push_back(p);
+    if (scan->Consume(',')) continue;
+    if (scan->Consume(')')) break;
+    return Status::InvalidArgument("WKT: expected ',' or ')'");
+  }
+  return pts;
+}
+
+}  // namespace
+
+Result<Geometry> ParseWkt(std::string_view text) {
+  WktScanner scan(text);
+  const std::string tag = scan.ReadTag();
+
+  if (tag == "POINT") {
+    PBSM_ASSIGN_OR_RETURN(const std::vector<Point> pts,
+                          ParsePointList(&scan));
+    if (pts.size() != 1) {
+      return Status::InvalidArgument("WKT: POINT needs exactly one vertex");
+    }
+    if (!scan.AtEnd()) {
+      return Status::InvalidArgument("WKT: trailing input after POINT");
+    }
+    return Geometry::MakePoint(pts[0]);
+  }
+
+  if (tag == "LINESTRING") {
+    PBSM_ASSIGN_OR_RETURN(std::vector<Point> pts, ParsePointList(&scan));
+    if (pts.size() < 2) {
+      return Status::InvalidArgument("WKT: LINESTRING needs >= 2 vertices");
+    }
+    if (!scan.AtEnd()) {
+      return Status::InvalidArgument("WKT: trailing input after LINESTRING");
+    }
+    return Geometry::MakePolyline(std::move(pts));
+  }
+
+  if (tag == "POLYGON") {
+    if (!scan.Consume('(')) {
+      return Status::InvalidArgument("WKT: POLYGON needs '(' before rings");
+    }
+    std::vector<std::vector<Point>> rings;
+    while (true) {
+      PBSM_ASSIGN_OR_RETURN(std::vector<Point> ring, ParsePointList(&scan));
+      // WKT rings repeat the first vertex at the end; our representation
+      // closes implicitly, so drop the duplicate.
+      if (ring.size() >= 2 && ring.front() == ring.back()) {
+        ring.pop_back();
+      }
+      if (ring.size() < 3) {
+        return Status::InvalidArgument(
+            "WKT: polygon ring needs >= 3 distinct vertices");
+      }
+      rings.push_back(std::move(ring));
+      if (scan.Consume(',')) continue;
+      if (scan.Consume(')')) break;
+      return Status::InvalidArgument("WKT: expected ',' or ')' after ring");
+    }
+    if (!scan.AtEnd()) {
+      return Status::InvalidArgument("WKT: trailing input after POLYGON");
+    }
+    return Geometry::MakePolygon(std::move(rings));
+  }
+
+  return Status::InvalidArgument("WKT: unknown geometry tag '" + tag + "'");
+}
+
+}  // namespace pbsm

@@ -1,0 +1,24 @@
+#ifndef PBSM_GEOM_WKT_H_
+#define PBSM_GEOM_WKT_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace pbsm {
+
+/// Parses a Well-Known-Text geometry: POINT, LINESTRING, or POLYGON (with
+/// holes). The inverse of Geometry::ToWkt().
+///
+/// Accepted grammar (case-insensitive tags, flexible whitespace):
+///   POINT (x y)
+///   LINESTRING (x y, x y, ...)            // >= 2 vertices
+///   POLYGON ((x y, ...), (x y, ...))      // rings with >= 3 distinct
+///                                         // vertices; a repeated closing
+///                                         // vertex is accepted and dropped
+Result<Geometry> ParseWkt(std::string_view text);
+
+}  // namespace pbsm
+
+#endif  // PBSM_GEOM_WKT_H_

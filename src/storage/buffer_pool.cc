@@ -1,0 +1,152 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pbsm {
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, dirty_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_bytes) : disk_(disk) {
+  size_t n = pool_bytes / kPageSize;
+  if (n == 0) n = 1;
+  frames_.resize(n);
+  for (Frame& f : frames_) {
+    f.data = std::make_unique<char[]>(kPageSize);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; errors on shutdown are not recoverable anyway.
+  (void)FlushAll();
+}
+
+void BufferPool::Unpin(size_t frame, bool dirty) {
+  Frame& f = frames_[frame];
+  PBSM_CHECK(f.pin_count > 0) << "unpin of unpinned frame";
+  --f.pin_count;
+  if (dirty) f.dirty = true;
+  f.referenced = true;
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  // First pass: any unused frame.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].in_use) return i;
+  }
+  // Clock sweep: give each referenced unpinned frame one second chance.
+  const size_t n = frames_.size();
+  for (size_t sweep = 0; sweep < 2 * n; ++sweep) {
+    Frame& f = frames_[clock_hand_];
+    const size_t current = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (f.pin_count > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    if (f.dirty) {
+      // SHORE behaviour (paper §4.6): when a dirty page must be flushed,
+      // write *all* dirty unpinned pages in sorted (file, page) order so
+      // consecutive pages go out in one near-sequential sweep.
+      std::vector<size_t> dirty;
+      for (size_t i = 0; i < frames_.size(); ++i) {
+        if (frames_[i].in_use && frames_[i].dirty &&
+            frames_[i].pin_count == 0) {
+          dirty.push_back(i);
+        }
+      }
+      std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
+        return frames_[a].id < frames_[b].id;
+      });
+      for (size_t i : dirty) {
+        PBSM_RETURN_IF_ERROR(
+            disk_->WritePage(frames_[i].id, frames_[i].data.get()));
+        frames_[i].dirty = false;
+      }
+    }
+    page_table_.erase(f.id);
+    f.in_use = false;
+    return current;
+  }
+  return Status::ResourceExhausted("all buffer pool frames are pinned");
+}
+
+Result<PageHandle> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.referenced = true;
+    return PageHandle(this, it->second, id, f.data.get());
+  }
+  ++misses_;
+  PBSM_ASSIGN_OR_RETURN(const size_t victim, GetVictimFrame());
+  Frame& f = frames_[victim];
+  PBSM_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.referenced = true;
+  f.in_use = true;
+  page_table_[id] = victim;
+  return PageHandle(this, victim, id, f.data.get());
+}
+
+Result<PageHandle> BufferPool::NewPage(FileId file) {
+  PBSM_ASSIGN_OR_RETURN(const uint32_t page_no, disk_->AllocatePage(file));
+  const PageId id{file, page_no};
+  PBSM_ASSIGN_OR_RETURN(const size_t victim, GetVictimFrame());
+  Frame& f = frames_[victim];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // Must reach disk even if never modified again.
+  f.referenced = true;
+  f.in_use = true;
+  page_table_[id] = victim;
+  PageHandle handle(this, victim, id, f.data.get());
+  return handle;
+}
+
+Status BufferPool::FlushAll() {
+  // SHORE-style: sort dirty pages so the flush is as sequential as possible.
+  std::vector<size_t> dirty;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].in_use && frames_[i].dirty) dirty.push_back(i);
+  }
+  std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
+    return frames_[a].id < frames_[b].id;
+  });
+  for (size_t i : dirty) {
+    PBSM_RETURN_IF_ERROR(disk_->WritePage(frames_[i].id, frames_[i].data.get()));
+    frames_[i].dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropFile(FileId file) {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.in_use && f.id.file == file) {
+      if (f.pin_count > 0) {
+        return Status::FailedPrecondition("dropping file with pinned pages");
+      }
+      page_table_.erase(f.id);
+      f.in_use = false;
+      f.dirty = false;
+    }
+  }
+  return disk_->DeleteFile(file);
+}
+
+}  // namespace pbsm

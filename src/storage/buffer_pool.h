@@ -1,0 +1,123 @@
+#ifndef PBSM_STORAGE_BUFFER_POOL_H_
+#define PBSM_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace pbsm {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Unpins on destruction. Move-only.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, size_t frame, PageId id, char* data)
+      : pool_(pool), frame_(frame), id_(id), data_(data) {}
+  ~PageHandle() { Release(); }
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
+  PageHandle& operator=(PageHandle&& o) noexcept {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    id_ = o.id_;
+    data_ = o.data_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    return *this;
+  }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  const char* data() const { return data_; }
+  /// Grants mutable access and marks the page dirty.
+  char* mutable_data() {
+    dirty_ = true;
+    return data_;
+  }
+
+  /// Unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+/// Fixed-capacity page cache with CLOCK replacement.
+///
+/// Mirrors the SHORE behaviours the paper leans on:
+///  * operators do not manage their own partition buffers — they pin/unpin
+///    and the pool decides what to evict;
+///  * when dirty pages must be flushed, the pool writes them in sorted
+///    (file, page) order to turn random evictions into near-sequential disk
+///    writes (§4.6 of the paper).
+class BufferPool {
+ public:
+  /// `pool_bytes` is rounded down to whole pages (>= 1 page enforced).
+  BufferPool(DiskManager* disk, size_t pool_bytes);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from disk on a miss.
+  Result<PageHandle> FetchPage(PageId id);
+
+  /// Allocates a fresh page in `file`, pins it zero-filled and dirty.
+  Result<PageHandle> NewPage(FileId file);
+
+  /// Writes back every dirty page (sorted order), keeping contents cached.
+  Status FlushAll();
+
+  /// Drops all frames belonging to `file` without writing them back, then
+  /// deletes the file. Used for temporary spools.
+  Status DropFile(FileId file);
+
+  size_t capacity_pages() const { return frames_.size(); }
+  size_t pool_bytes() const { return frames_.size() * kPageSize; }
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id;
+    std::unique_ptr<char[]> data;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool referenced = false;
+    bool in_use = false;
+  };
+
+  /// Finds a victim frame (clock sweep), flushing it if dirty.
+  Result<size_t> GetVictimFrame();
+  void Unpin(size_t frame, bool dirty);
+
+  DiskManager* disk_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t, PageIdHash> page_table_;
+  size_t clock_hand_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,64 @@
+#ifndef PBSM_STORAGE_CATALOG_H_
+#define PBSM_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "geom/rect.h"
+#include "storage/page.h"
+
+namespace pbsm {
+
+/// Catalog statistics for one stored relation.
+///
+/// `universe` is the minimum cover of the spatial join attribute across all
+/// tuples — the statistic the PBSM partitioner reads (paper §3.1: "From the
+/// catalog information for the joining attribute of input R, the algorithm
+/// estimates the universe of the input").
+struct RelationInfo {
+  std::string name;
+  FileId file = kInvalidFileId;
+  uint64_t cardinality = 0;
+  uint64_t total_bytes = 0;
+  uint64_t total_points = 0;  ///< Sum of geometry vertex counts.
+  Rect universe;
+
+  double avg_points() const {
+    return cardinality == 0
+               ? 0.0
+               : static_cast<double>(total_points) /
+                     static_cast<double>(cardinality);
+  }
+};
+
+/// In-memory system catalog mapping relation names to statistics.
+class Catalog {
+ public:
+  /// Registers or replaces a relation entry.
+  void Register(const RelationInfo& info) { relations_[info.name] = info; }
+
+  Result<RelationInfo> Get(const std::string& name) const {
+    auto it = relations_.find(name);
+    if (it == relations_.end()) {
+      return Status::NotFound("relation '" + name + "' not in catalog");
+    }
+    return it->second;
+  }
+
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  const std::map<std::string, RelationInfo>& relations() const {
+    return relations_;
+  }
+
+ private:
+  std::map<std::string, RelationInfo> relations_;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_STORAGE_CATALOG_H_

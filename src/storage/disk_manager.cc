@@ -1,0 +1,145 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pbsm {
+
+DiskManager::DiskManager(std::string directory, DiskModel model)
+    : directory_(std::move(directory)), model_(model) {
+  ::mkdir(directory_.c_str(), 0755);
+}
+
+DiskManager::~DiskManager() {
+  for (auto& [id, state] : files_) {
+    if (state.fd >= 0) ::close(state.fd);
+  }
+}
+
+Result<FileId> DiskManager::OpenNewFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  const FileId id = next_file_id_++;
+  FileState state;
+  state.fd = fd;
+  state.path = path;
+  state.num_pages = 0;
+  files_.emplace(id, std::move(state));
+  return id;
+}
+
+Result<FileId> DiskManager::CreateFile(const std::string& name) {
+  return OpenNewFile(directory_ + "/" + name);
+}
+
+Result<FileId> DiskManager::CreateTempFile() {
+  return OpenNewFile(directory_ + "/tmp_" + std::to_string(temp_counter_++) +
+                     ".spool");
+}
+
+Status DiskManager::DeleteFile(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("file id " + std::to_string(file));
+  }
+  ::close(it->second.fd);
+  ::unlink(it->second.path.c_str());
+  files_.erase(it);
+  return Status::OK();
+}
+
+DiskManager::FileState* DiskManager::GetFile(FileId file) {
+  auto it = files_.find(file);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+const DiskManager::FileState* DiskManager::GetFile(FileId file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+void DiskManager::Account(PageId id, bool is_write) {
+  const bool sequential = has_last_access_ && last_access_.file == id.file &&
+                          id.page_no == last_access_.page_no + 1;
+  if (is_write) {
+    ++stats_.writes;
+    if (sequential) ++stats_.sequential_writes;
+  } else {
+    ++stats_.reads;
+    if (sequential) ++stats_.sequential_reads;
+  }
+  stats_.modeled_seconds += model_.PageCost(sequential);
+  last_access_ = id;
+  has_last_access_ = true;
+}
+
+Result<uint32_t> DiskManager::AllocatePage(FileId file) {
+  FileState* state = GetFile(file);
+  if (state == nullptr) {
+    return Status::NotFound("file id " + std::to_string(file));
+  }
+  const uint32_t page_no = state->num_pages++;
+  // The page is materialized lazily; ftruncate extends with zeros.
+  if (::ftruncate(state->fd,
+                  static_cast<off_t>(state->num_pages) * kPageSize) != 0) {
+    return Status::IoError("ftruncate: " + std::string(std::strerror(errno)));
+  }
+  return page_no;
+}
+
+Status DiskManager::ReadPage(PageId id, char* buf) {
+  FileState* state = GetFile(id.file);
+  if (state == nullptr) {
+    return Status::NotFound("file id " + std::to_string(id.file));
+  }
+  if (id.page_no >= state->num_pages) {
+    return Status::OutOfRange("page " + std::to_string(id.page_no) +
+                              " beyond file end");
+  }
+  const ssize_t n = ::pread(state->fd, buf, kPageSize,
+                            static_cast<off_t>(id.page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pread returned " + std::to_string(n));
+  }
+  Account(id, /*is_write=*/false);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* buf) {
+  FileState* state = GetFile(id.file);
+  if (state == nullptr) {
+    return Status::NotFound("file id " + std::to_string(id.file));
+  }
+  if (id.page_no >= state->num_pages) {
+    return Status::OutOfRange("page " + std::to_string(id.page_no) +
+                              " beyond file end");
+  }
+  const ssize_t n = ::pwrite(state->fd, buf, kPageSize,
+                             static_cast<off_t>(id.page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pwrite returned " + std::to_string(n));
+  }
+  Account(id, /*is_write=*/true);
+  return Status::OK();
+}
+
+Result<uint32_t> DiskManager::NumPages(FileId file) const {
+  const FileState* state = GetFile(file);
+  if (state == nullptr) {
+    return Status::NotFound("file id " + std::to_string(file));
+  }
+  return state->num_pages;
+}
+
+Result<uint64_t> DiskManager::FileBytes(FileId file) const {
+  PBSM_ASSIGN_OR_RETURN(const uint32_t pages, NumPages(file));
+  return static_cast<uint64_t>(pages) * kPageSize;
+}
+
+}  // namespace pbsm

@@ -1,0 +1,178 @@
+#ifndef PBSM_STORAGE_EXTERNAL_SORT_H_
+#define PBSM_STORAGE_EXTERNAL_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "storage/spool_file.h"
+
+namespace pbsm {
+
+/// External merge sort over fixed-size trivially-copyable records.
+///
+/// Records are buffered up to `memory_budget_bytes`; when the buffer fills,
+/// it is sorted and spilled as a run to a temporary SpoolFile (through the
+/// buffer pool, so run I/O is counted like any other operator I/O). Finish()
+/// switches to streaming: an in-memory sorted vector when no run was
+/// spilled, otherwise a k-way heap merge over all runs.
+///
+/// Used by the refinement step (sorting candidate OID pairs), the bulk
+/// loader (sorting Hilbert keys) and the clustering loader.
+template <typename T, typename Less>
+class ExternalSorter {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  ExternalSorter(BufferPool* pool, size_t memory_budget_bytes, Less less)
+      : pool_(pool), less_(less), heap_(HeapGreater{less}) {
+    max_buffered_ = memory_budget_bytes / sizeof(T);
+    if (max_buffered_ < 64) max_buffered_ = 64;
+  }
+
+  ~ExternalSorter() {
+    for (SpoolFile& run : runs_) (void)run.Drop();
+  }
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Adds one record. Must not be called after Finish().
+  Status Add(const T& rec) {
+    PBSM_CHECK(!finished_) << "Add after Finish";
+    buffer_.push_back(rec);
+    ++num_records_;
+    if (buffer_.size() >= max_buffered_) {
+      return SpillRun();
+    }
+    return Status::OK();
+  }
+
+  /// Seals the input and prepares the sorted stream.
+  Status Finish() {
+    PBSM_CHECK(!finished_);
+    finished_ = true;
+    if (runs_.empty()) {
+      std::sort(buffer_.begin(), buffer_.end(), less_);
+      return Status::OK();
+    }
+    if (!buffer_.empty()) {
+      PBSM_RETURN_IF_ERROR(SpillRun());
+    }
+    // Each open run pins one buffer page; cap the merge fan-in to half the
+    // pool and merge in multiple passes when there are more runs (the
+    // classic polyphase-style cascade).
+    const size_t max_fanin =
+        std::max<size_t>(2, pool_->capacity_pages() / 2);
+    while (runs_.size() > max_fanin) {
+      PBSM_RETURN_IF_ERROR(MergeRunGroup(max_fanin));
+    }
+    // Open a reader per run and prime the heap.
+    readers_.reserve(runs_.size());
+    for (SpoolFile& run : runs_) {
+      readers_.push_back(run.NewReader());
+    }
+    for (size_t i = 0; i < readers_.size(); ++i) {
+      T rec;
+      PBSM_ASSIGN_OR_RETURN(const bool has, readers_[i].Next(&rec));
+      if (has) heap_.push(HeapEntry{rec, i});
+    }
+    return Status::OK();
+  }
+
+  /// Produces the next record in sorted order; false at end of stream.
+  Result<bool> Next(T* out) {
+    PBSM_CHECK(finished_) << "Next before Finish";
+    if (runs_.empty()) {
+      if (mem_cursor_ >= buffer_.size()) return false;
+      *out = buffer_[mem_cursor_++];
+      return true;
+    }
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    *out = top.rec;
+    T next;
+    PBSM_ASSIGN_OR_RETURN(const bool has, readers_[top.run].Next(&next));
+    if (has) heap_.push(HeapEntry{next, top.run});
+    return true;
+  }
+
+  uint64_t num_records() const { return num_records_; }
+  size_t num_runs() const { return runs_.size(); }
+
+ private:
+  struct HeapEntry {
+    T rec;
+    size_t run;
+  };
+  struct HeapGreater {
+    Less less;
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return less(b.rec, a.rec);  // Min-heap on rec.
+    }
+  };
+
+  /// Merges the first `count` runs into one new run (one cascade step).
+  Status MergeRunGroup(size_t count) {
+    std::vector<typename SpoolFile::Reader> readers;
+    readers.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      readers.push_back(runs_[i].NewReader());
+    }
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater> heap(
+        HeapGreater{less_});
+    for (size_t i = 0; i < count; ++i) {
+      T rec;
+      PBSM_ASSIGN_OR_RETURN(const bool has, readers[i].Next(&rec));
+      if (has) heap.push(HeapEntry{rec, i});
+    }
+    PBSM_ASSIGN_OR_RETURN(SpoolFile merged,
+                          SpoolFile::Create(pool_, sizeof(T)));
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      PBSM_RETURN_IF_ERROR(merged.Append(&top.rec));
+      T rec;
+      PBSM_ASSIGN_OR_RETURN(const bool has, readers[top.run].Next(&rec));
+      if (has) heap.push(HeapEntry{rec, top.run});
+    }
+    readers.clear();  // Unpin before dropping the files.
+    for (size_t i = 0; i < count; ++i) {
+      PBSM_RETURN_IF_ERROR(runs_[i].Drop());
+    }
+    runs_.erase(runs_.begin(), runs_.begin() + static_cast<long>(count));
+    runs_.push_back(std::move(merged));
+    return Status::OK();
+  }
+
+  Status SpillRun() {
+    std::sort(buffer_.begin(), buffer_.end(), less_);
+    PBSM_ASSIGN_OR_RETURN(SpoolFile run,
+                          SpoolFile::Create(pool_, sizeof(T)));
+    for (const T& rec : buffer_) {
+      PBSM_RETURN_IF_ERROR(run.Append(&rec));
+    }
+    runs_.push_back(std::move(run));
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  BufferPool* pool_;
+  Less less_;
+  size_t max_buffered_ = 0;
+  std::vector<T> buffer_;
+  std::vector<SpoolFile> runs_;
+  std::vector<typename SpoolFile::Reader> readers_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater> heap_;
+  uint64_t num_records_ = 0;
+  size_t mem_cursor_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_STORAGE_EXTERNAL_SORT_H_

@@ -1,0 +1,46 @@
+#ifndef PBSM_STORAGE_PAGE_H_
+#define PBSM_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace pbsm {
+
+/// Size of every disk page; matches the 8 KiB pages Paradise/SHORE used.
+inline constexpr size_t kPageSize = 8192;
+
+/// Identifies a file managed by the DiskManager.
+using FileId = uint32_t;
+
+/// Invalid/unset file sentinel.
+inline constexpr FileId kInvalidFileId = 0xffffffffu;
+
+/// Identifies one page: a (file, page-number) pair.
+struct PageId {
+  FileId file = kInvalidFileId;
+  uint32_t page_no = 0;
+
+  bool valid() const { return file != kInvalidFileId; }
+
+  friend bool operator==(const PageId& a, const PageId& b) {
+    return a.file == b.file && a.page_no == b.page_no;
+  }
+  friend bool operator!=(const PageId& a, const PageId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const PageId& a, const PageId& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.page_no < b.page_no;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(id.file) << 32) |
+                                 id.page_no);
+  }
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_STORAGE_PAGE_H_

@@ -1,0 +1,53 @@
+#include "storage/spool_file.h"
+
+#include "common/logging.h"
+
+namespace pbsm {
+
+Result<SpoolFile> SpoolFile::Create(BufferPool* pool, size_t record_size) {
+  PBSM_CHECK(record_size > 0 && record_size <= kPageSize)
+      << "spool record size " << record_size;
+  PBSM_ASSIGN_OR_RETURN(const FileId file, pool->disk()->CreateTempFile());
+  return SpoolFile(pool, file, record_size);
+}
+
+Status SpoolFile::Append(const void* record) {
+  const uint64_t rpp = records_per_page();
+  const uint64_t slot = num_records_ % rpp;
+  PageHandle page;
+  if (slot == 0) {
+    PBSM_ASSIGN_OR_RETURN(page, pool_->NewPage(file_));
+  } else {
+    const uint32_t page_no = static_cast<uint32_t>(num_records_ / rpp);
+    PBSM_ASSIGN_OR_RETURN(page, pool_->FetchPage(PageId{file_, page_no}));
+  }
+  std::memcpy(page.mutable_data() + slot * record_size_, record,
+              record_size_);
+  ++num_records_;
+  return Status::OK();
+}
+
+Result<bool> SpoolFile::Reader::Next(void* out) {
+  if (index_ >= spool_->num_records_) return false;
+  const uint64_t rpp = spool_->records_per_page();
+  const uint32_t page_no = static_cast<uint32_t>(index_ / rpp);
+  const uint64_t slot = index_ % rpp;
+  if (!page_.valid() || page_.id().page_no != page_no) {
+    PBSM_ASSIGN_OR_RETURN(
+        page_, spool_->pool_->FetchPage(PageId{spool_->file_, page_no}));
+  }
+  std::memcpy(out, page_.data() + slot * spool_->record_size_,
+              spool_->record_size_);
+  ++index_;
+  return true;
+}
+
+Status SpoolFile::Drop() {
+  if (file_ == kInvalidFileId) return Status::OK();
+  const Status s = pool_->DropFile(file_);
+  file_ = kInvalidFileId;
+  num_records_ = 0;
+  return s;
+}
+
+}  // namespace pbsm

@@ -1,0 +1,84 @@
+#ifndef PBSM_STORAGE_SPOOL_FILE_H_
+#define PBSM_STORAGE_SPOOL_FILE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace pbsm {
+
+/// An append-only temporary file of fixed-size records, accessed through the
+/// buffer pool (so spool I/O competes for frames and is counted, exactly like
+/// Paradise's partition files living in SHORE).
+///
+/// The writer deliberately does *not* hold a pinned page between appends —
+/// it re-fetches the tail page each time and lets the pool's replacement
+/// policy decide when partition pages get flushed. This reproduces the
+/// paper's observation that clustered inputs make partition writes cheap
+/// (consecutive appends hit the cached tail page) while unclustered inputs
+/// scatter them.
+class SpoolFile {
+ public:
+  /// Creates a new spool of `record_size`-byte records in a temp file.
+  static Result<SpoolFile> Create(BufferPool* pool, size_t record_size);
+
+  SpoolFile(SpoolFile&&) = default;
+  SpoolFile& operator=(SpoolFile&&) = default;
+  SpoolFile(const SpoolFile&) = delete;
+  SpoolFile& operator=(const SpoolFile&) = delete;
+
+  /// Appends one record (exactly record_size bytes).
+  Status Append(const void* record);
+
+  /// Sequential reader over the spool. At most one page pinned at a time.
+  class Reader {
+   public:
+    Reader(const SpoolFile* spool) : spool_(spool) {}
+
+    /// Reads the next record into `out`; returns false at end of spool.
+    Result<bool> Next(void* out);
+
+    /// Restarts from the first record.
+    void Reset() {
+      index_ = 0;
+      page_ = PageHandle();
+    }
+
+   private:
+    const SpoolFile* spool_;
+    uint64_t index_ = 0;
+    PageHandle page_;
+  };
+
+  Reader NewReader() const { return Reader(this); }
+
+  /// Deletes the underlying file; the spool becomes unusable.
+  Status Drop();
+
+  uint64_t num_records() const { return num_records_; }
+  size_t record_size() const { return record_size_; }
+  FileId file() const { return file_; }
+  uint64_t num_pages() const {
+    const uint64_t rpp = records_per_page();
+    return (num_records_ + rpp - 1) / rpp;
+  }
+
+ private:
+  SpoolFile(BufferPool* pool, FileId file, size_t record_size)
+      : pool_(pool), file_(file), record_size_(record_size) {}
+
+  uint64_t records_per_page() const { return kPageSize / record_size_; }
+
+  BufferPool* pool_ = nullptr;
+  FileId file_ = kInvalidFileId;
+  size_t record_size_ = 0;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_STORAGE_SPOOL_FILE_H_

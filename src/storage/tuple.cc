@@ -1,0 +1,66 @@
+#include "storage/tuple.h"
+
+#include <cstring>
+
+namespace pbsm {
+
+std::string Tuple::Serialize() const {
+  std::string out;
+  out.reserve(sizeof(id) + sizeof(feature_class) + 2 + sizeof(uint32_t) +
+              name.size() + 4 * sizeof(double) + geometry.SerializedSize());
+  out.append(reinterpret_cast<const char*>(&id), sizeof(id));
+  out.append(reinterpret_cast<const char*>(&feature_class),
+             sizeof(feature_class));
+  const uint8_t has_mer = mer.empty() ? 0 : 1;
+  out.append(reinterpret_cast<const char*>(&has_mer), sizeof(has_mer));
+  if (has_mer != 0) {
+    const double coords[4] = {mer.xlo, mer.ylo, mer.xhi, mer.yhi};
+    out.append(reinterpret_cast<const char*>(coords), sizeof(coords));
+  }
+  const uint32_t name_len = static_cast<uint32_t>(name.size());
+  out.append(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  out.append(name);
+  geometry.AppendTo(&out);
+  return out;
+}
+
+Result<Tuple> Tuple::Parse(const char* data, size_t size) {
+  Tuple t;
+  size_t off = 0;
+  const auto read = [&](void* dst, size_t n) {
+    if (off + n > size) return false;
+    std::memcpy(dst, data + off, n);
+    off += n;
+    return true;
+  };
+  uint32_t name_len = 0;
+  uint8_t has_mer = 0;
+  if (!read(&t.id, sizeof(t.id)) ||
+      !read(&t.feature_class, sizeof(t.feature_class)) ||
+      !read(&has_mer, sizeof(has_mer))) {
+    return Status::Corruption("tuple header truncated");
+  }
+  if (has_mer != 0) {
+    double coords[4];
+    if (!read(coords, sizeof(coords))) {
+      return Status::Corruption("tuple MER truncated");
+    }
+    t.mer = Rect(coords[0], coords[1], coords[2], coords[3]);
+  }
+  if (!read(&name_len, sizeof(name_len))) {
+    return Status::Corruption("tuple header truncated");
+  }
+  if (off + name_len > size) {
+    return Status::Corruption("tuple name truncated");
+  }
+  t.name.assign(data + off, name_len);
+  off += name_len;
+  size_t consumed = 0;
+  PBSM_ASSIGN_OR_RETURN(
+      t.geometry,
+      Geometry::Parse(reinterpret_cast<const uint8_t*>(data) + off,
+                      size - off, &consumed));
+  return t;
+}
+
+}  // namespace pbsm

@@ -1,0 +1,37 @@
+#ifndef PBSM_STORAGE_TUPLE_H_
+#define PBSM_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "geom/geometry.h"
+#include "geom/rect.h"
+
+namespace pbsm {
+
+/// A relation tuple: non-spatial attributes plus one spatial attribute.
+///
+/// Mirrors the paper's TIGER tuples, which carry a name, a feature
+/// classification and address-range attributes next to the polyline.
+struct Tuple {
+  uint64_t id = 0;             ///< Source-assigned identifier.
+  uint32_t feature_class = 0;  ///< e.g. road category, landuse code.
+  std::string name;            ///< Feature name.
+  Geometry geometry;           ///< The spatial join attribute.
+  /// Optional precomputed maximal enclosed rectangle (BKSS94 §4.4): a
+  /// rectangle guaranteed to lie inside `geometry`'s area. Stored with the
+  /// tuple — as the paper proposes — so the containment refinement can
+  /// short-circuit without recomputing it. Empty when absent.
+  Rect mer;
+
+  /// Serializes to a byte string suitable for HeapFile storage.
+  std::string Serialize() const;
+
+  /// Parses a record produced by Serialize().
+  static Result<Tuple> Parse(const char* data, size_t size);
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_STORAGE_TUPLE_H_

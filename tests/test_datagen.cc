@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.h"
+
+#include "datagen/loader.h"
+#include "datagen/sequoia_gen.h"
+#include "datagen/tiger_gen.h"
+#include "geom/hilbert.h"
+#include "geom/predicates.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+TEST(TigerGeneratorTest, IsDeterministic) {
+  TigerGenerator::Params params;
+  params.seed = 123;
+  TigerGenerator g1(params), g2(params);
+  const auto a = g1.GenerateRoads(50);
+  const auto b = g2.GenerateRoads(50);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].geometry, b[i].geometry);
+    EXPECT_EQ(a[i].name, b[i].name);
+  }
+  // Different seed, different data.
+  params.seed = 124;
+  TigerGenerator g3(params);
+  EXPECT_FALSE(g3.GenerateRoads(50)[0].geometry == a[0].geometry);
+}
+
+TEST(TigerGeneratorTest, AveragePointCountsMatchPaper) {
+  TigerGenerator gen(TigerGenerator::Params{});
+  const auto roads = gen.GenerateRoads(2000);
+  const auto hydro = gen.GenerateHydrography(2000);
+  const auto rail = gen.GenerateRail(2000);
+  auto avg_points = [](const std::vector<Tuple>& ts) {
+    double total = 0;
+    for (const Tuple& t : ts) total += t.geometry.num_points();
+    return total / ts.size();
+  };
+  // Paper: Road 8, Hydrography 19, Rail 7 (tolerate +-25%).
+  EXPECT_NEAR(avg_points(roads), 8.0, 2.0);
+  EXPECT_NEAR(avg_points(hydro), 19.0, 4.0);
+  EXPECT_NEAR(avg_points(rail), 7.0, 2.0);
+}
+
+TEST(TigerGeneratorTest, FeaturesStayInUniverse) {
+  TigerGenerator gen(TigerGenerator::Params{});
+  for (const Tuple& t : gen.GenerateHydrography(500)) {
+    EXPECT_TRUE(gen.universe().Contains(t.geometry.Mbr()));
+    EXPECT_EQ(t.geometry.type(), GeometryType::kPolyline);
+  }
+}
+
+TEST(TigerGeneratorTest, DataIsSpatiallySkewed) {
+  // The defining property for Figure 4: a uniform grid over the universe
+  // sees very non-uniform feature counts.
+  TigerGenerator gen(TigerGenerator::Params{});
+  const auto roads = gen.GenerateRoads(5000);
+  const Rect u = gen.universe();
+  constexpr int kGrid = 8;
+  std::vector<uint64_t> counts(kGrid * kGrid, 0);
+  for (const Tuple& t : roads) {
+    const Point c = t.geometry.Mbr().Center();
+    int cx = static_cast<int>((c.x - u.xlo) / u.width() * kGrid);
+    int cy = static_cast<int>((c.y - u.ylo) / u.height() * kGrid);
+    cx = std::min(cx, kGrid - 1);
+    cy = std::min(cy, kGrid - 1);
+    ++counts[cy * kGrid + cx];
+  }
+  const SampleStats stats = ComputeStats(counts);
+  // A spatially uniform scatter of 5000 features over 64 cells would give
+  // CoV ~= 1/sqrt(mean) ~= 0.11 (Poisson); require at least ~3x that.
+  EXPECT_GT(stats.CoefficientOfVariation(), 0.35)
+      << "generated data is too uniform to reproduce the paper's skew";
+}
+
+TEST(SequoiaGeneratorTest, PolygonShapes) {
+  SequoiaGenerator gen(SequoiaGenerator::Params{});
+  const auto polys = gen.GeneratePolygons(500);
+  double total_points = 0;
+  int with_holes = 0;
+  for (const Tuple& t : polys) {
+    EXPECT_EQ(t.geometry.type(), GeometryType::kPolygon);
+    total_points += t.geometry.num_points();
+    if (t.geometry.num_holes() > 0) ++with_holes;
+  }
+  // Paper: polygon tuples average 46 points.
+  EXPECT_NEAR(total_points / polys.size(), 46.0, 12.0);
+  // Some swiss-cheese polygons exist.
+  EXPECT_GT(with_holes, 50);
+  EXPECT_LT(with_holes, 250);
+}
+
+TEST(SequoiaGeneratorTest, ContainedIslandsAreActuallyContained) {
+  SequoiaGenerator::Params params;
+  params.contained_fraction = 1.0;  // Every island placed inside a polygon.
+  SequoiaGenerator gen(params);
+  const auto polys = gen.GeneratePolygons(100);
+  const auto islands = gen.GenerateIslands(100);
+  int contained = 0;
+  for (const Tuple& island : islands) {
+    for (const Tuple& poly : polys) {
+      if (Contains(poly.geometry, island.geometry)) {
+        ++contained;
+        break;
+      }
+    }
+  }
+  // Every island must be inside at least one polygon.
+  EXPECT_EQ(contained, 100);
+}
+
+TEST(SequoiaGeneratorTest, FreeIslandsProduceNonResultCandidates) {
+  SequoiaGenerator::Params params;
+  params.contained_fraction = 0.0;
+  SequoiaGenerator gen(params);
+  const auto polys = gen.GeneratePolygons(50);
+  const auto islands = gen.GenerateIslands(200);
+  int contained = 0;
+  for (const Tuple& island : islands) {
+    for (const Tuple& poly : polys) {
+      if (Contains(poly.geometry, island.geometry)) {
+        ++contained;
+        break;
+      }
+    }
+  }
+  // Random islands are rarely contained.
+  EXPECT_LT(contained, 50);
+}
+
+TEST(LoaderTest, RegistersCatalogStatistics) {
+  StorageEnv env(256 * kPageSize);
+  TigerGenerator gen(TigerGenerator::Params{});
+  auto tuples = gen.GenerateRoads(500);
+  Rect expected_universe;
+  uint64_t expected_points = 0;
+  for (const Tuple& t : tuples) {
+    expected_universe.Expand(t.geometry.Mbr());
+    expected_points += t.geometry.num_points();
+  }
+  Catalog catalog;
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation rel,
+      LoadRelation(env.pool(), &catalog, "road", std::move(tuples)));
+  EXPECT_EQ(rel.info.cardinality, 500u);
+  EXPECT_EQ(rel.info.universe, expected_universe);
+  EXPECT_EQ(rel.info.total_points, expected_points);
+  EXPECT_EQ(rel.heap.num_records(), 500u);
+
+  PBSM_ASSERT_OK_AND_ASSIGN(const RelationInfo from_catalog,
+                            catalog.Get("road"));
+  EXPECT_EQ(from_catalog.cardinality, 500u);
+  EXPECT_FALSE(catalog.Get("missing").ok());
+}
+
+TEST(LoaderTest, ClusteredLoadOrdersByHilbert) {
+  StorageEnv env(256 * kPageSize);
+  TigerGenerator gen(TigerGenerator::Params{});
+  auto tuples = gen.GenerateRoads(500);
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation rel,
+      LoadRelation(env.pool(), nullptr, "road_cl", std::move(tuples),
+                   /*clustered=*/true));
+  // Scan back and verify Hilbert keys are non-decreasing.
+  const SpaceFillingCurve curve(SpaceFillingCurve::Kind::kHilbert,
+                                rel.info.universe);
+  uint64_t prev_key = 0;
+  bool first = true;
+  PBSM_ASSERT_OK(
+      rel.heap.Scan([&](Oid, const char* data, size_t size) -> Status {
+        PBSM_ASSIGN_OR_RETURN(const Tuple t, Tuple::Parse(data, size));
+        const uint64_t key = curve.Key(t.geometry.Mbr());
+        if (!first) {
+          EXPECT_GE(key, prev_key);
+        }
+        prev_key = key;
+        first = false;
+        return Status::OK();
+      }));
+}
+
+TEST(LoaderTest, ClusteredAndUnclusteredHoldSameTuples) {
+  StorageEnv env(256 * kPageSize);
+  TigerGenerator gen(TigerGenerator::Params{});
+  const auto tuples = gen.GenerateRoads(300);
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation plain,
+      LoadRelation(env.pool(), nullptr, "a", tuples, false));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation clustered,
+      LoadRelation(env.pool(), nullptr, "b", tuples, true));
+  EXPECT_EQ(plain.info.cardinality, clustered.info.cardinality);
+  EXPECT_EQ(plain.info.universe, clustered.info.universe);
+  EXPECT_EQ(plain.info.total_points, clustered.info.total_points);
+}
+
+}  // namespace
+}  // namespace pbsm

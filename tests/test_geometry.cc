@@ -1,0 +1,147 @@
+#include "geom/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pbsm {
+namespace {
+
+TEST(GeometryTest, PointBasics) {
+  const Geometry g = Geometry::MakePoint({3, 4});
+  EXPECT_EQ(g.type(), GeometryType::kPoint);
+  EXPECT_EQ(g.num_points(), 1u);
+  EXPECT_EQ(g.Mbr(), Rect(3, 4, 3, 4));
+  std::vector<Segment> segs;
+  g.CollectSegments(&segs);
+  EXPECT_TRUE(segs.empty());
+}
+
+TEST(GeometryTest, PolylineBasics) {
+  const Geometry g = Geometry::MakePolyline({{0, 0}, {1, 2}, {3, 1}});
+  EXPECT_EQ(g.type(), GeometryType::kPolyline);
+  EXPECT_EQ(g.num_points(), 3u);
+  EXPECT_EQ(g.Mbr(), Rect(0, 0, 3, 2));
+  std::vector<Segment> segs;
+  g.CollectSegments(&segs);
+  // Open chain: 2 segments, no closing edge.
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].a, (Point{0, 0}));
+  EXPECT_EQ(segs[1].b, (Point{3, 1}));
+}
+
+TEST(GeometryTest, PolygonWithHoleBasics) {
+  const Geometry g = Geometry::MakePolygon(
+      {{{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+       {{4, 4}, {6, 4}, {6, 6}, {4, 6}}});
+  EXPECT_EQ(g.type(), GeometryType::kPolygon);
+  EXPECT_EQ(g.num_points(), 8u);
+  EXPECT_EQ(g.num_holes(), 1u);
+  EXPECT_EQ(g.Mbr(), Rect(0, 0, 10, 10));
+  std::vector<Segment> segs;
+  g.CollectSegments(&segs);
+  // Rings are implicitly closed: 4 + 4 edges.
+  EXPECT_EQ(segs.size(), 8u);
+}
+
+TEST(GeometryTest, SerializationRoundTripPolyline) {
+  const Geometry g = Geometry::MakePolyline({{0.5, -1.25}, {3e10, 4e-10}});
+  std::string buf;
+  g.AppendTo(&buf);
+  EXPECT_EQ(buf.size(), g.SerializedSize());
+  size_t consumed = 0;
+  auto parsed = Geometry::Parse(
+      reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(consumed, buf.size());
+  EXPECT_EQ(*parsed, g);
+  EXPECT_EQ(parsed->Mbr(), g.Mbr());
+}
+
+TEST(GeometryTest, ParseRejectsTruncation) {
+  const Geometry g = Geometry::MakePolygon(
+      {{{0, 0}, {1, 0}, {1, 1}}, {{0.2, 0.2}, {0.4, 0.2}, {0.3, 0.4}}});
+  std::string buf;
+  g.AppendTo(&buf);
+  for (const size_t cut : {size_t{0}, size_t{3}, buf.size() / 2,
+                           buf.size() - 1}) {
+    size_t consumed = 0;
+    auto parsed = Geometry::Parse(
+        reinterpret_cast<const uint8_t*>(buf.data()), cut, &consumed);
+    EXPECT_FALSE(parsed.ok()) << "cut=" << cut;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST(GeometryTest, ParseRejectsBadTypeTag) {
+  std::string buf;
+  Geometry::MakePoint({1, 2}).AppendTo(&buf);
+  buf[0] = 9;  // Invalid tag.
+  size_t consumed = 0;
+  auto parsed = Geometry::Parse(
+      reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(GeometryTest, WktRendering) {
+  EXPECT_EQ(Geometry::MakePoint({1, 2}).ToWkt().substr(0, 6), "POINT ");
+  const std::string line =
+      Geometry::MakePolyline({{0, 0}, {1, 1}}).ToWkt();
+  EXPECT_EQ(line.substr(0, 11), "LINESTRING ");
+  const std::string poly =
+      Geometry::MakePolygon({{{0, 0}, {1, 0}, {0, 1}}}).ToWkt();
+  EXPECT_EQ(poly.substr(0, 8), "POLYGON ");
+  // Polygon rings render with the closing vertex repeated.
+  EXPECT_NE(poly.find("0.000000 0.000000)"), std::string::npos);
+}
+
+class GeometryRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeometryRoundTripTest, RandomGeometriesSurviveSerialization) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    Geometry g = Geometry::MakePoint({0, 0});
+    const int kind = static_cast<int>(rng.Uniform(3));
+    auto rand_pt = [&]() {
+      return Point{rng.UniformDouble(-100, 100), rng.UniformDouble(-100, 100)};
+    };
+    if (kind == 0) {
+      g = Geometry::MakePoint(rand_pt());
+    } else if (kind == 1) {
+      std::vector<Point> pts;
+      const int n = 2 + static_cast<int>(rng.Uniform(30));
+      for (int i = 0; i < n; ++i) pts.push_back(rand_pt());
+      g = Geometry::MakePolyline(std::move(pts));
+    } else {
+      std::vector<std::vector<Point>> rings;
+      const int nrings = 1 + static_cast<int>(rng.Uniform(3));
+      for (int r = 0; r < nrings; ++r) {
+        std::vector<Point> ring;
+        const int n = 3 + static_cast<int>(rng.Uniform(20));
+        for (int i = 0; i < n; ++i) ring.push_back(rand_pt());
+        rings.push_back(std::move(ring));
+      }
+      g = Geometry::MakePolygon(std::move(rings));
+    }
+    std::string buf;
+    g.AppendTo(&buf);
+    ASSERT_EQ(buf.size(), g.SerializedSize());
+    size_t consumed = 0;
+    auto parsed = Geometry::Parse(
+        reinterpret_cast<const uint8_t*>(buf.data()), buf.size(), &consumed);
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(consumed, buf.size());
+    EXPECT_EQ(*parsed, g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryRoundTripTest,
+                         ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace pbsm

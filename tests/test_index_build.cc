@@ -1,0 +1,221 @@
+#include "core/index_build.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "datagen/loader.h"
+#include "datagen/tiger_gen.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+std::set<uint64_t> Query(const RStarTree& tree, const Rect& window) {
+  std::vector<uint64_t> hits;
+  EXPECT_TRUE(tree.WindowQuery(window, &hits).ok());
+  return std::set<uint64_t>(hits.begin(), hits.end());
+}
+
+class IndexBuildTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<StorageEnv>(512 * kPageSize);
+    TigerGenerator gen(TigerGenerator::Params{});
+    tuples_ = gen.GenerateRoads(3000);
+  }
+
+  std::unique_ptr<StorageEnv> env_;
+  std::vector<Tuple> tuples_;
+};
+
+TEST_F(IndexBuildTest, ExtractKeyPointersMatchesHeap) {
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation rel,
+      LoadRelation(env_->pool(), nullptr, "r", tuples_));
+  PBSM_ASSERT_OK_AND_ASSIGN(const std::vector<RTreeEntry> entries,
+                            ExtractKeyPointers(rel.heap));
+  ASSERT_EQ(entries.size(), tuples_.size());
+  // Scan order == physical order; MBRs must match the tuples'.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].mbr, tuples_[i].geometry.Mbr());
+  }
+}
+
+TEST_F(IndexBuildTest, UnclusteredAndClusteredBuildsAnswerIdentically) {
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation plain,
+      LoadRelation(env_->pool(), nullptr, "plain", tuples_, false));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation clustered,
+      LoadRelation(env_->pool(), nullptr, "clustered", tuples_, true));
+
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const RStarTree idx_plain,
+      BuildIndexByBulkLoad(env_->pool(), plain.AsInput(), "p.rtree", 0.75));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const RStarTree idx_clustered,
+      BuildIndexByBulkLoad(env_->pool(), clustered.AsInput(), "c.rtree",
+                           0.75));
+  EXPECT_EQ(idx_plain.num_entries(), idx_clustered.num_entries());
+
+  // Queries return the same *tuples*; OIDs differ (different physical
+  // placement), so compare via fetched tuple ids.
+  Rng rng(1);
+  for (int q = 0; q < 20; ++q) {
+    const Rect& u = plain.info.universe;
+    const double x = rng.UniformDouble(u.xlo, u.xhi);
+    const double y = rng.UniformDouble(u.ylo, u.yhi);
+    const Rect window(x, y, x + u.width() / 10, y + u.height() / 10);
+    auto ids_of = [&](const RStarTree& tree, const StoredRelation& rel) {
+      std::set<uint64_t> ids;
+      std::string rec;
+      for (const uint64_t oid : Query(tree, window)) {
+        EXPECT_TRUE(rel.heap.Fetch(Oid::Decode(oid), &rec).ok());
+        auto t = Tuple::Parse(rec.data(), rec.size());
+        EXPECT_TRUE(t.ok());
+        if (t.ok()) ids.insert(t->id);
+      }
+      return ids;
+    };
+    EXPECT_EQ(ids_of(idx_plain, plain), ids_of(idx_clustered, clustered));
+  }
+}
+
+TEST_F(IndexBuildTest, TinyBudgetSpillsButBuildsCorrectly) {
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation rel,
+      LoadRelation(env_->pool(), nullptr, "r", tuples_));
+  // 8 KB budget: the keyed-entry sorter must spill many runs.
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const RStarTree tiny,
+      BuildIndexByBulkLoad(env_->pool(), rel.AsInput(), "tiny.rtree", 0.75,
+                           /*memory_budget=*/8 << 10));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const RStarTree big,
+      BuildIndexByBulkLoad(env_->pool(), rel.AsInput(), "big.rtree", 0.75,
+                           /*memory_budget=*/64 << 20));
+  EXPECT_EQ(tiny.num_entries(), big.num_entries());
+  Rng rng(2);
+  for (int q = 0; q < 20; ++q) {
+    const Rect& u = rel.info.universe;
+    const double x = rng.UniformDouble(u.xlo, u.xhi);
+    const double y = rng.UniformDouble(u.ylo, u.yhi);
+    const Rect window(x, y, x + 0.4, y + 0.4);
+    EXPECT_EQ(Query(tiny, window), Query(big, window));
+  }
+}
+
+TEST_F(IndexBuildTest, InsertBuiltMatchesBulkLoaded) {
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation rel,
+      LoadRelation(env_->pool(), nullptr, "r", tuples_));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const RStarTree bulk,
+      BuildIndexByBulkLoad(env_->pool(), rel.AsInput(), "b.rtree", 0.75));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const RStarTree inserted,
+      BuildIndexByInserts(env_->pool(), rel.AsInput(), "i.rtree"));
+  EXPECT_EQ(bulk.num_entries(), inserted.num_entries());
+  Rng rng(3);
+  for (int q = 0; q < 30; ++q) {
+    const Rect& u = rel.info.universe;
+    const double x = rng.UniformDouble(u.xlo, u.xhi);
+    const double y = rng.UniformDouble(u.ylo, u.yhi);
+    const Rect window(x, y, x + 0.3, y + 0.3);
+    EXPECT_EQ(Query(bulk, window), Query(inserted, window));
+  }
+}
+
+TEST_F(IndexBuildTest, EmptyRelation) {
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation rel,
+      LoadRelation(env_->pool(), nullptr, "empty", std::vector<Tuple>{}));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const RStarTree tree,
+      BuildIndexByBulkLoad(env_->pool(), rel.AsInput(), "e.rtree", 0.75));
+  EXPECT_EQ(tree.num_entries(), 0u);
+  EXPECT_TRUE(Query(tree, Rect(-180, -90, 180, 90)).empty());
+}
+
+TEST(HeapCursorTest, MatchesScan) {
+  StorageEnv env(64 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(HeapFile heap, HeapFile::Create(env.pool(), "h"));
+  std::vector<std::string> records;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    records.push_back(std::string(5 + rng.Uniform(300), 'a' + i % 26));
+    PBSM_ASSERT_OK_AND_ASSIGN(const Oid oid, heap.Append(records.back()));
+    (void)oid;
+  }
+  HeapFile::Cursor cursor = heap.NewCursor();
+  Oid oid;
+  std::string record;
+  size_t i = 0;
+  while (true) {
+    PBSM_ASSERT_OK_AND_ASSIGN(const bool has, cursor.Next(&oid, &record));
+    if (!has) break;
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(record, records[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, records.size());
+}
+
+TEST(TupleMerTest, StoredMerRoundTrips) {
+  Tuple t;
+  t.id = 5;
+  t.name = "park";
+  t.geometry = Geometry::MakePolygon({{{0, 0}, {10, 0}, {10, 10}, {0, 10}}});
+  t.mer = Rect(1, 1, 9, 9);
+  const std::string bytes = t.Serialize();
+  PBSM_ASSERT_OK_AND_ASSIGN(const Tuple parsed,
+                            Tuple::Parse(bytes.data(), bytes.size()));
+  EXPECT_EQ(parsed.mer, t.mer);
+
+  // Tuples without a MER stay MER-free and serialize smaller.
+  Tuple plain = t;
+  plain.mer = Rect();
+  const std::string plain_bytes = plain.Serialize();
+  EXPECT_LT(plain_bytes.size(), bytes.size());
+  PBSM_ASSERT_OK_AND_ASSIGN(const Tuple parsed_plain,
+                            Tuple::Parse(plain_bytes.data(),
+                                         plain_bytes.size()));
+  EXPECT_TRUE(parsed_plain.mer.empty());
+}
+
+TEST(LoaderMerTest, PrecomputesMersForPolygons) {
+  StorageEnv env(128 * kPageSize);
+  std::vector<Tuple> tuples;
+  Tuple poly;
+  poly.id = 1;
+  poly.geometry =
+      Geometry::MakePolygon({{{0, 0}, {4, 0}, {4, 4}, {0, 4}}});
+  tuples.push_back(poly);
+  Tuple line;
+  line.id = 2;
+  line.geometry = Geometry::MakePolyline({{0, 0}, {1, 1}});
+  tuples.push_back(line);
+
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation rel,
+      LoadRelation(env.pool(), nullptr, "m", tuples, false,
+                   /*precompute_mers=*/true));
+  int with_mer = 0, without = 0;
+  PBSM_ASSERT_OK(rel.heap.Scan([&](Oid, const char* d, size_t n) -> Status {
+    PBSM_ASSIGN_OR_RETURN(const Tuple t, Tuple::Parse(d, n));
+    if (t.mer.empty()) {
+      ++without;
+    } else {
+      ++with_mer;
+      EXPECT_EQ(t.geometry.type(), GeometryType::kPolygon);
+    }
+    return Status::OK();
+  }));
+  EXPECT_EQ(with_mer, 1);
+  EXPECT_EQ(without, 1);
+}
+
+}  // namespace
+}  // namespace pbsm

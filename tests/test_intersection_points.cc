@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/predicates.h"
+#include "geom/segment.h"
+
+namespace pbsm {
+namespace {
+
+TEST(SegmentIntersectionPointTest, ProperCrossing) {
+  Point p;
+  ASSERT_TRUE(SegmentIntersectionPoint({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}},
+                                       &p));
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+TEST(SegmentIntersectionPointTest, EndpointTouch) {
+  Point p;
+  ASSERT_TRUE(SegmentIntersectionPoint({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}},
+                                       &p));
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+TEST(SegmentIntersectionPointTest, CollinearOverlapGivesWitness) {
+  Point p;
+  ASSERT_TRUE(SegmentIntersectionPoint({{0, 0}, {4, 0}}, {{2, 0}, {6, 0}},
+                                       &p));
+  // The witness must lie on both segments.
+  EXPECT_TRUE(PointOnSegment(p, {{0, 0}, {4, 0}}));
+  EXPECT_TRUE(PointOnSegment(p, {{2, 0}, {6, 0}}));
+}
+
+TEST(SegmentIntersectionPointTest, DisjointReturnsFalse) {
+  Point p;
+  EXPECT_FALSE(
+      SegmentIntersectionPoint({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}, &p));
+}
+
+class IntersectionPointPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntersectionPointPropertyTest, WitnessLiesOnBothSegments) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    auto seg = [&]() {
+      const Point a{rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)};
+      return Segment{a, {a.x + rng.UniformDouble(-4, 4),
+                         a.y + rng.UniformDouble(-4, 4)}};
+    };
+    const Segment s1 = seg();
+    const Segment s2 = seg();
+    Point p;
+    const bool has = SegmentIntersectionPoint(s1, s2, &p);
+    EXPECT_EQ(has, SegmentsIntersect(s1, s2));
+    if (has) {
+      // Allow floating-point slack: the witness must be within epsilon of
+      // both segments (distance bounded via the MBR + orientation checks).
+      const auto near_segment = [&](const Segment& s) {
+        const double eps = 1e-9;
+        const Rect grown(s.Mbr().xlo - eps, s.Mbr().ylo - eps,
+                         s.Mbr().xhi + eps, s.Mbr().yhi + eps);
+        if (!grown.Contains(p)) return false;
+        // Cross product magnitude relative to segment length.
+        const double cross = (s.b.x - s.a.x) * (p.y - s.a.y) -
+                             (s.b.y - s.a.y) * (p.x - s.a.x);
+        const double len2 = (s.b.x - s.a.x) * (s.b.x - s.a.x) +
+                            (s.b.y - s.a.y) * (s.b.y - s.a.y);
+        return cross * cross <= 1e-18 * (len2 + 1.0) ||
+               len2 == 0.0;
+      };
+      EXPECT_TRUE(near_segment(s1)) << "iter " << iter;
+      EXPECT_TRUE(near_segment(s2)) << "iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntersectionPointPropertyTest,
+                         ::testing::Values(61, 62, 63));
+
+TEST(BoundaryIntersectionPointsTest, CrossingPolylines) {
+  const Geometry a = Geometry::MakePolyline({{0, 1}, {10, 1}});
+  const Geometry b =
+      Geometry::MakePolyline({{2, 0}, {2, 2}, {5, 0}, {5, 2}});
+  std::vector<Point> pts;
+  BoundaryIntersectionPoints(a, b, 10, &pts);
+  ASSERT_EQ(pts.size(), 3u);  // x=2, somewhere on (2,2)-(5,0), x=5.
+  for (const Point& p : pts) {
+    EXPECT_NEAR(p.y, 1.0, 1e-9);
+  }
+}
+
+TEST(BoundaryIntersectionPointsTest, MaxPointsCapsOutput) {
+  const Geometry a = Geometry::MakePolyline({{0, 1}, {10, 1}});
+  const Geometry b =
+      Geometry::MakePolyline({{2, 0}, {2, 2}, {5, 0}, {5, 2}});
+  std::vector<Point> pts;
+  BoundaryIntersectionPoints(a, b, 1, &pts);
+  EXPECT_EQ(pts.size(), 1u);
+  pts.clear();
+  BoundaryIntersectionPoints(a, b, 0, &pts);
+  EXPECT_TRUE(pts.empty());
+}
+
+TEST(BoundaryIntersectionPointsTest, DisjointYieldsNothing) {
+  const Geometry a = Geometry::MakePolyline({{0, 0}, {1, 0}});
+  const Geometry b = Geometry::MakePolyline({{5, 5}, {6, 5}});
+  std::vector<Point> pts;
+  BoundaryIntersectionPoints(a, b, 10, &pts);
+  EXPECT_TRUE(pts.empty());
+}
+
+TEST(BoundaryIntersectionPointsTest, PolygonBoundaries) {
+  const Geometry square =
+      Geometry::MakePolygon({{{0, 0}, {4, 0}, {4, 4}, {0, 4}}});
+  const Geometry line = Geometry::MakePolyline({{-1, 2}, {5, 2}});
+  std::vector<Point> pts;
+  BoundaryIntersectionPoints(square, line, 10, &pts);
+  ASSERT_EQ(pts.size(), 2u);  // Enters at x=0, exits at x=4.
+}
+
+}  // namespace
+}  // namespace pbsm

@@ -1,0 +1,115 @@
+#include "core/interval_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pbsm {
+namespace {
+
+std::vector<uint64_t> Query(const IntervalTree& tree, double lo, double hi) {
+  std::vector<uint64_t> out;
+  tree.QueryOverlaps(lo, hi, [&](uint64_t p) { out.push_back(p); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(IntervalTreeTest, EmptyTreeYieldsNothing) {
+  IntervalTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(Query(tree, 0, 100).empty());
+}
+
+TEST(IntervalTreeTest, BasicOverlaps) {
+  IntervalTree tree;
+  tree.Insert(0, 10, 1);
+  tree.Insert(5, 15, 2);
+  tree.Insert(20, 30, 3);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(Query(tree, 7, 8), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(Query(tree, 12, 22), (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(Query(tree, 16, 19), (std::vector<uint64_t>{}));
+  // Closed semantics: touching counts.
+  EXPECT_EQ(Query(tree, 10, 10), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(Query(tree, 30, 40), (std::vector<uint64_t>{3}));
+}
+
+TEST(IntervalTreeTest, RemoveByHandle) {
+  IntervalTree tree;
+  const uint64_t h1 = tree.Insert(0, 10, 1);
+  const uint64_t h2 = tree.Insert(5, 15, 2);
+  EXPECT_TRUE(tree.Remove(h1));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(Query(tree, 7, 8), (std::vector<uint64_t>{2}));
+  EXPECT_FALSE(tree.Remove(h1));  // Double remove.
+  EXPECT_TRUE(tree.Remove(h2));
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(IntervalTreeTest, DuplicateIntervalsAreDistinct) {
+  IntervalTree tree;
+  const uint64_t h1 = tree.Insert(0, 10, 1);
+  const uint64_t h2 = tree.Insert(0, 10, 2);
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(Query(tree, 5, 5), (std::vector<uint64_t>{1, 2}));
+  EXPECT_TRUE(tree.Remove(h1));
+  EXPECT_EQ(Query(tree, 5, 5), (std::vector<uint64_t>{2}));
+}
+
+TEST(IntervalTreeTest, ClearResets) {
+  IntervalTree tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i, i + 5, i);
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(Query(tree, 0, 1000).empty());
+  tree.Insert(1, 2, 9);
+  EXPECT_EQ(Query(tree, 0, 10), (std::vector<uint64_t>{9}));
+}
+
+class IntervalTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalTreePropertyTest, MatchesNaiveUnderChurn) {
+  Rng rng(GetParam());
+  IntervalTree tree;
+  struct Naive {
+    double lo, hi;
+    uint64_t payload;
+    uint64_t handle;
+  };
+  std::vector<Naive> naive;
+  uint64_t next_payload = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0 || naive.empty()) {
+      const double lo = rng.UniformDouble(0, 100);
+      const double hi = lo + rng.UniformDouble(0, 20);
+      const uint64_t payload = next_payload++;
+      const uint64_t handle = tree.Insert(lo, hi, payload);
+      naive.push_back({lo, hi, payload, handle});
+    } else if (op == 1) {
+      const size_t idx = rng.Uniform(naive.size());
+      EXPECT_TRUE(tree.Remove(naive[idx].handle));
+      naive.erase(naive.begin() + static_cast<long>(idx));
+    } else {
+      const double lo = rng.UniformDouble(0, 100);
+      const double hi = lo + rng.UniformDouble(0, 30);
+      std::vector<uint64_t> expected;
+      for (const Naive& n : naive) {
+        if (n.lo <= hi && lo <= n.hi) expected.push_back(n.payload);
+      }
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(Query(tree, lo, hi), expected) << "step " << step;
+    }
+    EXPECT_EQ(tree.size(), naive.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalTreePropertyTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace pbsm

@@ -1,0 +1,102 @@
+#include "geom/mer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/predicates.h"
+
+namespace pbsm {
+namespace {
+
+TEST(RectInsidePolygonTest, SquareCases) {
+  const Geometry square =
+      Geometry::MakePolygon({{{0, 0}, {10, 0}, {10, 10}, {0, 10}}});
+  EXPECT_TRUE(RectInsidePolygon(Rect(2, 2, 8, 8), square));
+  EXPECT_FALSE(RectInsidePolygon(Rect(-1, 2, 8, 8), square));
+  EXPECT_FALSE(RectInsidePolygon(Rect(), square));
+}
+
+TEST(RectInsidePolygonTest, HoleRejectsCoveringRect) {
+  const Geometry cheese =
+      Geometry::MakePolygon({{{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+                             {{4, 4}, {6, 4}, {6, 6}, {4, 6}}});
+  // Rect covering the hole is not inside the polygon area.
+  EXPECT_FALSE(RectInsidePolygon(Rect(3, 3, 7, 7), cheese));
+  // Rect clear of the hole is fine.
+  EXPECT_TRUE(RectInsidePolygon(Rect(0.5, 0.5, 3, 3), cheese));
+}
+
+TEST(ComputeMerTest, SquarePolygonGetsNearFullMer) {
+  const Geometry square =
+      Geometry::MakePolygon({{{0, 0}, {10, 0}, {10, 10}, {0, 10}}});
+  const Rect mer = ComputeMer(square);
+  ASSERT_FALSE(mer.empty());
+  EXPECT_TRUE(RectInsidePolygon(mer, square));
+  // For a convex axis-aligned square the MER should be (nearly) the MBR.
+  EXPECT_GT(mer.Area(), 0.95 * square.Mbr().Area());
+}
+
+TEST(ComputeMerTest, NonPolygonYieldsEmpty) {
+  EXPECT_TRUE(ComputeMer(Geometry::MakePoint({0, 0})).empty());
+  EXPECT_TRUE(
+      ComputeMer(Geometry::MakePolyline({{0, 0}, {1, 1}})).empty());
+}
+
+class MerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MerPropertyTest, MerIsAlwaysEnclosed) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    // Star-shaped polygon around a random center.
+    const Point c{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)};
+    const int n = 8 + static_cast<int>(rng.Uniform(40));
+    std::vector<Point> ring;
+    for (int i = 0; i < n; ++i) {
+      const double angle = 2 * M_PI * i / n;
+      const double r = 1.0 + rng.NextDouble() * 2.0;
+      ring.push_back(
+          {c.x + std::cos(angle) * r, c.y + std::sin(angle) * r});
+    }
+    const Geometry poly = Geometry::MakePolygon({ring});
+    const Rect mer = ComputeMer(poly);
+    if (!mer.empty()) {
+      EXPECT_TRUE(RectInsidePolygon(mer, poly)) << "iter " << iter;
+      EXPECT_GT(mer.Area(), 0.0);
+      // All four corners are in the polygon.
+      EXPECT_TRUE(PointInPolygon(Point{mer.xlo, mer.ylo}, poly));
+      EXPECT_TRUE(PointInPolygon(Point{mer.xhi, mer.yhi}, poly));
+    }
+  }
+}
+
+TEST_P(MerPropertyTest, MerEnablesCorrectContainmentShortcut) {
+  // Anything whose MBR fits in the MER must be exactly contained.
+  Rng rng(GetParam() + 1000);
+  const Geometry poly = Geometry::MakePolygon(
+      {{{0, 0}, {8, -2}, {12, 4}, {9, 10}, {2, 9}, {-2, 4}}});
+  const Rect mer = ComputeMer(poly);
+  ASSERT_FALSE(mer.empty());
+  for (int iter = 0; iter < 100; ++iter) {
+    // Random small polygon with MBR inside the MER.
+    const double cx = rng.UniformDouble(mer.xlo + 0.3, mer.xhi - 0.3);
+    const double cy = rng.UniformDouble(mer.ylo + 0.3, mer.yhi - 0.3);
+    const double r = std::min({0.25, cx - mer.xlo, mer.xhi - cx,
+                               cy - mer.ylo, mer.yhi - cy});
+    std::vector<Point> ring;
+    for (int i = 0; i < 8; ++i) {
+      const double angle = 2 * M_PI * i / 8;
+      ring.push_back({cx + std::cos(angle) * r, cy + std::sin(angle) * r});
+    }
+    const Geometry inner = Geometry::MakePolygon({ring});
+    ASSERT_TRUE(mer.Contains(inner.Mbr()));
+    EXPECT_TRUE(Contains(poly, inner)) << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MerPropertyTest, ::testing::Values(5, 6, 7));
+
+}  // namespace
+}  // namespace pbsm

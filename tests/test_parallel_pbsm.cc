@@ -1,0 +1,135 @@
+#include "core/parallel_pbsm.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "core/pbsm_join.h"
+#include "datagen/loader.h"
+#include "datagen/tiger_gen.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+using PairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+class ParallelPbsmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<StorageEnv>(1024 * kPageSize);
+    TigerGenerator gen(TigerGenerator::Params{});
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        StoredRelation roads,
+        LoadRelation(env_->pool(), nullptr, "road", gen.GenerateRoads(1500)));
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        StoredRelation hydro,
+        LoadRelation(env_->pool(), nullptr, "hydro",
+                     gen.GenerateHydrography(500)));
+    roads_ = std::make_unique<StoredRelation>(std::move(roads));
+    hydro_ = std::make_unique<StoredRelation>(std::move(hydro));
+
+    // Serial reference result (by original OIDs).
+    JoinOptions opts;
+    opts.memory_budget_bytes = 1 << 20;
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const JoinCostBreakdown cost,
+        PbsmJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                 SpatialPredicate::kIntersects, opts,
+                 [&](Oid r, Oid s) {
+                   expected_.emplace(r.Encode(), s.Encode());
+                 }));
+    (void)cost;
+    ASSERT_GT(expected_.size(), 0u);
+  }
+
+  PairSet RunParallel(uint32_t workers, uint32_t tiles, bool full_repl) {
+    ParallelPbsmOptions opts;
+    opts.num_workers = workers;
+    opts.num_tiles = tiles;
+    opts.replicate_full_objects = full_repl;
+    opts.join.memory_budget_bytes = 1 << 20;
+    PairSet got;
+    auto report = SimulateParallelPbsm(
+        env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+        SpatialPredicate::kIntersects, opts,
+        [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); });
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    if (report.ok()) {
+      EXPECT_EQ(report->results, got.size());
+      EXPECT_EQ(report->workers.size(), workers);
+      uint64_t assigned_r = 0;
+      for (const auto& w : report->workers) assigned_r += w.r_tuples;
+      // Every tuple is assigned at least once; replication adds copies.
+      EXPECT_EQ(assigned_r,
+                roads_->info.cardinality + report->replicated_r);
+      EXPECT_GT(report->ParallelSeconds(), 0.0);
+      EXPECT_GE(report->TotalWorkSeconds(), report->ParallelSeconds());
+      EXPECT_GE(report->Speedup(), 1.0);
+    }
+    return got;
+  }
+
+  std::unique_ptr<StorageEnv> env_;
+  std::unique_ptr<StoredRelation> roads_, hydro_;
+  PairSet expected_;
+};
+
+TEST_F(ParallelPbsmTest, SingleWorkerMatchesSerialJoin) {
+  EXPECT_EQ(RunParallel(1, 64, true), expected_);
+}
+
+TEST_F(ParallelPbsmTest, FullReplicationMatchesAcrossWorkerCounts) {
+  for (const uint32_t workers : {2u, 4u, 7u}) {
+    EXPECT_EQ(RunParallel(workers, 256, true), expected_)
+        << workers << " workers";
+  }
+}
+
+TEST_F(ParallelPbsmTest, MbrOnlyReplicationMatches) {
+  for (const uint32_t workers : {2u, 5u}) {
+    EXPECT_EQ(RunParallel(workers, 256, false), expected_)
+        << workers << " workers";
+  }
+}
+
+TEST_F(ParallelPbsmTest, CoarseDeclusteringStillCorrect) {
+  // One tile per worker (the TY95-style declustering the paper critiques).
+  EXPECT_EQ(RunParallel(4, 4, true), expected_);
+}
+
+TEST_F(ParallelPbsmTest, ZeroWorkersRejected) {
+  ParallelPbsmOptions opts;
+  opts.num_workers = 0;
+  auto report = SimulateParallelPbsm(env_->pool(), roads_->AsInput(),
+                                     hydro_->AsInput(),
+                                     SpatialPredicate::kIntersects, opts);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParallelPbsmTest, MbrOnlyCountsRemoteFetches) {
+  ParallelPbsmOptions opts;
+  opts.num_workers = 3;
+  opts.replicate_full_objects = false;
+  opts.join.memory_budget_bytes = 1 << 20;
+  auto report = SimulateParallelPbsm(env_->pool(), roads_->AsInput(),
+                                     hydro_->AsInput(),
+                                     SpatialPredicate::kIntersects, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  uint64_t remote = 0;
+  for (const auto& w : report->workers) remote += w.remote_fetches;
+  EXPECT_GT(remote, 0u);
+
+  // Full replication performs no remote fetches.
+  opts.replicate_full_objects = true;
+  auto full = SimulateParallelPbsm(env_->pool(), roads_->AsInput(),
+                                   hydro_->AsInput(),
+                                   SpatialPredicate::kIntersects, opts);
+  ASSERT_TRUE(full.ok());
+  for (const auto& w : full->workers) EXPECT_EQ(w.remote_fetches, 0u);
+}
+
+}  // namespace
+}  // namespace pbsm

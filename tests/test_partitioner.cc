@@ -1,0 +1,151 @@
+#include "core/spatial_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/key_pointer.h"
+
+namespace pbsm {
+namespace {
+
+TEST(PartitionerTest, GridShapeMatchesRequest) {
+  const Rect u(0, 0, 100, 100);
+  const SpatialPartitioner p16(u, 16, 4, TileMapping::kRoundRobin);
+  EXPECT_EQ(p16.grid_nx(), 4u);
+  EXPECT_EQ(p16.grid_ny(), 4u);
+  EXPECT_EQ(p16.num_tiles(), 16u);
+
+  // Non-square request rounds up to a full grid.
+  const SpatialPartitioner p12(u, 12, 3, TileMapping::kRoundRobin);
+  EXPECT_GE(p12.num_tiles(), 12u);
+  EXPECT_EQ(p12.grid_nx() * p12.grid_ny(), p12.num_tiles());
+}
+
+TEST(PartitionerTest, TileNumberingStartsAtUpperLeft) {
+  // Figure 3: tiles are numbered row-major from the upper-left corner.
+  const Rect u(0, 0, 4, 3);
+  const SpatialPartitioner p(u, 12, 3, TileMapping::kRoundRobin);
+  ASSERT_EQ(p.grid_nx(), 4u);
+  ASSERT_EQ(p.grid_ny(), 3u);
+  EXPECT_EQ(p.TileFor(0.5, 2.5), 0u);   // Top-left cell.
+  EXPECT_EQ(p.TileFor(3.5, 2.5), 3u);   // Top-right cell.
+  EXPECT_EQ(p.TileFor(0.5, 0.5), 8u);   // Bottom-left cell.
+  EXPECT_EQ(p.TileFor(3.5, 0.5), 11u);  // Bottom-right cell.
+}
+
+TEST(PartitionerTest, RoundRobinMatchesPaperFigure3) {
+  // 12 tiles, 3 partitions, round robin: tiles 0,3,6,9 -> partition 0;
+  // 1,4,7,10 -> 1; 2,5,8,11 -> 2.
+  const Rect u(0, 0, 4, 3);
+  const SpatialPartitioner p(u, 12, 3, TileMapping::kRoundRobin);
+  EXPECT_EQ(p.PartitionOfTile(0), 0u);
+  EXPECT_EQ(p.PartitionOfTile(3), 0u);
+  EXPECT_EQ(p.PartitionOfTile(6), 0u);
+  EXPECT_EQ(p.PartitionOfTile(9), 0u);
+  EXPECT_EQ(p.PartitionOfTile(1), 1u);
+  EXPECT_EQ(p.PartitionOfTile(10), 1u);
+  EXPECT_EQ(p.PartitionOfTile(2), 2u);
+  EXPECT_EQ(p.PartitionOfTile(11), 2u);
+
+  // An MBR spanning tiles 0, 1 and 2 is replicated to all three partitions
+  // (the paper's Figure 3 example object).
+  std::vector<uint32_t> parts;
+  p.PartitionsFor(Rect(0.2, 2.2, 2.8, 2.8), &parts);
+  EXPECT_EQ(parts, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(PartitionerTest, SmallMbrMapsToOnePartition) {
+  const Rect u(0, 0, 100, 100);
+  const SpatialPartitioner p(u, 64, 8, TileMapping::kHash);
+  std::vector<uint32_t> parts;
+  p.PartitionsFor(Rect(10.1, 10.1, 10.2, 10.2), &parts);
+  EXPECT_EQ(parts.size(), 1u);
+  EXPECT_LT(parts[0], 8u);
+}
+
+TEST(PartitionerTest, UniverseSpanningMbrHitsAllPartitions) {
+  const Rect u(0, 0, 100, 100);
+  const SpatialPartitioner p(u, 16, 4, TileMapping::kRoundRobin);
+  std::vector<uint32_t> parts;
+  p.PartitionsFor(u, &parts);
+  EXPECT_EQ(parts, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(PartitionerTest, OutOfUniverseClampsToBorder) {
+  const Rect u(0, 0, 100, 100);
+  const SpatialPartitioner p(u, 16, 4, TileMapping::kRoundRobin);
+  std::vector<uint32_t> parts, border;
+  p.PartitionsFor(Rect(-50, -50, -40, -40), &parts);
+  p.PartitionsFor(Rect(0, 0, 1, 1), &border);
+  EXPECT_EQ(parts, border);
+}
+
+TEST(PartitionerTest, EquationOneMatchesPaperFormula) {
+  // P = ceil((|R| + |S|) * size_keyptr / M).
+  EXPECT_EQ(SpatialPartitioner::EstimatePartitionCount(0, 0, 1 << 20), 1u);
+  EXPECT_EQ(SpatialPartitioner::EstimatePartitionCount(100, 100, 1 << 20),
+            1u);
+  const uint64_t r = 456613, s = 122149;
+  const size_t m = 16u << 20;
+  const uint32_t expected = static_cast<uint32_t>(
+      std::ceil((r + s) * sizeof(KeyPointer) / static_cast<double>(m)));
+  EXPECT_EQ(SpatialPartitioner::EstimatePartitionCount(r, s, m), expected);
+  EXPECT_GT(expected, 1u);
+}
+
+TEST(PartitionerTest, EveryTileMapsToValidPartition) {
+  const Rect u(0, 0, 10, 10);
+  for (const auto mapping : {TileMapping::kRoundRobin, TileMapping::kHash}) {
+    const SpatialPartitioner p(u, 100, 7, mapping);
+    std::set<uint32_t> used;
+    for (uint32_t t = 0; t < p.num_tiles(); ++t) {
+      const uint32_t part = p.PartitionOfTile(t);
+      EXPECT_LT(part, 7u);
+      used.insert(part);
+    }
+    // With 100 tiles over 7 partitions every partition receives tiles.
+    EXPECT_EQ(used.size(), 7u);
+  }
+}
+
+class PartitionerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionerPropertyTest, PartitionsForCoversEveryOverlappingTile) {
+  Rng rng(GetParam());
+  const Rect u(0, 0, 50, 50);
+  const SpatialPartitioner p(u, 256, 16, TileMapping::kHash);
+  for (int iter = 0; iter < 500; ++iter) {
+    const double x = rng.UniformDouble(0, 50);
+    const double y = rng.UniformDouble(0, 50);
+    const Rect mbr(x, y, x + rng.NextDouble() * 10, y + rng.NextDouble() * 10);
+    std::vector<uint32_t> parts;
+    p.PartitionsFor(mbr, &parts);
+    // Brute force: sample a fine lattice of points in the MBR; each point's
+    // tile partition must be in the returned set.
+    std::set<uint32_t> got(parts.begin(), parts.end());
+    for (int i = 0; i <= 10; ++i) {
+      for (int j = 0; j <= 10; ++j) {
+        const double px = mbr.xlo + (mbr.xhi - mbr.xlo) * i / 10;
+        const double py = mbr.ylo + (mbr.yhi - mbr.ylo) * j / 10;
+        const uint32_t part = p.PartitionOfTile(p.TileFor(px, py));
+        EXPECT_TRUE(got.count(part))
+            << "missing partition for point in MBR, iter " << iter;
+      }
+    }
+    // Sorted and unique.
+    EXPECT_TRUE(std::is_sorted(parts.begin(), parts.end()));
+    EXPECT_EQ(std::set<uint32_t>(parts.begin(), parts.end()).size(),
+              parts.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionerPropertyTest,
+                         ::testing::Values(13, 17, 19));
+
+}  // namespace
+}  // namespace pbsm

@@ -1,0 +1,133 @@
+#include "core/plane_sweep_join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pbsm {
+namespace {
+
+using PairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+PairSet RunJoin(std::vector<KeyPointer> r, std::vector<KeyPointer> s,
+                SweepAlgorithm algo) {
+  PairSet out;
+  PlaneSweepJoin(
+      &r, &s,
+      [&](uint64_t a, uint64_t b) { out.emplace(a, b); },
+      algo);
+  return out;
+}
+
+std::vector<KeyPointer> RandomRects(Rng* rng, size_t n, double extent,
+                                    double max_size, uint64_t oid_base) {
+  std::vector<KeyPointer> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng->UniformDouble(0, extent);
+    const double y = rng->UniformDouble(0, extent);
+    out.push_back(KeyPointer{
+        Rect(x, y, x + rng->NextDouble() * max_size,
+             y + rng->NextDouble() * max_size),
+        oid_base + i});
+  }
+  return out;
+}
+
+TEST(PlaneSweepJoinTest, EmptyInputs) {
+  std::vector<KeyPointer> r, s;
+  EXPECT_EQ(PlaneSweepJoin(&r, &s, [](uint64_t, uint64_t) {}), 0u);
+  r.push_back(KeyPointer{Rect(0, 0, 1, 1), 1});
+  std::vector<KeyPointer> empty;
+  EXPECT_EQ(PlaneSweepJoin(&r, &empty, [](uint64_t, uint64_t) {}), 0u);
+}
+
+TEST(PlaneSweepJoinTest, HandComputedCase) {
+  std::vector<KeyPointer> r = {{Rect(0, 0, 2, 2), 1},
+                               {Rect(5, 5, 6, 6), 2}};
+  std::vector<KeyPointer> s = {{Rect(1, 1, 3, 3), 10},
+                               {Rect(2, 2, 4, 4), 20},   // Touches r1.
+                               {Rect(7, 7, 8, 8), 30}};  // No partner.
+  const PairSet expected = {{1, 10}, {1, 20}};
+  EXPECT_EQ(RunJoin(r, s, SweepAlgorithm::kForwardSweep), expected);
+  EXPECT_EQ(RunJoin(r, s, SweepAlgorithm::kIntervalTreeSweep), expected);
+  EXPECT_EQ(RunJoin(r, s, SweepAlgorithm::kNestedLoops), expected);
+}
+
+TEST(PlaneSweepJoinTest, EmitsPairsInRSOrder) {
+  // The emitter always receives (r_oid, s_oid) regardless of which side
+  // drives the sweep step.
+  std::vector<KeyPointer> r = {{Rect(1, 0, 3, 1), 7}};
+  std::vector<KeyPointer> s = {{Rect(0, 0, 2, 1), 1000}};  // s starts first.
+  const PairSet out = RunJoin(r, s, SweepAlgorithm::kForwardSweep);
+  EXPECT_EQ(out, (PairSet{{7, 1000}}));
+}
+
+TEST(PlaneSweepJoinTest, IdenticalRectanglesAllPair) {
+  std::vector<KeyPointer> r, s;
+  for (uint64_t i = 0; i < 10; ++i) {
+    r.push_back({Rect(0, 0, 1, 1), i});
+    s.push_back({Rect(0, 0, 1, 1), 100 + i});
+  }
+  for (const auto algo :
+       {SweepAlgorithm::kForwardSweep, SweepAlgorithm::kIntervalTreeSweep}) {
+    EXPECT_EQ(RunJoin(r, s, algo).size(), 100u);
+  }
+}
+
+TEST(PlaneSweepJoinTest, PointRectanglesTouchCount) {
+  // Degenerate (zero-area) MBRs — points — touching an edge.
+  std::vector<KeyPointer> r = {{Rect(1, 1, 1, 1), 1}};
+  std::vector<KeyPointer> s = {{Rect(1, 1, 2, 2), 2},
+                               {Rect(1.5, 1.5, 1.5, 1.5), 3}};
+  const PairSet expected = {{1, 2}};
+  EXPECT_EQ(RunJoin(r, s, SweepAlgorithm::kForwardSweep), expected);
+  EXPECT_EQ(RunJoin(r, s, SweepAlgorithm::kIntervalTreeSweep), expected);
+}
+
+struct SweepCase {
+  uint64_t seed;
+  size_t nr;
+  size_t ns;
+  double max_size;  // Rect size relative to a 100x100 extent.
+};
+
+class PlaneSweepPropertyTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PlaneSweepPropertyTest, AllAlgorithmsMatchNestedLoops) {
+  const SweepCase& c = GetParam();
+  Rng rng(c.seed);
+  const auto r = RandomRects(&rng, c.nr, 100.0, c.max_size, 0);
+  const auto s = RandomRects(&rng, c.ns, 100.0, c.max_size, 1 << 20);
+  const PairSet expected = RunJoin(r, s, SweepAlgorithm::kNestedLoops);
+  EXPECT_EQ(RunJoin(r, s, SweepAlgorithm::kForwardSweep), expected);
+  EXPECT_EQ(RunJoin(r, s, SweepAlgorithm::kIntervalTreeSweep), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, PlaneSweepPropertyTest,
+    ::testing::Values(SweepCase{1, 50, 50, 5.0},
+                      SweepCase{2, 200, 200, 2.0},
+                      SweepCase{3, 500, 100, 10.0},
+                      SweepCase{4, 1, 500, 50.0},
+                      SweepCase{5, 300, 300, 0.5},
+                      SweepCase{6, 100, 100, 100.0},  // Huge overlap.
+                      SweepCase{7, 1000, 1000, 1.0}));
+
+TEST(PlaneSweepJoinTest, ReturnsEmittedCount) {
+  Rng rng(9);
+  auto r = RandomRects(&rng, 100, 50, 5, 0);
+  auto s = RandomRects(&rng, 100, 50, 5, 1000);
+  uint64_t emitted = 0;
+  const uint64_t reported =
+      PlaneSweepJoin(&r, &s, [&](uint64_t, uint64_t) { ++emitted; });
+  EXPECT_EQ(reported, emitted);
+}
+
+}  // namespace
+}  // namespace pbsm

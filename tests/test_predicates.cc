@@ -1,0 +1,195 @@
+#include "geom/predicates.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/geometry.h"
+
+namespace pbsm {
+namespace {
+
+Geometry UnitSquare() {
+  return Geometry::MakePolygon({{{0, 0}, {10, 0}, {10, 10}, {0, 10}}});
+}
+
+Geometry SwissCheese() {
+  // 10x10 square with a 2x2 hole centered at (5, 5).
+  return Geometry::MakePolygon({{{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+                                {{4, 4}, {6, 4}, {6, 6}, {4, 6}}});
+}
+
+TEST(PointInRingTest, InsideOutsideBoundary) {
+  const std::vector<Point> ring = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  EXPECT_TRUE(PointInRing({5, 5}, ring));
+  EXPECT_FALSE(PointInRing({-1, 5}, ring));
+  EXPECT_FALSE(PointInRing({11, 5}, ring));
+  EXPECT_TRUE(PointInRing({0, 5}, ring));    // On edge.
+  EXPECT_TRUE(PointInRing({10, 10}, ring));  // On vertex.
+}
+
+TEST(PointInRingTest, ConcaveRing) {
+  // A "U" shape: the notch interior is outside.
+  const std::vector<Point> ring = {{0, 0}, {10, 0}, {10, 10}, {7, 10},
+                                   {7, 3},  {3, 3},  {3, 10},  {0, 10}};
+  EXPECT_TRUE(PointInRing({1, 5}, ring));    // Left arm.
+  EXPECT_TRUE(PointInRing({8, 5}, ring));    // Right arm.
+  EXPECT_FALSE(PointInRing({5, 5}, ring));   // The notch.
+  EXPECT_TRUE(PointInRing({5, 1}, ring));    // The base.
+}
+
+TEST(PointInPolygonTest, HolesExcludeInterior) {
+  const Geometry g = SwissCheese();
+  EXPECT_TRUE(PointInPolygon({1, 1}, g));
+  EXPECT_FALSE(PointInPolygon({5, 5}, g));   // Strictly inside the hole.
+  EXPECT_TRUE(PointInPolygon({4, 5}, g));    // On the hole boundary.
+  EXPECT_FALSE(PointInPolygon({-1, -1}, g));
+}
+
+TEST(SegmentSetsIntersectTest, NaiveAndSweepAgreeOnHandCases) {
+  const std::vector<Segment> red = {{{0, 0}, {5, 5}}, {{6, 0}, {9, 0}}};
+  const std::vector<Segment> blue_hit = {{{0, 5}, {5, 0}}};
+  const std::vector<Segment> blue_miss = {{{20, 20}, {30, 30}}};
+  for (const auto mode :
+       {SegmentTestMode::kNaive, SegmentTestMode::kPlaneSweep}) {
+    EXPECT_TRUE(SegmentSetsIntersect(red, blue_hit, mode));
+    EXPECT_FALSE(SegmentSetsIntersect(red, blue_miss, mode));
+    EXPECT_FALSE(SegmentSetsIntersect({}, blue_hit, mode));
+    EXPECT_FALSE(SegmentSetsIntersect(red, {}, mode));
+  }
+}
+
+TEST(IntersectsTest, PointCases) {
+  const Geometry p = Geometry::MakePoint({5, 5});
+  EXPECT_TRUE(Intersects(p, Geometry::MakePoint({5, 5})));
+  EXPECT_FALSE(Intersects(p, Geometry::MakePoint({5, 6})));
+  const Geometry line = Geometry::MakePolyline({{0, 0}, {10, 10}});
+  EXPECT_TRUE(Intersects(p, line));
+  EXPECT_TRUE(Intersects(line, p));  // Symmetric dispatch.
+  EXPECT_FALSE(Intersects(Geometry::MakePoint({5, 6}), line));
+  EXPECT_TRUE(Intersects(p, UnitSquare()));
+  EXPECT_FALSE(Intersects(Geometry::MakePoint({5, 5}), SwissCheese()));
+}
+
+TEST(IntersectsTest, PolylinePolyline) {
+  const Geometry a = Geometry::MakePolyline({{0, 0}, {10, 10}});
+  const Geometry b = Geometry::MakePolyline({{0, 10}, {10, 0}});
+  const Geometry c = Geometry::MakePolyline({{20, 20}, {30, 30}});
+  EXPECT_TRUE(Intersects(a, b));
+  EXPECT_FALSE(Intersects(a, c));
+  // MBRs overlap but the chains do not touch.
+  const Geometry d = Geometry::MakePolyline({{0, 9}, {4, 9.5}, {0, 9.8}});
+  const Geometry e = Geometry::MakePolyline({{5, 0}, {6, 9}, {7, 0}});
+  EXPECT_FALSE(Intersects(d, e));
+}
+
+TEST(IntersectsTest, PolylinePolygon) {
+  const Geometry square = UnitSquare();
+  // Crossing the boundary.
+  EXPECT_TRUE(Intersects(Geometry::MakePolyline({{-5, 5}, {5, 5}}), square));
+  // Entirely inside.
+  EXPECT_TRUE(Intersects(Geometry::MakePolyline({{1, 1}, {2, 2}}), square));
+  // Entirely outside.
+  EXPECT_FALSE(
+      Intersects(Geometry::MakePolyline({{20, 20}, {30, 30}}), square));
+  // Entirely within the hole: no intersection with the swiss cheese.
+  EXPECT_FALSE(Intersects(Geometry::MakePolyline({{4.5, 4.8}, {5.5, 5.2}}),
+                          SwissCheese()));
+}
+
+TEST(IntersectsTest, PolygonPolygon) {
+  const Geometry a = UnitSquare();
+  const Geometry b =
+      Geometry::MakePolygon({{{5, 5}, {15, 5}, {15, 15}, {5, 15}}});
+  const Geometry c =
+      Geometry::MakePolygon({{{20, 20}, {30, 20}, {25, 30}}});
+  EXPECT_TRUE(Intersects(a, b));
+  EXPECT_FALSE(Intersects(a, c));
+  // Containment without boundary contact.
+  const Geometry inner =
+      Geometry::MakePolygon({{{2, 2}, {3, 2}, {3, 3}, {2, 3}}});
+  EXPECT_TRUE(Intersects(a, inner));
+  EXPECT_TRUE(Intersects(inner, a));
+  // A polygon inside the hole of the swiss cheese does not intersect it.
+  const Geometry in_hole =
+      Geometry::MakePolygon({{{4.5, 4.5}, {5.5, 4.5}, {5.5, 5.5}, {4.5, 5.5}}});
+  EXPECT_FALSE(Intersects(in_hole, SwissCheese()));
+  EXPECT_FALSE(Intersects(SwissCheese(), in_hole));
+}
+
+TEST(ContainsTest, BasicContainment) {
+  const Geometry outer = UnitSquare();
+  EXPECT_TRUE(Contains(outer, Geometry::MakePoint({5, 5})));
+  EXPECT_FALSE(Contains(outer, Geometry::MakePoint({15, 5})));
+  EXPECT_TRUE(
+      Contains(outer, Geometry::MakePolyline({{1, 1}, {9, 9}})));
+  EXPECT_FALSE(
+      Contains(outer, Geometry::MakePolyline({{5, 5}, {15, 5}})));
+  const Geometry inner =
+      Geometry::MakePolygon({{{2, 2}, {8, 2}, {8, 8}, {2, 8}}});
+  EXPECT_TRUE(Contains(outer, inner));
+  EXPECT_FALSE(Contains(inner, outer));
+}
+
+TEST(ContainsTest, NonPolygonOuterIsRejected) {
+  const Geometry line = Geometry::MakePolyline({{0, 0}, {10, 10}});
+  EXPECT_FALSE(Contains(line, Geometry::MakePoint({5, 5})));
+}
+
+TEST(ContainsTest, HolePokingIntoInnerBreaksContainment) {
+  const Geometry cheese = SwissCheese();
+  // Inner polygon surrounds the hole: the hole carves it, so not contained.
+  const Geometry around_hole =
+      Geometry::MakePolygon({{{3, 3}, {7, 3}, {7, 7}, {3, 7}}});
+  EXPECT_FALSE(Contains(cheese, around_hole));
+  // Inner polygon clear of the hole is contained.
+  const Geometry clear =
+      Geometry::MakePolygon({{{1, 1}, {3, 1}, {3, 3}, {1, 3}}});
+  EXPECT_TRUE(Contains(cheese, clear));
+  // A point inside the hole is not contained.
+  EXPECT_FALSE(Contains(cheese, Geometry::MakePoint({5, 5})));
+}
+
+TEST(ContainsTest, NaiveAndSweepModesAgree) {
+  const Geometry outer = SwissCheese();
+  const std::vector<Geometry> inners = {
+      Geometry::MakePolygon({{{1, 1}, {3, 1}, {3, 3}, {1, 3}}}),
+      Geometry::MakePolygon({{{3, 3}, {7, 3}, {7, 7}, {3, 7}}}),
+      Geometry::MakePolyline({{1, 1}, {9, 1}}),
+      Geometry::MakePolyline({{1, 1}, {11, 1}}),
+  };
+  for (const Geometry& g : inners) {
+    EXPECT_EQ(Contains(outer, g, SegmentTestMode::kNaive),
+              Contains(outer, g, SegmentTestMode::kPlaneSweep));
+  }
+}
+
+/// Property: the two segment-set algorithms agree on random inputs.
+class SegmentSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmentSetPropertyTest, NaiveMatchesSweep) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 300; ++iter) {
+    auto make_set = [&](size_t n) {
+      std::vector<Segment> segs;
+      for (size_t i = 0; i < n; ++i) {
+        const Point a{rng.UniformDouble(0, 20), rng.UniformDouble(0, 20)};
+        const Point b{a.x + rng.UniformDouble(-3, 3),
+                      a.y + rng.UniformDouble(-3, 3)};
+        segs.push_back({a, b});
+      }
+      return segs;
+    };
+    const auto red = make_set(1 + rng.Uniform(20));
+    const auto blue = make_set(1 + rng.Uniform(20));
+    EXPECT_EQ(SegmentSetsIntersect(red, blue, SegmentTestMode::kNaive),
+              SegmentSetsIntersect(red, blue, SegmentTestMode::kPlaneSweep));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentSetPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace pbsm

@@ -1,0 +1,172 @@
+#include "core/refinement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "datagen/loader.h"
+#include "datagen/tiger_gen.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+using PairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+/// Fixture with two tiny relations and helpers to run refinement directly.
+class RefinementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<StorageEnv>(256 * kPageSize);
+    // R: three horizontal polylines. S: three vertical ones. r_i crosses
+    // s_j for all i, j by construction (a grid).
+    std::vector<Tuple> r_tuples, s_tuples;
+    for (int i = 0; i < 3; ++i) {
+      Tuple t;
+      t.id = i;
+      t.name = "r";
+      t.geometry = Geometry::MakePolyline(
+          {{0.0, 1.0 + i}, {10.0, 1.0 + i}});
+      r_tuples.push_back(t);
+      Tuple u;
+      u.id = i;
+      u.name = "s";
+      u.geometry = Geometry::MakePolyline(
+          {{1.0 + i, 0.0}, {1.0 + i, 10.0}});
+      s_tuples.push_back(u);
+    }
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        StoredRelation r, LoadRelation(env_->pool(), nullptr, "r", r_tuples));
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        StoredRelation s, LoadRelation(env_->pool(), nullptr, "s", s_tuples));
+    r_ = std::make_unique<StoredRelation>(std::move(r));
+    s_ = std::make_unique<StoredRelation>(std::move(s));
+  }
+
+  /// All 9 (r, s) OID pairs.
+  std::vector<OidPair> AllPairs() {
+    std::vector<uint64_t> r_oids, s_oids;
+    EXPECT_TRUE(r_->heap
+                    .Scan([&](Oid oid, const char*, size_t) -> Status {
+                      r_oids.push_back(oid.Encode());
+                      return Status::OK();
+                    })
+                    .ok());
+    EXPECT_TRUE(s_->heap
+                    .Scan([&](Oid oid, const char*, size_t) -> Status {
+                      s_oids.push_back(oid.Encode());
+                      return Status::OK();
+                    })
+                    .ok());
+    std::vector<OidPair> pairs;
+    for (uint64_t r : r_oids) {
+      for (uint64_t s : s_oids) pairs.push_back(OidPair{r, s});
+    }
+    return pairs;
+  }
+
+  std::unique_ptr<StorageEnv> env_;
+  std::unique_ptr<StoredRelation> r_, s_;
+};
+
+TEST_F(RefinementTest, AllCandidatesSurviveWhenAllIntersect) {
+  CandidateSorter sorter(env_->pool(), 1 << 20, OidPairLess{});
+  for (const OidPair& p : AllPairs()) PBSM_ASSERT_OK(sorter.Add(p));
+  JoinOptions opts;
+  JoinCostBreakdown breakdown;
+  PairSet results;
+  PBSM_ASSERT_OK(RefineCandidates(
+      &sorter, r_->heap, s_->heap, SpatialPredicate::kIntersects, opts,
+      [&](Oid r, Oid s) { results.emplace(r.Encode(), s.Encode()); },
+      &breakdown));
+  EXPECT_EQ(breakdown.results, 9u);
+  EXPECT_EQ(results.size(), 9u);
+  EXPECT_EQ(breakdown.duplicates_removed, 0u);
+}
+
+TEST_F(RefinementTest, DuplicatesAreRemovedAndCounted) {
+  CandidateSorter sorter(env_->pool(), 1 << 20, OidPairLess{});
+  const auto pairs = AllPairs();
+  // Each pair three times, interleaved.
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const OidPair& p : pairs) PBSM_ASSERT_OK(sorter.Add(p));
+  }
+  JoinOptions opts;
+  JoinCostBreakdown breakdown;
+  PBSM_ASSERT_OK(RefineCandidates(&sorter, r_->heap, s_->heap,
+                                  SpatialPredicate::kIntersects, opts, {},
+                                  &breakdown));
+  EXPECT_EQ(breakdown.results, 9u);
+  EXPECT_EQ(breakdown.duplicates_removed, 18u);
+}
+
+TEST_F(RefinementTest, TinyBudgetSplitsBlocksWithoutLosingPairs) {
+  // A budget so small that every R tuple forms its own block; push-back at
+  // block boundaries must not drop or duplicate results.
+  for (const size_t budget : {size_t{1}, size_t{64}, size_t{200},
+                              size_t{1000}}) {
+    CandidateSorter sorter(env_->pool(), 1 << 20, OidPairLess{});
+    for (int rep = 0; rep < 2; ++rep) {
+      for (const OidPair& p : AllPairs()) PBSM_ASSERT_OK(sorter.Add(p));
+    }
+    JoinOptions opts;
+    opts.memory_budget_bytes = budget;
+    JoinCostBreakdown breakdown;
+    PairSet results;
+    PBSM_ASSERT_OK(RefineCandidates(
+        &sorter, r_->heap, s_->heap, SpatialPredicate::kIntersects, opts,
+        [&](Oid r, Oid s) { results.emplace(r.Encode(), s.Encode()); },
+        &breakdown));
+    EXPECT_EQ(results.size(), 9u) << "budget=" << budget;
+    EXPECT_EQ(breakdown.results, 9u) << "budget=" << budget;
+    EXPECT_EQ(breakdown.duplicates_removed, 9u) << "budget=" << budget;
+  }
+}
+
+TEST_F(RefinementTest, NonIntersectingCandidatesAreFiltered) {
+  // Hand in candidates that do NOT intersect (false positives from MBRs).
+  std::vector<Tuple> far_tuples;
+  Tuple t;
+  t.id = 99;
+  t.name = "far";
+  t.geometry = Geometry::MakePolyline({{100, 100}, {110, 110}});
+  far_tuples.push_back(t);
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation far,
+      LoadRelation(env_->pool(), nullptr, "far", far_tuples));
+  uint64_t far_oid = 0;
+  PBSM_ASSERT_OK(far.heap.Scan([&](Oid oid, const char*, size_t) -> Status {
+    far_oid = oid.Encode();
+    return Status::OK();
+  }));
+
+  CandidateSorter sorter(env_->pool(), 1 << 20, OidPairLess{});
+  uint64_t r0 = 0;
+  PBSM_ASSERT_OK(r_->heap.Scan([&](Oid oid, const char*, size_t) -> Status {
+    r0 = oid.Encode();
+    return Status::OK();
+  }));
+  PBSM_ASSERT_OK(sorter.Add(OidPair{r0, far_oid}));
+  JoinOptions opts;
+  JoinCostBreakdown breakdown;
+  PBSM_ASSERT_OK(RefineCandidates(&sorter, r_->heap, far.heap,
+                                  SpatialPredicate::kIntersects, opts, {},
+                                  &breakdown));
+  EXPECT_EQ(breakdown.results, 0u);
+}
+
+TEST_F(RefinementTest, EmptyCandidateStream) {
+  CandidateSorter sorter(env_->pool(), 1 << 20, OidPairLess{});
+  JoinOptions opts;
+  JoinCostBreakdown breakdown;
+  PBSM_ASSERT_OK(RefineCandidates(&sorter, r_->heap, s_->heap,
+                                  SpatialPredicate::kIntersects, opts, {},
+                                  &breakdown));
+  EXPECT_EQ(breakdown.results, 0u);
+  EXPECT_EQ(breakdown.duplicates_removed, 0u);
+}
+
+}  // namespace
+}  // namespace pbsm

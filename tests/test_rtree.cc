@@ -1,0 +1,215 @@
+#include "rtree/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+std::vector<RTreeEntry> RandomEntries(Rng* rng, size_t n, double extent,
+                                      double max_size) {
+  std::vector<RTreeEntry> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng->UniformDouble(0, extent);
+    const double y = rng->UniformDouble(0, extent);
+    out.push_back(RTreeEntry{Rect(x, y, x + rng->NextDouble() * max_size,
+                                  y + rng->NextDouble() * max_size),
+                             i});
+  }
+  return out;
+}
+
+std::set<uint64_t> BruteForceQuery(const std::vector<RTreeEntry>& entries,
+                                   const Rect& window) {
+  std::set<uint64_t> out;
+  for (const RTreeEntry& e : entries) {
+    if (e.mbr.Intersects(window)) out.insert(e.handle);
+  }
+  return out;
+}
+
+std::set<uint64_t> TreeQuery(const RStarTree& tree, const Rect& window) {
+  std::vector<uint64_t> hits;
+  EXPECT_TRUE(tree.WindowQuery(window, &hits).ok());
+  return std::set<uint64_t>(hits.begin(), hits.end());
+}
+
+/// Walks the tree checking structural invariants:
+///  * child entry MBRs are contained in the parent entry's MBR,
+///  * levels decrease by one per step,
+///  * non-root nodes hold >= kMinEntries entries (insert-built trees).
+void CheckInvariants(const RStarTree& tree, uint32_t page_no,
+                     uint16_t expected_level, const Rect* parent_mbr,
+                     bool check_min_fill, uint64_t* leaf_entries) {
+  uint16_t level;
+  std::vector<RTreeEntry> entries;
+  PBSM_ASSERT_OK(tree.ReadNode(page_no, &level, &entries));
+  EXPECT_EQ(level, expected_level);
+  if (parent_mbr != nullptr) {
+    for (const RTreeEntry& e : entries) {
+      EXPECT_TRUE(parent_mbr->Contains(e.mbr))
+          << "child MBR escapes parent at level " << level;
+    }
+    if (check_min_fill) {
+      EXPECT_GE(entries.size(), RStarTree::kMinEntries);
+    }
+  }
+  EXPECT_LE(entries.size(), RStarTree::kMaxEntries);
+  if (level == 0) {
+    *leaf_entries += entries.size();
+    return;
+  }
+  for (const RTreeEntry& e : entries) {
+    CheckInvariants(tree, static_cast<uint32_t>(e.handle), level - 1, &e.mbr,
+                    check_min_fill, leaf_entries);
+  }
+}
+
+TEST(RStarTreeTest, EmptyTreeQueries) {
+  StorageEnv env(128 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(RStarTree tree,
+                            RStarTree::Create(env.pool(), "t.rtree"));
+  EXPECT_EQ(tree.height(), 1u);
+  std::vector<uint64_t> hits;
+  PBSM_ASSERT_OK(tree.WindowQuery(Rect(0, 0, 100, 100), &hits));
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(RStarTreeTest, InsertAndQuerySmall) {
+  StorageEnv env(128 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(RStarTree tree,
+                            RStarTree::Create(env.pool(), "t.rtree"));
+  PBSM_ASSERT_OK(tree.Insert(Rect(0, 0, 1, 1), 1));
+  PBSM_ASSERT_OK(tree.Insert(Rect(5, 5, 6, 6), 2));
+  PBSM_ASSERT_OK(tree.Insert(Rect(0.5, 0.5, 5.5, 5.5), 3));
+  EXPECT_EQ(tree.num_entries(), 3u);
+  EXPECT_EQ(TreeQuery(tree, Rect(0, 0, 2, 2)),
+            (std::set<uint64_t>{1, 3}));
+  EXPECT_EQ(TreeQuery(tree, Rect(10, 10, 20, 20)), (std::set<uint64_t>{}));
+  // Touching window (closed semantics).
+  EXPECT_EQ(TreeQuery(tree, Rect(6, 6, 7, 7)), (std::set<uint64_t>{2}));
+}
+
+class RTreeBuildTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeBuildTest, InsertBuiltTreeMatchesBruteForce) {
+  const size_t n = GetParam();
+  StorageEnv env(512 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(RStarTree tree,
+                            RStarTree::Create(env.pool(), "t.rtree"));
+  Rng rng(n);
+  const auto entries = RandomEntries(&rng, n, 100.0, 3.0);
+  for (const RTreeEntry& e : entries) {
+    PBSM_ASSERT_OK(tree.Insert(e.mbr, e.handle));
+  }
+  EXPECT_EQ(tree.num_entries(), n);
+
+  // Structural invariants (insert-built trees respect min fill).
+  uint64_t leaf_entries = 0;
+  CheckInvariants(tree, tree.root_page(), tree.height() - 1, nullptr,
+                  /*check_min_fill=*/true, &leaf_entries);
+  EXPECT_EQ(leaf_entries, n);
+
+  for (int q = 0; q < 50; ++q) {
+    const double x = rng.UniformDouble(0, 100);
+    const double y = rng.UniformDouble(0, 100);
+    const Rect window(x, y, x + rng.NextDouble() * 20,
+                      y + rng.NextDouble() * 20);
+    EXPECT_EQ(TreeQuery(tree, window), BruteForceQuery(entries, window));
+  }
+}
+
+TEST_P(RTreeBuildTest, BulkLoadedTreeMatchesBruteForce) {
+  const size_t n = GetParam();
+  StorageEnv env(512 * kPageSize);
+  Rng rng(n + 7);
+  const auto entries = RandomEntries(&rng, n, 100.0, 3.0);
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      RStarTree tree,
+      RStarTree::BulkLoad(env.pool(), "t.rtree", entries, 0.75));
+  EXPECT_EQ(tree.num_entries(), n);
+
+  uint64_t leaf_entries = 0;
+  CheckInvariants(tree, tree.root_page(), tree.height() - 1, nullptr,
+                  /*check_min_fill=*/false, &leaf_entries);
+  EXPECT_EQ(leaf_entries, n);
+
+  for (int q = 0; q < 50; ++q) {
+    const double x = rng.UniformDouble(0, 100);
+    const double y = rng.UniformDouble(0, 100);
+    const Rect window(x, y, x + rng.NextDouble() * 20,
+                      y + rng.NextDouble() * 20);
+    EXPECT_EQ(TreeQuery(tree, window), BruteForceQuery(entries, window));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeBuildTest,
+                         ::testing::Values(10, 200, 1000, 5000));
+
+TEST(RStarTreeTest, BulkLoadEmptyInput) {
+  StorageEnv env(64 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      RStarTree tree, RStarTree::BulkLoad(env.pool(), "t.rtree", {}, 0.75));
+  EXPECT_EQ(tree.height(), 1u);
+  std::vector<uint64_t> hits;
+  PBSM_ASSERT_OK(tree.WindowQuery(Rect(0, 0, 1, 1), &hits));
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(RStarTreeTest, BulkLoadGrowsMultipleLevels) {
+  StorageEnv env(1024 * kPageSize);
+  Rng rng(5);
+  const auto entries = RandomEntries(&rng, 3000, 100.0, 1.0);
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      RStarTree tree,
+      RStarTree::BulkLoad(env.pool(), "t.rtree", entries, 0.75));
+  EXPECT_GE(tree.height(), 2u);
+  PBSM_ASSERT_OK_AND_ASSIGN(const RTreeStats stats, tree.ComputeStats());
+  EXPECT_EQ(stats.num_entries, 3000u);
+  EXPECT_GT(stats.num_nodes, 15u);
+  EXPECT_EQ(stats.size_bytes, stats.num_nodes * kPageSize);
+  EXPECT_EQ(stats.height, tree.height());
+}
+
+TEST(RStarTreeTest, BulkLoadFillFactorControlsNodeCount) {
+  StorageEnv env(1024 * kPageSize);
+  Rng rng(6);
+  const auto entries = RandomEntries(&rng, 4000, 100.0, 1.0);
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      RStarTree dense,
+      RStarTree::BulkLoad(env.pool(), "dense.rtree", entries, 1.0));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      RStarTree sparse,
+      RStarTree::BulkLoad(env.pool(), "sparse.rtree", entries, 0.5));
+  PBSM_ASSERT_OK_AND_ASSIGN(const RTreeStats d, dense.ComputeStats());
+  PBSM_ASSERT_OK_AND_ASSIGN(const RTreeStats s, sparse.ComputeStats());
+  EXPECT_LT(d.num_nodes, s.num_nodes);
+}
+
+TEST(RStarTreeTest, DuplicateRectanglesSupported) {
+  StorageEnv env(256 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(RStarTree tree,
+                            RStarTree::Create(env.pool(), "t.rtree"));
+  for (uint64_t i = 0; i < 500; ++i) {
+    PBSM_ASSERT_OK(tree.Insert(Rect(1, 1, 2, 2), i));
+  }
+  EXPECT_EQ(TreeQuery(tree, Rect(1.5, 1.5, 1.6, 1.6)).size(), 500u);
+}
+
+TEST(RStarTreeTest, EntrySizeMatchesPaperKeyPointerLayout) {
+  // 4 doubles + 8-byte handle = 40 bytes; ~204 entries per 8K page. This is
+  // what makes the synthetic Road index ~24 MB at full scale, matching
+  // Table 2.
+  EXPECT_EQ(RStarTree::kMaxEntries, (kPageSize - 8) / 40);
+  EXPECT_GE(RStarTree::kMinEntries, RStarTree::kMaxEntries * 2 / 5);
+}
+
+}  // namespace
+}  // namespace pbsm

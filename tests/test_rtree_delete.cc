@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "rtree/rstar_tree.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+std::vector<RTreeEntry> RandomEntries(Rng* rng, size_t n) {
+  std::vector<RTreeEntry> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng->UniformDouble(0, 100);
+    const double y = rng->UniformDouble(0, 100);
+    out.push_back(RTreeEntry{
+        Rect(x, y, x + rng->NextDouble() * 3, y + rng->NextDouble() * 3), i});
+  }
+  return out;
+}
+
+std::set<uint64_t> TreeQuery(const RStarTree& tree, const Rect& window) {
+  std::vector<uint64_t> hits;
+  EXPECT_TRUE(tree.WindowQuery(window, &hits).ok());
+  return std::set<uint64_t>(hits.begin(), hits.end());
+}
+
+TEST(RTreeDeleteTest, DeleteFromSmallTree) {
+  StorageEnv env(128 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(RStarTree tree,
+                            RStarTree::Create(env.pool(), "t.rtree"));
+  PBSM_ASSERT_OK(tree.Insert(Rect(0, 0, 1, 1), 1));
+  PBSM_ASSERT_OK(tree.Insert(Rect(5, 5, 6, 6), 2));
+  bool found = false;
+  PBSM_ASSERT_OK(tree.Delete(Rect(0, 0, 1, 1), 1, &found));
+  EXPECT_TRUE(found);
+  EXPECT_EQ(tree.num_entries(), 1u);
+  EXPECT_EQ(TreeQuery(tree, Rect(0, 0, 10, 10)), (std::set<uint64_t>{2}));
+}
+
+TEST(RTreeDeleteTest, DeleteMissingEntryReportsNotFound) {
+  StorageEnv env(128 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(RStarTree tree,
+                            RStarTree::Create(env.pool(), "t.rtree"));
+  PBSM_ASSERT_OK(tree.Insert(Rect(0, 0, 1, 1), 1));
+  bool found = true;
+  // Right OID, wrong rectangle.
+  PBSM_ASSERT_OK(tree.Delete(Rect(0, 0, 2, 2), 1, &found));
+  EXPECT_FALSE(found);
+  // Right rectangle, wrong OID.
+  PBSM_ASSERT_OK(tree.Delete(Rect(0, 0, 1, 1), 9, &found));
+  EXPECT_FALSE(found);
+  EXPECT_EQ(tree.num_entries(), 1u);
+}
+
+TEST(RTreeDeleteTest, DeleteEverythingLeavesEmptyTree) {
+  StorageEnv env(512 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(RStarTree tree,
+                            RStarTree::Create(env.pool(), "t.rtree"));
+  Rng rng(1);
+  const auto entries = RandomEntries(&rng, 800);
+  for (const auto& e : entries) {
+    PBSM_ASSERT_OK(tree.Insert(e.mbr, e.handle));
+  }
+  EXPECT_GE(tree.height(), 2u);
+  for (const auto& e : entries) {
+    bool found = false;
+    PBSM_ASSERT_OK(tree.Delete(e.mbr, e.handle, &found));
+    EXPECT_TRUE(found);
+  }
+  EXPECT_EQ(tree.num_entries(), 0u);
+  EXPECT_TRUE(TreeQuery(tree, Rect(-1000, -1000, 1000, 1000)).empty());
+  // The root collapsed back down.
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+class RTreeChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeChurnTest, InterleavedInsertDeleteMatchesBruteForce) {
+  StorageEnv env(1024 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(RStarTree tree,
+                            RStarTree::Create(env.pool(), "t.rtree"));
+  Rng rng(GetParam());
+  std::vector<RTreeEntry> live;
+  uint64_t next_handle = 0;
+
+  for (int step = 0; step < 2500; ++step) {
+    const bool insert = live.empty() || rng.Bernoulli(0.6);
+    if (insert) {
+      const double x = rng.UniformDouble(0, 100);
+      const double y = rng.UniformDouble(0, 100);
+      const RTreeEntry e{
+          Rect(x, y, x + rng.NextDouble() * 2, y + rng.NextDouble() * 2),
+          next_handle++};
+      PBSM_ASSERT_OK(tree.Insert(e.mbr, e.handle));
+      live.push_back(e);
+    } else {
+      const size_t idx = rng.Uniform(live.size());
+      bool found = false;
+      PBSM_ASSERT_OK(tree.Delete(live[idx].mbr, live[idx].handle, &found));
+      EXPECT_TRUE(found) << "step " << step;
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+    EXPECT_EQ(tree.num_entries(), live.size());
+
+    if (step % 100 == 99) {
+      // Spot-check queries against brute force.
+      for (int q = 0; q < 5; ++q) {
+        const double x = rng.UniformDouble(0, 90);
+        const double y = rng.UniformDouble(0, 90);
+        const Rect window(x, y, x + 10, y + 10);
+        std::set<uint64_t> expected;
+        for (const auto& e : live) {
+          if (e.mbr.Intersects(window)) expected.insert(e.handle);
+        }
+        EXPECT_EQ(TreeQuery(tree, window), expected) << "step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeChurnTest, ::testing::Values(21, 22));
+
+TEST(RTreeDeleteTest, UnderflowReinsertsSurvivors) {
+  // Build a multi-node tree, delete a cluster of neighbors to force a leaf
+  // underflow; the survivors must remain queryable.
+  StorageEnv env(512 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(RStarTree tree,
+                            RStarTree::Create(env.pool(), "t.rtree"));
+  Rng rng(9);
+  const auto entries = RandomEntries(&rng, 600);
+  for (const auto& e : entries) {
+    PBSM_ASSERT_OK(tree.Insert(e.mbr, e.handle));
+  }
+  // Delete all entries in the left half of the universe.
+  std::set<uint64_t> remaining;
+  for (const auto& e : entries) {
+    if (e.mbr.Center().x < 50) {
+      bool found = false;
+      PBSM_ASSERT_OK(tree.Delete(e.mbr, e.handle, &found));
+      EXPECT_TRUE(found);
+    } else {
+      remaining.insert(e.handle);
+    }
+  }
+  EXPECT_EQ(TreeQuery(tree, Rect(-10, -10, 110, 110)), remaining);
+}
+
+}  // namespace
+}  // namespace pbsm

@@ -1,0 +1,71 @@
+#include "geom/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace pbsm {
+namespace {
+
+TEST(OrientationTest, BasicCases) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, 1}), 1);   // CCW.
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, -1}), -1); // CW.
+  EXPECT_EQ(Orientation({0, 0}, {1, 1}, {2, 2}), 0);   // Collinear.
+  EXPECT_EQ(Orientation({0, 0}, {1, 1}, {0.5, 0.5}), 0);
+}
+
+TEST(PointOnSegmentTest, OnAndOff) {
+  const Segment s{{0, 0}, {4, 4}};
+  EXPECT_TRUE(PointOnSegment({2, 2}, s));
+  EXPECT_TRUE(PointOnSegment({0, 0}, s));  // Endpoint.
+  EXPECT_TRUE(PointOnSegment({4, 4}, s));
+  EXPECT_FALSE(PointOnSegment({5, 5}, s));  // Collinear but beyond.
+  EXPECT_FALSE(PointOnSegment({2, 3}, s));  // Off the line.
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 1}}, {{2, 2}, {3, 3.5}}));
+}
+
+TEST(SegmentsIntersectTest, EndpointTouch) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}}));
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 0}}, {{1, 0}, {1, 5}}));  // T.
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {3, 0}}, {{2, 0}, {5, 0}}));
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {3, 0}}, {{3, 0}, {5, 0}}));  // Touch.
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {3, 0}}, {{3.1, 0}, {5, 0}}));
+  // Collinear but on parallel lines.
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {3, 0}}, {{0, 1}, {3, 1}}));
+}
+
+TEST(SegmentsIntersectTest, Symmetry) {
+  const Segment a{{0, 0}, {2, 2}};
+  const Segment b{{0, 2}, {2, 0}};
+  EXPECT_EQ(SegmentsIntersect(a, b), SegmentsIntersect(b, a));
+}
+
+TEST(SegmentIntersectsRectTest, Cases) {
+  const Rect r(0, 0, 10, 10);
+  // Fully inside.
+  EXPECT_TRUE(SegmentIntersectsRect({{1, 1}, {2, 2}}, r));
+  // Crossing through without endpoints inside.
+  EXPECT_TRUE(SegmentIntersectsRect({{-5, 5}, {15, 5}}, r));
+  // Touching a corner.
+  EXPECT_TRUE(SegmentIntersectsRect({{-1, 1}, {1, -1}}, r));
+  // Fully outside.
+  EXPECT_FALSE(SegmentIntersectsRect({{11, 11}, {20, 20}}, r));
+  // MBRs overlap but segment passes by the corner.
+  EXPECT_FALSE(SegmentIntersectsRect({{-3, 8}, {2, 13}}, r));
+  // Empty rect.
+  EXPECT_FALSE(SegmentIntersectsRect({{0, 0}, {1, 1}}, Rect()));
+}
+
+TEST(SegmentTest, MbrCoversEndpoints) {
+  const Segment s{{3, -1}, {-2, 4}};
+  const Rect m = s.Mbr();
+  EXPECT_EQ(m, Rect(-2, -1, 3, 4));
+}
+
+}  // namespace
+}  // namespace pbsm

@@ -1,0 +1,130 @@
+#include "core/selectivity.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/pbsm_join.h"
+#include "datagen/loader.h"
+#include "datagen/tiger_gen.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+TEST(SpatialHistogramTest, CountsAndTotals) {
+  SpatialHistogram hist(Rect(0, 0, 10, 10), 2, 2);
+  hist.Add(Rect(1, 1, 2, 2));    // Bottom-left cell.
+  hist.Add(Rect(8, 8, 9, 9));    // Top-right cell.
+  hist.Add(Rect(8.5, 1, 9, 2));  // Bottom-right cell.
+  EXPECT_EQ(hist.total_count(), 3u);
+  // Empty MBRs are ignored.
+  hist.Add(Rect());
+  EXPECT_EQ(hist.total_count(), 3u);
+}
+
+TEST(SpatialHistogramTest, DisjointDataEstimatesZeroJoin) {
+  const Rect u(0, 0, 10, 10);
+  SpatialHistogram a(u, 4, 4);
+  SpatialHistogram b(u, 4, 4);
+  // a only in the left half, b only in the right half.
+  for (int i = 0; i < 100; ++i) {
+    a.Add(Rect(1, 1, 1.2, 1.2));
+    b.Add(Rect(8, 8, 8.2, 8.2));
+  }
+  EXPECT_EQ(a.EstimateJoinCandidates(b), 0.0);
+}
+
+TEST(SpatialHistogramTest, UniformGridEstimateIsClose) {
+  // Uniform scatter of small squares: the model's assumptions hold, so the
+  // estimate should be within ~25% of the truth.
+  const Rect u(0, 0, 100, 100);
+  SpatialHistogram ha(u, 8, 8);
+  SpatialHistogram hb(u, 8, 8);
+  Rng rng(7);
+  std::vector<Rect> ra, rb;
+  auto make = [&](double size) {
+    const double x = rng.UniformDouble(0, 100 - size);
+    const double y = rng.UniformDouble(0, 100 - size);
+    return Rect(x, y, x + size, y + size);
+  };
+  for (int i = 0; i < 2000; ++i) {
+    ra.push_back(make(1.0));
+    ha.Add(ra.back());
+    rb.push_back(make(1.5));
+    hb.Add(rb.back());
+  }
+  uint64_t actual = 0;
+  for (const Rect& x : ra) {
+    for (const Rect& y : rb) {
+      if (x.Intersects(y)) ++actual;
+    }
+  }
+  const double estimate = ha.EstimateJoinCandidates(hb);
+  EXPECT_GT(estimate, 0.75 * static_cast<double>(actual));
+  EXPECT_LT(estimate, 1.25 * static_cast<double>(actual));
+}
+
+TEST(SpatialHistogramTest, SkewedTigerEstimateWithinSmallFactor) {
+  // On the skewed synthetic TIGER data the estimate should land within a
+  // small factor of the real filter-step candidate count.
+  StorageEnv env(512 * kPageSize);
+  TigerGenerator gen(TigerGenerator::Params{});
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation roads,
+      LoadRelation(env.pool(), nullptr, "road", gen.GenerateRoads(4000)));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation hydro,
+      LoadRelation(env.pool(), nullptr, "hydro",
+                   gen.GenerateHydrography(1500)));
+  const Rect universe =
+      Rect::Union(roads.info.universe, hydro.info.universe);
+
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const SpatialHistogram hr,
+      SpatialHistogram::Build(roads.heap, universe, 32, 32));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const SpatialHistogram hh,
+      SpatialHistogram::Build(hydro.heap, universe, 32, 32));
+  EXPECT_EQ(hr.total_count(), 4000u);
+
+  JoinOptions opts;
+  opts.memory_budget_bytes = 4 << 20;
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const JoinCostBreakdown cost,
+      PbsmJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
+               SpatialPredicate::kIntersects, opts));
+  const double actual =
+      static_cast<double>(cost.candidates - cost.duplicates_removed);
+  ASSERT_GT(actual, 0.0);
+  const double estimate = hr.EstimateJoinCandidates(hh);
+  EXPECT_GT(estimate, actual / 4.0) << "estimate " << estimate
+                                    << " vs actual " << actual;
+  EXPECT_LT(estimate, actual * 4.0) << "estimate " << estimate
+                                    << " vs actual " << actual;
+}
+
+TEST(SpatialHistogramTest, WindowEstimates) {
+  const Rect u(0, 0, 10, 10);
+  SpatialHistogram hist(u, 5, 5);
+  // 500 unit squares uniform over the universe.
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.UniformDouble(0, 9);
+    const double y = rng.UniformDouble(0, 9);
+    hist.Add(Rect(x, y, x + 1, y + 1));
+  }
+  // The full universe window covers everything.
+  EXPECT_NEAR(hist.EstimateWindowCount(Rect(-2, -2, 12, 12)), 500.0, 1.0);
+  // A quarter window should see roughly a quarter (+ boundary effects).
+  const double quarter = hist.EstimateWindowCount(Rect(0, 0, 5, 5));
+  EXPECT_GT(quarter, 90.0);
+  EXPECT_LT(quarter, 220.0);
+  // Empty window.
+  EXPECT_EQ(hist.EstimateWindowCount(Rect()), 0.0);
+}
+
+}  // namespace
+}  // namespace pbsm

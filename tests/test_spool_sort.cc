@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/external_sort.h"
+#include "storage/spool_file.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+TEST(SpoolFileTest, AppendReadRoundTrip) {
+  StorageEnv env;
+  PBSM_ASSERT_OK_AND_ASSIGN(SpoolFile spool,
+                            SpoolFile::Create(env.pool(), sizeof(uint64_t)));
+  for (uint64_t i = 0; i < 5000; ++i) {
+    PBSM_ASSERT_OK(spool.Append(&i));
+  }
+  EXPECT_EQ(spool.num_records(), 5000u);
+  EXPECT_GT(spool.num_pages(), 1u);
+
+  SpoolFile::Reader reader = spool.NewReader();
+  uint64_t v = 0;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    PBSM_ASSERT_OK_AND_ASSIGN(const bool has, reader.Next(&v));
+    ASSERT_TRUE(has);
+    EXPECT_EQ(v, i);
+  }
+  PBSM_ASSERT_OK_AND_ASSIGN(const bool has, reader.Next(&v));
+  EXPECT_FALSE(has);
+}
+
+TEST(SpoolFileTest, ReaderResetRestarts) {
+  StorageEnv env;
+  PBSM_ASSERT_OK_AND_ASSIGN(SpoolFile spool,
+                            SpoolFile::Create(env.pool(), sizeof(int)));
+  for (int i = 0; i < 10; ++i) PBSM_ASSERT_OK(spool.Append(&i));
+  SpoolFile::Reader reader = spool.NewReader();
+  int v;
+  PBSM_ASSERT_OK_AND_ASSIGN(bool has, reader.Next(&v));
+  ASSERT_TRUE(has);
+  reader.Reset();
+  PBSM_ASSERT_OK_AND_ASSIGN(has, reader.Next(&v));
+  ASSERT_TRUE(has);
+  EXPECT_EQ(v, 0);
+}
+
+TEST(SpoolFileTest, MultipleConcurrentReaders) {
+  StorageEnv env;
+  PBSM_ASSERT_OK_AND_ASSIGN(SpoolFile spool,
+                            SpoolFile::Create(env.pool(), sizeof(int)));
+  for (int i = 0; i < 100; ++i) PBSM_ASSERT_OK(spool.Append(&i));
+  SpoolFile::Reader r1 = spool.NewReader();
+  SpoolFile::Reader r2 = spool.NewReader();
+  int a, b;
+  for (int i = 0; i < 100; ++i) {
+    PBSM_ASSERT_OK_AND_ASSIGN(const bool has1, r1.Next(&a));
+    ASSERT_TRUE(has1);
+    if (i % 2 == 0) {
+      PBSM_ASSERT_OK_AND_ASSIGN(const bool has2, r2.Next(&b));
+      ASSERT_TRUE(has2);
+      EXPECT_EQ(b, i / 2);
+    }
+  }
+}
+
+TEST(SpoolFileTest, DropDeletesFile) {
+  StorageEnv env;
+  PBSM_ASSERT_OK_AND_ASSIGN(SpoolFile spool,
+                            SpoolFile::Create(env.pool(), 8));
+  const uint64_t x = 1;
+  PBSM_ASSERT_OK(spool.Append(&x));
+  const FileId file = spool.file();
+  PBSM_ASSERT_OK(spool.Drop());
+  EXPECT_FALSE(env.disk()->NumPages(file).ok());
+  // Double drop is a no-op.
+  PBSM_ASSERT_OK(spool.Drop());
+}
+
+struct Record {
+  uint64_t key;
+  uint64_t payload;
+};
+struct RecordLess {
+  bool operator()(const Record& a, const Record& b) const {
+    return a.key < b.key;
+  }
+};
+
+class ExternalSortTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(ExternalSortTest, MatchesStdSort) {
+  const auto [n, budget] = GetParam();
+  StorageEnv env(64 * kPageSize);
+  ExternalSorter<Record, RecordLess> sorter(env.pool(), budget, RecordLess{});
+
+  Rng rng(n * 31 + budget);
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < n; ++i) {
+    const Record rec{rng.Uniform(n * 2 + 1), i};
+    keys.push_back(rec.key);
+    PBSM_ASSERT_OK(sorter.Add(rec));
+  }
+  std::sort(keys.begin(), keys.end());
+
+  PBSM_ASSERT_OK(sorter.Finish());
+  EXPECT_EQ(sorter.num_records(), n);
+  Record rec;
+  for (size_t i = 0; i < n; ++i) {
+    PBSM_ASSERT_OK_AND_ASSIGN(const bool has, sorter.Next(&rec));
+    ASSERT_TRUE(has) << "at " << i;
+    EXPECT_EQ(rec.key, keys[i]);
+  }
+  PBSM_ASSERT_OK_AND_ASSIGN(const bool has, sorter.Next(&rec));
+  EXPECT_FALSE(has);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBudgets, ExternalSortTest,
+    ::testing::Combine(
+        // Record counts: empty, tiny, spilling sizes.
+        ::testing::Values(size_t{0}, size_t{1}, size_t{100}, size_t{5000},
+                          size_t{50000}),
+        // Budgets: force in-memory, few runs, many runs.
+        ::testing::Values(size_t{1} << 10, size_t{16} << 10,
+                          size_t{1} << 22)));
+
+TEST(ExternalSortTest, SpillsWhenBudgetExceeded) {
+  StorageEnv env(64 * kPageSize);
+  ExternalSorter<Record, RecordLess> sorter(env.pool(), 1 << 10,
+                                            RecordLess{});
+  for (uint64_t i = 0; i < 10000; ++i) {
+    PBSM_ASSERT_OK(sorter.Add(Record{10000 - i, i}));
+  }
+  PBSM_ASSERT_OK(sorter.Finish());
+  EXPECT_GT(sorter.num_runs(), 1u);
+  Record rec;
+  uint64_t prev = 0;
+  uint64_t count = 0;
+  while (true) {
+    PBSM_ASSERT_OK_AND_ASSIGN(const bool has, sorter.Next(&rec));
+    if (!has) break;
+    EXPECT_GE(rec.key, prev);
+    prev = rec.key;
+    ++count;
+  }
+  EXPECT_EQ(count, 10000u);
+}
+
+TEST(ExternalSortTest, StaysInMemoryUnderBudget) {
+  StorageEnv env;
+  ExternalSorter<Record, RecordLess> sorter(env.pool(), 1 << 20,
+                                            RecordLess{});
+  for (uint64_t i = 0; i < 100; ++i) {
+    PBSM_ASSERT_OK(sorter.Add(Record{100 - i, i}));
+  }
+  PBSM_ASSERT_OK(sorter.Finish());
+  EXPECT_EQ(sorter.num_runs(), 0u);
+}
+
+}  // namespace
+}  // namespace pbsm

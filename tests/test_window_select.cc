@@ -1,0 +1,132 @@
+#include "core/window_select.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/index_build.h"
+#include "datagen/loader.h"
+#include "datagen/tiger_gen.h"
+#include "geom/predicates.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+class WindowSelectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<StorageEnv>(512 * kPageSize);
+    TigerGenerator gen(TigerGenerator::Params{});
+    tuples_ = gen.GenerateRoads(2000);
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        StoredRelation rel,
+        LoadRelation(env_->pool(), nullptr, "road", tuples_));
+    rel_ = std::make_unique<StoredRelation>(std::move(rel));
+  }
+
+  std::set<uint64_t> BruteForce(const Rect& window) {
+    const Geometry window_polygon = Geometry::MakePolygon(
+        {{{window.xlo, window.ylo},
+          {window.xhi, window.ylo},
+          {window.xhi, window.yhi},
+          {window.xlo, window.yhi}}});
+    std::set<uint64_t> out;
+    size_t idx = 0;
+    EXPECT_TRUE(rel_->heap
+                    .Scan([&](Oid oid, const char*, size_t) -> Status {
+                      if (Intersects(tuples_[idx].geometry, window_polygon)) {
+                        out.insert(oid.Encode());
+                      }
+                      ++idx;
+                      return Status::OK();
+                    })
+                    .ok());
+    return out;
+  }
+
+  std::unique_ptr<StorageEnv> env_;
+  std::vector<Tuple> tuples_;
+  std::unique_ptr<StoredRelation> rel_;
+};
+
+TEST_F(WindowSelectTest, ScanAndIndexMatchBruteForce) {
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const RStarTree index,
+      BuildIndexByBulkLoad(env_->pool(), rel_->AsInput(), "ws.rtree", 0.75));
+
+  JoinOptions opts;
+  Rng rng(5);
+  const Rect& u = rel_->info.universe;
+  for (int q = 0; q < 25; ++q) {
+    const double x = rng.UniformDouble(u.xlo, u.xhi);
+    const double y = rng.UniformDouble(u.ylo, u.yhi);
+    const Rect window(x, y, x + u.width() / 8, y + u.height() / 8);
+    const std::set<uint64_t> expected = BruteForce(window);
+
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const SelectResult scan,
+        WindowSelect(env_->pool(), rel_->AsInput(), window,
+                     SelectAccessPath::kFullScan, opts));
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const SelectResult via_index,
+        WindowSelect(env_->pool(), rel_->AsInput(), window,
+                     SelectAccessPath::kIndex, opts, &index));
+
+    auto to_set = [](const SelectResult& r) {
+      std::set<uint64_t> s;
+      for (const Oid& oid : r.oids) s.insert(oid.Encode());
+      return s;
+    };
+    EXPECT_EQ(to_set(scan), expected) << "query " << q;
+    EXPECT_EQ(to_set(via_index), expected) << "query " << q;
+    EXPECT_GE(scan.candidates, expected.size());
+    EXPECT_GE(via_index.candidates, expected.size());
+  }
+}
+
+TEST_F(WindowSelectTest, IndexPathTouchesFewerPagesThanScan) {
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const RStarTree index,
+      BuildIndexByBulkLoad(env_->pool(), rel_->AsInput(), "ws2.rtree",
+                           0.75));
+  JoinOptions opts;
+  const Rect& u = rel_->info.universe;
+  // A tiny window in a corner.
+  const Rect window(u.xlo, u.ylo, u.xlo + u.width() / 50,
+                    u.ylo + u.height() / 50);
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const SelectResult scan,
+      WindowSelect(env_->pool(), rel_->AsInput(), window,
+                   SelectAccessPath::kFullScan, opts));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const SelectResult via_index,
+      WindowSelect(env_->pool(), rel_->AsInput(), window,
+                   SelectAccessPath::kIndex, opts, &index));
+  // The scan tests every tuple; the index visits only overlapping subtrees.
+  EXPECT_LT(via_index.candidates, scan.candidates + 1);
+  EXPECT_LE(via_index.cost.cpu_seconds, scan.cost.cpu_seconds * 2 + 1.0);
+}
+
+TEST_F(WindowSelectTest, RejectsBadArguments) {
+  JoinOptions opts;
+  EXPECT_FALSE(WindowSelect(env_->pool(), rel_->AsInput(), Rect(),
+                            SelectAccessPath::kFullScan, opts)
+                   .ok());
+  EXPECT_FALSE(WindowSelect(env_->pool(), rel_->AsInput(), Rect(0, 0, 1, 1),
+                            SelectAccessPath::kIndex, opts, nullptr)
+                   .ok());
+}
+
+TEST_F(WindowSelectTest, UniverseWindowSelectsEverything) {
+  JoinOptions opts;
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const SelectResult all,
+      WindowSelect(env_->pool(), rel_->AsInput(), rel_->info.universe,
+                   SelectAccessPath::kFullScan, opts));
+  EXPECT_EQ(all.oids.size(), tuples_.size());
+}
+
+}  // namespace
+}  // namespace pbsm

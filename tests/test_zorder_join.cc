@@ -1,0 +1,161 @@
+#include "core/zorder_join.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "core/pbsm_join.h"
+#include "datagen/loader.h"
+#include "datagen/sequoia_gen.h"
+#include "datagen/tiger_gen.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+using PairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+class ZOrderJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<StorageEnv>(1024 * kPageSize);
+    TigerGenerator gen(TigerGenerator::Params{});
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        StoredRelation roads,
+        LoadRelation(env_->pool(), nullptr, "road", gen.GenerateRoads(1500)));
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        StoredRelation hydro,
+        LoadRelation(env_->pool(), nullptr, "hydro",
+                     gen.GenerateHydrography(500)));
+    roads_ = std::make_unique<StoredRelation>(std::move(roads));
+    hydro_ = std::make_unique<StoredRelation>(std::move(hydro));
+
+    JoinOptions opts;
+    opts.memory_budget_bytes = 1 << 20;
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const JoinCostBreakdown cost,
+        PbsmJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                 SpatialPredicate::kIntersects, opts,
+                 [&](Oid r, Oid s) {
+                   expected_.emplace(r.Encode(), s.Encode());
+                 }));
+    (void)cost;
+    ASSERT_GT(expected_.size(), 0u);
+  }
+
+  std::unique_ptr<StorageEnv> env_;
+  std::unique_ptr<StoredRelation> roads_, hydro_;
+  PairSet expected_;
+};
+
+TEST_F(ZOrderJoinTest, MatchesPbsmAcrossResolutions) {
+  for (const uint32_t level : {4u, 8u, 12u}) {
+    for (const uint32_t cells : {1u, 4u, 16u}) {
+      ZOrderJoinOptions opts;
+      opts.max_level = level;
+      opts.max_cells_per_object = cells;
+      opts.join.memory_budget_bytes = 1 << 20;
+      PairSet got;
+      PBSM_ASSERT_OK_AND_ASSIGN(
+          const JoinCostBreakdown cost,
+          ZOrderJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                     SpatialPredicate::kIntersects, opts,
+                     [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); }));
+      EXPECT_EQ(got, expected_) << "level=" << level << " cells=" << cells;
+      EXPECT_EQ(cost.results, expected_.size());
+      // The z filter may over-approximate but never under-approximates.
+      EXPECT_GE(cost.candidates, expected_.size());
+    }
+  }
+}
+
+TEST_F(ZOrderJoinTest, FinerGridsFilterBetterButCostMoreElements) {
+  // Orenstein's [Ore89] tradeoff, which the paper's S2 recounts.
+  uint64_t coarse_candidates = 0, fine_candidates = 0;
+  uint64_t coarse_replication = 0, fine_replication = 0;
+  for (const bool fine : {false, true}) {
+    ZOrderJoinOptions opts;
+    opts.max_level = fine ? 12 : 4;
+    opts.max_cells_per_object = fine ? 16 : 1;
+    opts.join.memory_budget_bytes = 1 << 20;
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const JoinCostBreakdown cost,
+        ZOrderJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                   SpatialPredicate::kIntersects, opts));
+    if (fine) {
+      fine_candidates = cost.candidates;
+      fine_replication = cost.replicated;
+    } else {
+      coarse_candidates = cost.candidates;
+      coarse_replication = cost.replicated;
+    }
+  }
+  EXPECT_LT(fine_candidates, coarse_candidates);
+  EXPECT_GT(fine_replication, coarse_replication);
+}
+
+TEST_F(ZOrderJoinTest, TinyBudgetSpillsAndStillMatches) {
+  ZOrderJoinOptions opts;
+  opts.max_level = 10;
+  opts.max_cells_per_object = 8;
+  opts.join.memory_budget_bytes = 16 << 10;
+  PairSet got;
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const JoinCostBreakdown cost,
+      ZOrderJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                 SpatialPredicate::kIntersects, opts,
+                 [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); }));
+  (void)cost;
+  EXPECT_EQ(got, expected_);
+}
+
+TEST(ZOrderJoinValidationTest, RejectsBadLevels) {
+  StorageEnv env(64 * kPageSize);
+  TigerGenerator gen(TigerGenerator::Params{});
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation rel,
+      LoadRelation(env.pool(), nullptr, "r", gen.GenerateRoads(10)));
+  ZOrderJoinOptions opts;
+  opts.max_level = 0;
+  EXPECT_FALSE(ZOrderJoin(env.pool(), rel.AsInput(), rel.AsInput(),
+                          SpatialPredicate::kIntersects, opts)
+                   .ok());
+  opts.max_level = 40;
+  EXPECT_FALSE(ZOrderJoin(env.pool(), rel.AsInput(), rel.AsInput(),
+                          SpatialPredicate::kIntersects, opts)
+                   .ok());
+}
+
+TEST(ZOrderJoinValidationTest, ContainmentPredicateWorks) {
+  StorageEnv env(512 * kPageSize);
+  SequoiaGenerator gen(SequoiaGenerator::Params{});
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation polys,
+      LoadRelation(env.pool(), nullptr, "poly", gen.GeneratePolygons(150)));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation islands,
+      LoadRelation(env.pool(), nullptr, "island", gen.GenerateIslands(200)));
+  JoinOptions jopts;
+  jopts.memory_budget_bytes = 1 << 20;
+  PairSet expected;
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const JoinCostBreakdown ref,
+      PbsmJoin(env.pool(), polys.AsInput(), islands.AsInput(),
+               SpatialPredicate::kContains, jopts,
+               [&](Oid r, Oid s) { expected.emplace(r.Encode(), s.Encode()); }));
+  (void)ref;
+  ZOrderJoinOptions opts;
+  opts.join = jopts;
+  PairSet got;
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const JoinCostBreakdown cost,
+      ZOrderJoin(env.pool(), polys.AsInput(), islands.AsInput(),
+                 SpatialPredicate::kContains, opts,
+                 [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); }));
+  (void)cost;
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace pbsm
