@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bulkload.dir/bench_ablation_bulkload.cc.o"
+  "CMakeFiles/bench_ablation_bulkload.dir/bench_ablation_bulkload.cc.o.d"
+  "bench_ablation_bulkload"
+  "bench_ablation_bulkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bulkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

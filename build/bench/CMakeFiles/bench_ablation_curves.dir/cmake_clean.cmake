@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_curves.dir/bench_ablation_curves.cc.o"
+  "CMakeFiles/bench_ablation_curves.dir/bench_ablation_curves.cc.o.d"
+  "bench_ablation_curves"
+  "bench_ablation_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

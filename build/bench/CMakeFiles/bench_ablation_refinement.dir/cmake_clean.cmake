@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_refinement.dir/bench_ablation_refinement.cc.o"
+  "CMakeFiles/bench_ablation_refinement.dir/bench_ablation_refinement.cc.o.d"
+  "bench_ablation_refinement"
+  "bench_ablation_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_all_joins.dir/bench_ext_all_joins.cc.o"
+  "CMakeFiles/bench_ext_all_joins.dir/bench_ext_all_joins.cc.o.d"
+  "bench_ext_all_joins"
+  "bench_ext_all_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_all_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

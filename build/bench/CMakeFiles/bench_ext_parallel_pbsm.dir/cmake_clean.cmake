@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_parallel_pbsm.dir/bench_ext_parallel_pbsm.cc.o"
+  "CMakeFiles/bench_ext_parallel_pbsm.dir/bench_ext_parallel_pbsm.cc.o.d"
+  "bench_ext_parallel_pbsm"
+  "bench_ext_parallel_pbsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_parallel_pbsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_selectivity.dir/bench_ext_selectivity.cc.o"
+  "CMakeFiles/bench_ext_selectivity.dir/bench_ext_selectivity.cc.o.d"
+  "bench_ext_selectivity"
+  "bench_ext_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_zorder_join.dir/bench_ext_zorder_join.cc.o"
+  "CMakeFiles/bench_ext_zorder_join.dir/bench_ext_zorder_join.cc.o.d"
+  "bench_ext_zorder_join"
+  "bench_ext_zorder_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_zorder_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

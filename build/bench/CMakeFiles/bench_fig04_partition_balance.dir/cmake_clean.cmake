@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_partition_balance.dir/bench_fig04_partition_balance.cc.o"
+  "CMakeFiles/bench_fig04_partition_balance.dir/bench_fig04_partition_balance.cc.o.d"
+  "bench_fig04_partition_balance"
+  "bench_fig04_partition_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_partition_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

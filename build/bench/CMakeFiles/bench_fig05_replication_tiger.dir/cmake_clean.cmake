@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_replication_tiger.dir/bench_fig05_replication_tiger.cc.o"
+  "CMakeFiles/bench_fig05_replication_tiger.dir/bench_fig05_replication_tiger.cc.o.d"
+  "bench_fig05_replication_tiger"
+  "bench_fig05_replication_tiger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_replication_tiger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_replication_sequoia.dir/bench_fig06_replication_sequoia.cc.o"
+  "CMakeFiles/bench_fig06_replication_sequoia.dir/bench_fig06_replication_sequoia.cc.o.d"
+  "bench_fig06_replication_sequoia"
+  "bench_fig06_replication_sequoia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_replication_sequoia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_join_road_rail.dir/bench_fig08_join_road_rail.cc.o"
+  "CMakeFiles/bench_fig08_join_road_rail.dir/bench_fig08_join_road_rail.cc.o.d"
+  "bench_fig08_join_road_rail"
+  "bench_fig08_join_road_rail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_join_road_rail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

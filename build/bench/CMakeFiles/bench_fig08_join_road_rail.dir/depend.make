@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_join_road_rail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_clustered_join.dir/bench_fig09_clustered_join.cc.o"
+  "CMakeFiles/bench_fig09_clustered_join.dir/bench_fig09_clustered_join.cc.o.d"
+  "bench_fig09_clustered_join"
+  "bench_fig09_clustered_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_clustered_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

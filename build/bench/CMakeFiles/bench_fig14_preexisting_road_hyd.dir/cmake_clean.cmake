@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_preexisting_road_hyd.dir/bench_fig14_preexisting_road_hyd.cc.o"
+  "CMakeFiles/bench_fig14_preexisting_road_hyd.dir/bench_fig14_preexisting_road_hyd.cc.o.d"
+  "bench_fig14_preexisting_road_hyd"
+  "bench_fig14_preexisting_road_hyd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_preexisting_road_hyd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_preexisting_road_hyd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_geom.dir/bench_micro_geom.cc.o"
+  "CMakeFiles/bench_micro_geom.dir/bench_micro_geom.cc.o.d"
+  "bench_micro_geom"
+  "bench_micro_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

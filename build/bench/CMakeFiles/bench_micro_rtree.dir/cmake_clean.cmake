@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_rtree.dir/bench_micro_rtree.cc.o"
+  "CMakeFiles/bench_micro_rtree.dir/bench_micro_rtree.cc.o.d"
+  "bench_micro_rtree"
+  "bench_micro_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

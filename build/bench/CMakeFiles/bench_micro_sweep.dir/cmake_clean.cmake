@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sweep.dir/bench_micro_sweep.cc.o"
+  "CMakeFiles/bench_micro_sweep.dir/bench_micro_sweep.cc.o.d"
+  "bench_micro_sweep"
+  "bench_micro_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

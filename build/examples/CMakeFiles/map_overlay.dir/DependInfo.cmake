@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/map_overlay.cpp" "examples/CMakeFiles/map_overlay.dir/map_overlay.cpp.o" "gcc" "examples/CMakeFiles/map_overlay.dir/map_overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/pbsm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pbsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/pbsm_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pbsm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pbsm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pbsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_overlay.dir/map_overlay.cpp.o"
+  "CMakeFiles/map_overlay.dir/map_overlay.cpp.o.d"
+  "map_overlay"
+  "map_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_tuning.dir/partition_tuning.cpp.o"
+  "CMakeFiles/partition_tuning.dir/partition_tuning.cpp.o.d"
+  "partition_tuning"
+  "partition_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequoia_containment.dir/sequoia_containment.cpp.o"
+  "CMakeFiles/sequoia_containment.dir/sequoia_containment.cpp.o.d"
+  "sequoia_containment"
+  "sequoia_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequoia_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sequoia_containment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_join_cli.dir/spatial_join_cli.cpp.o"
+  "CMakeFiles/spatial_join_cli.dir/spatial_join_cli.cpp.o.d"
+  "spatial_join_cli"
+  "spatial_join_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_join_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbsm_common.dir/rng.cc.o"
+  "CMakeFiles/pbsm_common.dir/rng.cc.o.d"
+  "CMakeFiles/pbsm_common.dir/stats.cc.o"
+  "CMakeFiles/pbsm_common.dir/stats.cc.o.d"
+  "CMakeFiles/pbsm_common.dir/status.cc.o"
+  "CMakeFiles/pbsm_common.dir/status.cc.o.d"
+  "libpbsm_common.a"
+  "libpbsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbsm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/index_build.cc" "src/core/CMakeFiles/pbsm_core.dir/index_build.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/index_build.cc.o.d"
+  "/root/repo/src/core/inl_join.cc" "src/core/CMakeFiles/pbsm_core.dir/inl_join.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/inl_join.cc.o.d"
+  "/root/repo/src/core/interval_tree.cc" "src/core/CMakeFiles/pbsm_core.dir/interval_tree.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/interval_tree.cc.o.d"
+  "/root/repo/src/core/parallel_pbsm.cc" "src/core/CMakeFiles/pbsm_core.dir/parallel_pbsm.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/parallel_pbsm.cc.o.d"
+  "/root/repo/src/core/pbsm_join.cc" "src/core/CMakeFiles/pbsm_core.dir/pbsm_join.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/pbsm_join.cc.o.d"
+  "/root/repo/src/core/plane_sweep_join.cc" "src/core/CMakeFiles/pbsm_core.dir/plane_sweep_join.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/plane_sweep_join.cc.o.d"
+  "/root/repo/src/core/refinement.cc" "src/core/CMakeFiles/pbsm_core.dir/refinement.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/refinement.cc.o.d"
+  "/root/repo/src/core/rtree_join.cc" "src/core/CMakeFiles/pbsm_core.dir/rtree_join.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/rtree_join.cc.o.d"
+  "/root/repo/src/core/selectivity.cc" "src/core/CMakeFiles/pbsm_core.dir/selectivity.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/selectivity.cc.o.d"
+  "/root/repo/src/core/spatial_hash_join.cc" "src/core/CMakeFiles/pbsm_core.dir/spatial_hash_join.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/spatial_hash_join.cc.o.d"
+  "/root/repo/src/core/spatial_partitioner.cc" "src/core/CMakeFiles/pbsm_core.dir/spatial_partitioner.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/spatial_partitioner.cc.o.d"
+  "/root/repo/src/core/window_select.cc" "src/core/CMakeFiles/pbsm_core.dir/window_select.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/window_select.cc.o.d"
+  "/root/repo/src/core/zorder_join.cc" "src/core/CMakeFiles/pbsm_core.dir/zorder_join.cc.o" "gcc" "src/core/CMakeFiles/pbsm_core.dir/zorder_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pbsm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pbsm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/pbsm_rtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

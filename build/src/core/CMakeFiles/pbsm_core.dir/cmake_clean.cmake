@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbsm_core.dir/index_build.cc.o"
+  "CMakeFiles/pbsm_core.dir/index_build.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/inl_join.cc.o"
+  "CMakeFiles/pbsm_core.dir/inl_join.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/interval_tree.cc.o"
+  "CMakeFiles/pbsm_core.dir/interval_tree.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/parallel_pbsm.cc.o"
+  "CMakeFiles/pbsm_core.dir/parallel_pbsm.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/pbsm_join.cc.o"
+  "CMakeFiles/pbsm_core.dir/pbsm_join.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/plane_sweep_join.cc.o"
+  "CMakeFiles/pbsm_core.dir/plane_sweep_join.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/refinement.cc.o"
+  "CMakeFiles/pbsm_core.dir/refinement.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/rtree_join.cc.o"
+  "CMakeFiles/pbsm_core.dir/rtree_join.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/selectivity.cc.o"
+  "CMakeFiles/pbsm_core.dir/selectivity.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/spatial_hash_join.cc.o"
+  "CMakeFiles/pbsm_core.dir/spatial_hash_join.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/spatial_partitioner.cc.o"
+  "CMakeFiles/pbsm_core.dir/spatial_partitioner.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/window_select.cc.o"
+  "CMakeFiles/pbsm_core.dir/window_select.cc.o.d"
+  "CMakeFiles/pbsm_core.dir/zorder_join.cc.o"
+  "CMakeFiles/pbsm_core.dir/zorder_join.cc.o.d"
+  "libpbsm_core.a"
+  "libpbsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

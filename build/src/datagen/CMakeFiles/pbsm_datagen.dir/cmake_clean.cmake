@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbsm_datagen.dir/loader.cc.o"
+  "CMakeFiles/pbsm_datagen.dir/loader.cc.o.d"
+  "CMakeFiles/pbsm_datagen.dir/sequoia_gen.cc.o"
+  "CMakeFiles/pbsm_datagen.dir/sequoia_gen.cc.o.d"
+  "CMakeFiles/pbsm_datagen.dir/tiger_gen.cc.o"
+  "CMakeFiles/pbsm_datagen.dir/tiger_gen.cc.o.d"
+  "libpbsm_datagen.a"
+  "libpbsm_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbsm_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

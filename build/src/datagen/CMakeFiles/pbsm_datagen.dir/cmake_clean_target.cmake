@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpbsm_datagen.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/geometry.cc" "src/geom/CMakeFiles/pbsm_geom.dir/geometry.cc.o" "gcc" "src/geom/CMakeFiles/pbsm_geom.dir/geometry.cc.o.d"
+  "/root/repo/src/geom/hilbert.cc" "src/geom/CMakeFiles/pbsm_geom.dir/hilbert.cc.o" "gcc" "src/geom/CMakeFiles/pbsm_geom.dir/hilbert.cc.o.d"
+  "/root/repo/src/geom/mer.cc" "src/geom/CMakeFiles/pbsm_geom.dir/mer.cc.o" "gcc" "src/geom/CMakeFiles/pbsm_geom.dir/mer.cc.o.d"
+  "/root/repo/src/geom/predicates.cc" "src/geom/CMakeFiles/pbsm_geom.dir/predicates.cc.o" "gcc" "src/geom/CMakeFiles/pbsm_geom.dir/predicates.cc.o.d"
+  "/root/repo/src/geom/segment.cc" "src/geom/CMakeFiles/pbsm_geom.dir/segment.cc.o" "gcc" "src/geom/CMakeFiles/pbsm_geom.dir/segment.cc.o.d"
+  "/root/repo/src/geom/wkt.cc" "src/geom/CMakeFiles/pbsm_geom.dir/wkt.cc.o" "gcc" "src/geom/CMakeFiles/pbsm_geom.dir/wkt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbsm_geom.dir/geometry.cc.o"
+  "CMakeFiles/pbsm_geom.dir/geometry.cc.o.d"
+  "CMakeFiles/pbsm_geom.dir/hilbert.cc.o"
+  "CMakeFiles/pbsm_geom.dir/hilbert.cc.o.d"
+  "CMakeFiles/pbsm_geom.dir/mer.cc.o"
+  "CMakeFiles/pbsm_geom.dir/mer.cc.o.d"
+  "CMakeFiles/pbsm_geom.dir/predicates.cc.o"
+  "CMakeFiles/pbsm_geom.dir/predicates.cc.o.d"
+  "CMakeFiles/pbsm_geom.dir/segment.cc.o"
+  "CMakeFiles/pbsm_geom.dir/segment.cc.o.d"
+  "CMakeFiles/pbsm_geom.dir/wkt.cc.o"
+  "CMakeFiles/pbsm_geom.dir/wkt.cc.o.d"
+  "libpbsm_geom.a"
+  "libpbsm_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbsm_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbsm_rtree.dir/rstar_tree.cc.o"
+  "CMakeFiles/pbsm_rtree.dir/rstar_tree.cc.o.d"
+  "libpbsm_rtree.a"
+  "libpbsm_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbsm_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

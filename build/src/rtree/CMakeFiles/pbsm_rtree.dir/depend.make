@@ -1,0 +1,2 @@
+# Empty dependencies file for pbsm_rtree.
+# This may be replaced when dependencies are built.

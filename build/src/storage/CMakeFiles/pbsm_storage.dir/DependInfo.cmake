@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/pbsm_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/pbsm_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/storage/CMakeFiles/pbsm_storage.dir/disk_manager.cc.o" "gcc" "src/storage/CMakeFiles/pbsm_storage.dir/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/storage/CMakeFiles/pbsm_storage.dir/heap_file.cc.o" "gcc" "src/storage/CMakeFiles/pbsm_storage.dir/heap_file.cc.o.d"
+  "/root/repo/src/storage/spool_file.cc" "src/storage/CMakeFiles/pbsm_storage.dir/spool_file.cc.o" "gcc" "src/storage/CMakeFiles/pbsm_storage.dir/spool_file.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/storage/CMakeFiles/pbsm_storage.dir/tuple.cc.o" "gcc" "src/storage/CMakeFiles/pbsm_storage.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pbsm_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

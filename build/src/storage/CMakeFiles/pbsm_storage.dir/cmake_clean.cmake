@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbsm_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/pbsm_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/pbsm_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/pbsm_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/pbsm_storage.dir/heap_file.cc.o"
+  "CMakeFiles/pbsm_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/pbsm_storage.dir/spool_file.cc.o"
+  "CMakeFiles/pbsm_storage.dir/spool_file.cc.o.d"
+  "CMakeFiles/pbsm_storage.dir/tuple.cc.o"
+  "CMakeFiles/pbsm_storage.dir/tuple.cc.o.d"
+  "libpbsm_storage.a"
+  "libpbsm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbsm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

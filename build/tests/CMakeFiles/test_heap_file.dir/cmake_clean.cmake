@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heap_file.dir/test_heap_file.cc.o"
+  "CMakeFiles/test_heap_file.dir/test_heap_file.cc.o.d"
+  "test_heap_file"
+  "test_heap_file.pdb"
+  "test_heap_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heap_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

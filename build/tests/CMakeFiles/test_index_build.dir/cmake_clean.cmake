@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_build.dir/test_index_build.cc.o"
+  "CMakeFiles/test_index_build.dir/test_index_build.cc.o.d"
+  "test_index_build"
+  "test_index_build.pdb"
+  "test_index_build[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_index_build.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intersection_points.dir/test_intersection_points.cc.o"
+  "CMakeFiles/test_intersection_points.dir/test_intersection_points.cc.o.d"
+  "test_intersection_points"
+  "test_intersection_points.pdb"
+  "test_intersection_points[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intersection_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

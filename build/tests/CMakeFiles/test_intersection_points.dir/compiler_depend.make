@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_intersection_points.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_tree.dir/test_interval_tree.cc.o"
+  "CMakeFiles/test_interval_tree.dir/test_interval_tree.cc.o.d"
+  "test_interval_tree"
+  "test_interval_tree.pdb"
+  "test_interval_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

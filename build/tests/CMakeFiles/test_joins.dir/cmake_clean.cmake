@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_joins.dir/test_joins.cc.o"
+  "CMakeFiles/test_joins.dir/test_joins.cc.o.d"
+  "test_joins"
+  "test_joins.pdb"
+  "test_joins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mer.dir/test_mer.cc.o"
+  "CMakeFiles/test_mer.dir/test_mer.cc.o.d"
+  "test_mer"
+  "test_mer.pdb"
+  "test_mer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_pbsm.dir/test_parallel_pbsm.cc.o"
+  "CMakeFiles/test_parallel_pbsm.dir/test_parallel_pbsm.cc.o.d"
+  "test_parallel_pbsm"
+  "test_parallel_pbsm.pdb"
+  "test_parallel_pbsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_pbsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioner.dir/test_partitioner.cc.o"
+  "CMakeFiles/test_partitioner.dir/test_partitioner.cc.o.d"
+  "test_partitioner"
+  "test_partitioner.pdb"
+  "test_partitioner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

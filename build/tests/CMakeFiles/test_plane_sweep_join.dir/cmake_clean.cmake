@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plane_sweep_join.dir/test_plane_sweep_join.cc.o"
+  "CMakeFiles/test_plane_sweep_join.dir/test_plane_sweep_join.cc.o.d"
+  "test_plane_sweep_join"
+  "test_plane_sweep_join.pdb"
+  "test_plane_sweep_join[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plane_sweep_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_plane_sweep_join.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predicates.dir/test_predicates.cc.o"
+  "CMakeFiles/test_predicates.dir/test_predicates.cc.o.d"
+  "test_predicates"
+  "test_predicates.pdb"
+  "test_predicates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

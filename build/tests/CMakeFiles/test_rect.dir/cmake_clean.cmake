@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rect.dir/test_rect.cc.o"
+  "CMakeFiles/test_rect.dir/test_rect.cc.o.d"
+  "test_rect"
+  "test_rect.pdb"
+  "test_rect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refinement.dir/test_refinement.cc.o"
+  "CMakeFiles/test_refinement.dir/test_refinement.cc.o.d"
+  "test_refinement"
+  "test_refinement.pdb"
+  "test_refinement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_stats.dir/test_rng_stats.cc.o"
+  "CMakeFiles/test_rng_stats.dir/test_rng_stats.cc.o.d"
+  "test_rng_stats"
+  "test_rng_stats.pdb"
+  "test_rng_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

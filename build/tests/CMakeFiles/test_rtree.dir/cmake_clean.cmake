@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtree.dir/test_rtree.cc.o"
+  "CMakeFiles/test_rtree.dir/test_rtree.cc.o.d"
+  "test_rtree"
+  "test_rtree.pdb"
+  "test_rtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtree_delete.dir/test_rtree_delete.cc.o"
+  "CMakeFiles/test_rtree_delete.dir/test_rtree_delete.cc.o.d"
+  "test_rtree_delete"
+  "test_rtree_delete.pdb"
+  "test_rtree_delete[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtree_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segment.dir/test_segment.cc.o"
+  "CMakeFiles/test_segment.dir/test_segment.cc.o.d"
+  "test_segment"
+  "test_segment.pdb"
+  "test_segment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

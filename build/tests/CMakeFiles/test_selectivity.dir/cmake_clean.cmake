@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selectivity.dir/test_selectivity.cc.o"
+  "CMakeFiles/test_selectivity.dir/test_selectivity.cc.o.d"
+  "test_selectivity"
+  "test_selectivity.pdb"
+  "test_selectivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_hash_join.dir/test_spatial_hash_join.cc.o"
+  "CMakeFiles/test_spatial_hash_join.dir/test_spatial_hash_join.cc.o.d"
+  "test_spatial_hash_join"
+  "test_spatial_hash_join.pdb"
+  "test_spatial_hash_join[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_hash_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spool_sort.dir/test_spool_sort.cc.o"
+  "CMakeFiles/test_spool_sort.dir/test_spool_sort.cc.o.d"
+  "test_spool_sort"
+  "test_spool_sort.pdb"
+  "test_spool_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spool_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

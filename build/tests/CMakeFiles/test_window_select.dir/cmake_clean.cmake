@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_select.dir/test_window_select.cc.o"
+  "CMakeFiles/test_window_select.dir/test_window_select.cc.o.d"
+  "test_window_select"
+  "test_window_select.pdb"
+  "test_window_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

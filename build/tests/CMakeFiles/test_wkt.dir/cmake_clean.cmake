@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wkt.dir/test_wkt.cc.o"
+  "CMakeFiles/test_wkt.dir/test_wkt.cc.o.d"
+  "test_wkt"
+  "test_wkt.pdb"
+  "test_wkt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wkt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zorder_join.dir/test_zorder_join.cc.o"
+  "CMakeFiles/test_zorder_join.dir/test_zorder_join.cc.o.d"
+  "test_zorder_join"
+  "test_zorder_join.pdb"
+  "test_zorder_join[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zorder_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

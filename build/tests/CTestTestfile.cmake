@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_datagen[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_heap_file[1]_include.cmake")
+include("/root/repo/build/tests/test_hilbert[1]_include.cmake")
+include("/root/repo/build/tests/test_index_build[1]_include.cmake")
+include("/root/repo/build/tests/test_intersection_points[1]_include.cmake")
+include("/root/repo/build/tests/test_interval_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_joins[1]_include.cmake")
+include("/root/repo/build/tests/test_mer[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_pbsm[1]_include.cmake")
+include("/root/repo/build/tests/test_partitioner[1]_include.cmake")
+include("/root/repo/build/tests/test_plane_sweep_join[1]_include.cmake")
+include("/root/repo/build/tests/test_predicates[1]_include.cmake")
+include("/root/repo/build/tests/test_rect[1]_include.cmake")
+include("/root/repo/build/tests/test_refinement[1]_include.cmake")
+include("/root/repo/build/tests/test_rng_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_rtree[1]_include.cmake")
+include("/root/repo/build/tests/test_rtree_delete[1]_include.cmake")
+include("/root/repo/build/tests/test_segment[1]_include.cmake")
+include("/root/repo/build/tests/test_selectivity[1]_include.cmake")
+include("/root/repo/build/tests/test_spatial_hash_join[1]_include.cmake")
+include("/root/repo/build/tests/test_spool_sort[1]_include.cmake")
+include("/root/repo/build/tests/test_status[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_window_select[1]_include.cmake")
+include("/root/repo/build/tests/test_wkt[1]_include.cmake")
+include("/root/repo/build/tests/test_zorder_join[1]_include.cmake")
