@@ -1,0 +1,113 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace pbsm {
+
+namespace {
+thread_local int t_current_worker = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const size_t home = next_queue_.fetch_add(1) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[home]->mutex);
+    queues_[home]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++queued_;
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOneTask(size_t worker_index) {
+  std::function<void()> task;
+  // Own queue first, newest task (back).
+  {
+    WorkQueue& own = *queues_[worker_index];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  // Steal the oldest task (front) of the first non-empty sibling.
+  if (!task) {
+    const size_t n = queues_.size();
+    for (size_t off = 1; off < n && !task; ++off) {
+      WorkQueue& victim = *queues_[(worker_index + off) % n];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    --queued_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    --pending_;
+    if (pending_ == 0) done_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  t_current_worker = static_cast<int>(worker_index);
+  while (true) {
+    if (TryRunOneTask(worker_index)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  for (size_t i = 0; i < n; ++i) {
+    Submit([&fn, i] { fn(i); });
+  }
+  Wait();
+}
+
+int ThreadPool::CurrentWorker() { return t_current_worker; }
+
+size_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace pbsm

@@ -1,0 +1,80 @@
+#ifndef PBSM_COMMON_THREAD_POOL_H_
+#define PBSM_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pbsm {
+
+/// A small work-stealing thread pool for the parallel join executors.
+///
+/// Each worker owns a deque of tasks. Submit() distributes tasks round-robin
+/// across the worker deques; a worker pops from the back of its own deque
+/// (newest first, cache-hot) and, when it runs dry, steals from the front of
+/// a sibling's deque (oldest first), so long-running tasks submitted early
+/// migrate to idle workers instead of serialising behind their home worker.
+///
+/// Tasks must not throw. Use Wait() to join a batch of submitted tasks; the
+/// pool itself stays alive for the next batch (phases reuse one pool).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Must not be
+  /// called from inside a pool task.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Index of the pool worker executing the current task, or -1 when called
+  /// from a thread outside this pool. Lets callers keep per-worker
+  /// accumulators without locks (a worker runs its tasks serially).
+  static int CurrentWorker();
+
+  /// std::thread::hardware_concurrency with a fallback of 1.
+  static size_t DefaultThreads();
+
+ private:
+  struct WorkQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  bool TryRunOneTask(size_t worker_index);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Guards the sleep/wake protocol; queued_/pending_ are modified under it
+  // so notifications cannot be lost between a predicate check and the wait.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;   ///< Signals "work available" / "stop".
+  std::condition_variable done_cv_;   ///< Signals "all tasks finished".
+  size_t queued_ = 0;    ///< Tasks enqueued but not yet picked up.
+  size_t pending_ = 0;   ///< Tasks submitted but not yet finished.
+  bool stop_ = false;
+  std::atomic<size_t> next_queue_{0};
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_COMMON_THREAD_POOL_H_

@@ -52,6 +52,10 @@ struct JoinOptions {
 
   // --- Index construction (INL / R-tree join) ---
   double index_fill_factor = 0.75;
+
+  // --- Parallel execution (ParallelPbsmJoin; serial joins ignore it) ---
+  /// Worker threads for the parallel executor. 0 = hardware concurrency.
+  uint32_t num_threads = 0;
 };
 
 /// Evaluates the exact predicate on two geometries.

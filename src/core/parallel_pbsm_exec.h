@@ -1,0 +1,86 @@
+#ifndef PBSM_CORE_PARALLEL_PBSM_EXEC_H_
+#define PBSM_CORE_PARALLEL_PBSM_EXEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/join_cost.h"
+#include "core/join_options.h"
+#include "storage/buffer_pool.h"
+
+namespace pbsm {
+
+/// Execution statistics of one ParallelPbsmJoin run, beyond the cost
+/// breakdown: per-phase wall times and per-worker/per-task busy times for
+/// load-balance and scalability analysis.
+struct ParallelJoinStats {
+  uint32_t num_threads = 0;
+
+  double partition_wall_seconds = 0.0;  ///< Parallel filter scan + route.
+  double sweep_wall_seconds = 0.0;      ///< Concurrent per-partition sweeps.
+  double merge_wall_seconds = 0.0;      ///< Serial candidate merge + dedup.
+  double refine_wall_seconds = 0.0;     ///< Parallel sharded refinement.
+  double total_wall_seconds = 0.0;
+
+  /// Busy seconds per pool worker, summed over every task it executed
+  /// (all phases). Work-stealing makes the assignment dynamic.
+  std::vector<double> worker_busy_seconds;
+  /// Busy seconds of each phase-1 range-scan task (2 x threads tasks:
+  /// one per input chunk).
+  std::vector<double> partition_task_seconds;
+  /// Busy seconds of each per-partition sweep task (empty pairs included
+  /// as 0 so the index matches the partition number).
+  std::vector<double> sweep_task_seconds;
+  /// Busy seconds of each refinement shard task.
+  std::vector<double> refine_task_seconds;
+
+  /// Coefficient of variation of the non-empty per-partition sweep times —
+  /// the partition-balance metric (the parallel analogue of Figure 4).
+  double SweepBalanceCov() const;
+
+  /// Sum of all task busy seconds (the single-thread work equivalent).
+  double TotalBusySeconds() const;
+
+  /// TotalBusySeconds / max worker busy seconds: the speedup a machine with
+  /// one core per worker would achieve on this task decomposition. On a
+  /// host with fewer cores than workers, wall-clock speedup is capped by
+  /// the hardware while this metric still reflects the decomposition.
+  double CriticalPathSpeedup() const;
+};
+
+/// Real shared-memory parallel PBSM join (the threaded counterpart of the
+/// cost-model-only SimulateParallelPbsm):
+///
+///  * filter: the page ranges of both inputs are split across
+///    opts.num_threads scan tasks, each routing key-pointers into private
+///    per-partition buffers (no locks; buffers are merged by partition id
+///    at the phase barrier);
+///  * sweep: each partition pair is an independent task — gather the
+///    thread-local buffers for that partition, plane-sweep them (recursive
+///    in-memory repartition on budget overflow, §3.5), sort the emitted
+///    candidates;
+///  * refinement: the sorted per-partition candidate runs are k-way merged
+///    with duplicate elimination, then the de-duplicated array is sharded
+///    on OID_R boundaries and refined concurrently (each shard fetches
+///    disjoint R tuples through the now thread-safe buffer pool).
+///
+/// Produces exactly the de-duplicated result pairs of the serial PbsmJoin.
+/// `sink` may be called concurrently from worker threads (calls are
+/// serialised internally, but arrival order is nondeterministic).
+///
+/// In the returned breakdown, each phase's cpu_seconds is the phase's
+/// *wall-clock* time (workers run concurrently) and its io counters are the
+/// aggregate physical I/O of the phase; per-task busy times live in
+/// `*stats` (optional).
+Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
+                                           const JoinInput& r,
+                                           const JoinInput& s,
+                                           SpatialPredicate pred,
+                                           const JoinOptions& opts,
+                                           const ResultSink& sink = {},
+                                           ParallelJoinStats* stats = nullptr);
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_PARALLEL_PBSM_EXEC_H_

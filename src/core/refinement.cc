@@ -28,42 +28,22 @@ struct BlockPair {
 
 }  // namespace
 
-Status RefineCandidates(CandidateSorter* candidates,
-                        const HeapFile& r_heap, const HeapFile& s_heap,
-                        SpatialPredicate pred, const JoinOptions& opts,
-                        const ResultSink& sink,
+Status RefinePairStream(const SortedPairStream& next, const HeapFile& r_heap,
+                        const HeapFile& s_heap, SpatialPredicate pred,
+                        const JoinOptions& opts, const ResultSink& sink,
                         JoinCostBreakdown* breakdown) {
-  PBSM_RETURN_IF_ERROR(candidates->Finish());
-
-  bool have_prev = false;
-  OidPair prev{};
-  OidPair next{};
-  bool pending = false;  // `next` holds an unconsumed pair.
+  OidPair pushed_back{};
+  bool pending = false;  // `pushed_back` holds an unconsumed pair.
   std::string record;
 
-  // Reads the next de-duplicated pair; false at end.
-  auto next_unique = [&](OidPair* out) -> Result<bool> {
+  // Reads the next pair, honouring a block-boundary push-back.
+  auto pull = [&](OidPair* out) -> Result<bool> {
     if (pending) {
-      // A pair pushed back at a block boundary was already de-duplicated on
-      // its first read; return it as-is (prev still equals it, so genuine
-      // later duplicates are still caught).
       pending = false;
-      *out = next;
+      *out = pushed_back;
       return true;
     }
-    while (true) {
-      OidPair pair;
-      PBSM_ASSIGN_OR_RETURN(const bool has, candidates->Next(&pair));
-      if (!has) return false;
-      if (have_prev && pair == prev) {
-        ++breakdown->duplicates_removed;
-        continue;
-      }
-      have_prev = true;
-      prev = pair;
-      *out = pair;
-      return true;
-    }
+    return next(out);
   };
 
   while (true) {
@@ -75,7 +55,7 @@ Status RefineCandidates(CandidateSorter* candidates,
 
     while (true) {
       OidPair pair;
-      PBSM_ASSIGN_OR_RETURN(const bool has, next_unique(&pair));
+      PBSM_ASSIGN_OR_RETURN(const bool has, pull(&pair));
       if (!has) {
         end_of_stream = true;
         break;
@@ -85,10 +65,8 @@ Status RefineCandidates(CandidateSorter* candidates,
         if (!r_tuples.empty() &&
             block_bytes + sizeof(BlockPair) >= opts.memory_budget_bytes) {
           // Block full; push the pair back for the next block.
-          next = pair;
+          pushed_back = pair;
           pending = true;
-          // Un-consume for dedup purposes: `prev` already equals `pair`,
-          // which is correct — the same pair cannot reappear.
           break;
         }
         PBSM_RETURN_IF_ERROR(r_heap.Fetch(Oid::Decode(pair.r), &record));
@@ -162,6 +140,37 @@ Status RefineCandidates(CandidateSorter* candidates,
     if (end_of_stream) break;
   }
   return Status::OK();
+}
+
+Status RefineCandidates(CandidateSorter* candidates,
+                        const HeapFile& r_heap, const HeapFile& s_heap,
+                        SpatialPredicate pred, const JoinOptions& opts,
+                        const ResultSink& sink,
+                        JoinCostBreakdown* breakdown) {
+  PBSM_RETURN_IF_ERROR(candidates->Finish());
+
+  bool have_prev = false;
+  OidPair prev{};
+  // De-duplicating stream over the sorted candidates. A pair pushed back at
+  // a block boundary by RefinePairStream was already de-duplicated on its
+  // first read; `prev` still equals it, so genuine later duplicates are
+  // still caught.
+  const SortedPairStream next = [&](OidPair* out) -> Result<bool> {
+    while (true) {
+      OidPair pair;
+      PBSM_ASSIGN_OR_RETURN(const bool has, candidates->Next(&pair));
+      if (!has) return false;
+      if (have_prev && pair == prev) {
+        ++breakdown->duplicates_removed;
+        continue;
+      }
+      have_prev = true;
+      prev = pair;
+      *out = pair;
+      return true;
+    }
+  };
+  return RefinePairStream(next, r_heap, s_heap, pred, opts, sink, breakdown);
 }
 
 }  // namespace pbsm

@@ -17,6 +17,21 @@ struct OidPairLess {
 /// External sorter over filter-step candidates.
 using CandidateSorter = ExternalSorter<OidPair, OidPairLess>;
 
+/// Pull-function producing the next already-de-duplicated candidate pair in
+/// (OID_R, OID_S) order; returns false at end of stream.
+using SortedPairStream = std::function<Result<bool>(OidPair*)>;
+
+/// Core of the refinement step, driven by any sorted, de-duplicated pair
+/// stream — the serial path wraps an external sorter (RefineCandidates),
+/// the parallel executor wraps a contiguous shard of an in-memory sorted
+/// candidate array. Steps 2-4 of the §3.2 algorithm: block-wise R fetches
+/// in OID order, per-block re-sort on OID_S ("swizzling"), sequential S
+/// fetches, exact predicate evaluation. Updates breakdown->results only.
+Status RefinePairStream(const SortedPairStream& next, const HeapFile& r_heap,
+                        const HeapFile& s_heap, SpatialPredicate pred,
+                        const JoinOptions& opts, const ResultSink& sink,
+                        JoinCostBreakdown* breakdown);
+
 /// The refinement step shared by PBSM and the R-tree join (§3.2):
 ///
 ///  1. externally sorts the candidate pairs on (OID_R, OID_S), dropping

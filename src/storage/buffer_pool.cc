@@ -29,7 +29,18 @@ BufferPool::~BufferPool() {
   (void)FlushAll();
 }
 
+uint64_t BufferPool::hit_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t BufferPool::miss_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
 void BufferPool::Unpin(size_t frame, bool dirty) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Frame& f = frames_[frame];
   PBSM_CHECK(f.pin_count > 0) << "unpin of unpinned frame";
   --f.pin_count;
@@ -37,75 +48,127 @@ void BufferPool::Unpin(size_t frame, bool dirty) {
   f.referenced = true;
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
-  // First pass: any unused frame.
+Status BufferPool::FlushDirtyUnpinned(std::unique_lock<std::mutex>* lock) {
+  // SHORE behaviour (paper §4.6): when a dirty page must be flushed, write
+  // *all* dirty unpinned pages in sorted (file, page) order so consecutive
+  // pages go out in one near-sequential sweep. Each frame is latched
+  // (io_busy) before the lock is dropped so nothing pins or evicts it while
+  // its bytes are in flight.
+  std::vector<size_t> dirty;
   for (size_t i = 0; i < frames_.size(); ++i) {
-    if (!frames_[i].in_use) return i;
+    Frame& f = frames_[i];
+    if (f.in_use && f.dirty && f.pin_count == 0 && !f.io_busy) {
+      f.io_busy = true;
+      dirty.push_back(i);
+    }
   }
-  // Clock sweep: give each referenced unpinned frame one second chance.
-  const size_t n = frames_.size();
-  for (size_t sweep = 0; sweep < 2 * n; ++sweep) {
-    Frame& f = frames_[clock_hand_];
-    const size_t current = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % n;
-    if (f.pin_count > 0) continue;
-    if (f.referenced) {
-      f.referenced = false;
-      continue;
+  std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
+    return frames_[a].id < frames_[b].id;
+  });
+
+  lock->unlock();
+  Status status;
+  size_t written = 0;
+  for (; written < dirty.size(); ++written) {
+    Frame& f = frames_[dirty[written]];
+    status = disk_->WritePage(f.id, f.data.get());
+    if (!status.ok()) break;
+  }
+  lock->lock();
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    Frame& f = frames_[dirty[i]];
+    if (i < written) f.dirty = false;
+    f.io_busy = false;
+  }
+  io_cv_.notify_all();
+  return status;
+}
+
+Result<size_t> BufferPool::GetVictimFrame(std::unique_lock<std::mutex>* lock) {
+  // The flush drops the lock, so frame states can change under us; restart
+  // the selection after each flush round. Every flush cleans at least the
+  // frame that triggered it, so the retry bound is only hit when other
+  // threads re-dirty frames faster than we can flush them.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    // First pass: any unused frame.
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      if (!frames_[i].in_use && !frames_[i].io_busy) return i;
     }
-    if (f.dirty) {
-      // SHORE behaviour (paper §4.6): when a dirty page must be flushed,
-      // write *all* dirty unpinned pages in sorted (file, page) order so
-      // consecutive pages go out in one near-sequential sweep.
-      std::vector<size_t> dirty;
-      for (size_t i = 0; i < frames_.size(); ++i) {
-        if (frames_[i].in_use && frames_[i].dirty &&
-            frames_[i].pin_count == 0) {
-          dirty.push_back(i);
-        }
+    // Clock sweep: give each referenced unpinned frame one second chance.
+    const size_t n = frames_.size();
+    bool flushed = false;
+    for (size_t sweep = 0; sweep < 2 * n; ++sweep) {
+      Frame& f = frames_[clock_hand_];
+      const size_t current = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % n;
+      if (f.pin_count > 0 || f.io_busy) continue;
+      if (f.referenced) {
+        f.referenced = false;
+        continue;
       }
-      std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
-        return frames_[a].id < frames_[b].id;
-      });
-      for (size_t i : dirty) {
-        PBSM_RETURN_IF_ERROR(
-            disk_->WritePage(frames_[i].id, frames_[i].data.get()));
-        frames_[i].dirty = false;
+      if (f.dirty) {
+        PBSM_RETURN_IF_ERROR(FlushDirtyUnpinned(lock));
+        flushed = true;
+        break;
       }
+      page_table_.erase(f.id);
+      f.in_use = false;
+      return current;
     }
-    page_table_.erase(f.id);
-    f.in_use = false;
-    return current;
+    if (!flushed) break;
   }
   return Status::ResourceExhausted("all buffer pool frames are pinned");
 }
 
 Result<PageHandle> BufferPool::FetchPage(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    ++hits_;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    auto it = page_table_.find(id);
+    if (it == page_table_.end()) break;
     Frame& f = frames_[it->second];
+    if (f.io_busy) {
+      // Another thread is reading this page in (or flushing it); wait for
+      // the latch, then re-probe — the frame may have been repurposed.
+      io_cv_.wait(lock);
+      continue;
+    }
+    ++hits_;
     ++f.pin_count;
     f.referenced = true;
     return PageHandle(this, it->second, id, f.data.get());
   }
   ++misses_;
-  PBSM_ASSIGN_OR_RETURN(const size_t victim, GetVictimFrame());
+  PBSM_ASSIGN_OR_RETURN(const size_t victim, GetVictimFrame(&lock));
   Frame& f = frames_[victim];
-  PBSM_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
   f.id = id;
   f.pin_count = 1;
   f.dirty = false;
   f.referenced = true;
   f.in_use = true;
+  f.io_busy = true;
+  // Publish the mapping before the read so concurrent fetchers of the same
+  // page wait on the latch instead of double-reading into a second frame.
   page_table_[id] = victim;
+  lock.unlock();
+  const Status read = disk_->ReadPage(id, f.data.get());
+  lock.lock();
+  f.io_busy = false;
+  if (!read.ok()) {
+    page_table_.erase(id);
+    f.in_use = false;
+    f.pin_count = 0;
+    io_cv_.notify_all();
+    return read;
+  }
+  io_cv_.notify_all();
   return PageHandle(this, victim, id, f.data.get());
 }
 
 Result<PageHandle> BufferPool::NewPage(FileId file) {
   PBSM_ASSIGN_OR_RETURN(const uint32_t page_no, disk_->AllocatePage(file));
   const PageId id{file, page_no};
-  PBSM_ASSIGN_OR_RETURN(const size_t victim, GetVictimFrame());
+  std::unique_lock<std::mutex> lock(mutex_);
+  PBSM_ASSIGN_OR_RETURN(const size_t victim, GetVictimFrame(&lock));
   Frame& f = frames_[victim];
   std::memset(f.data.get(), 0, kPageSize);
   f.id = id;
@@ -114,31 +177,49 @@ Result<PageHandle> BufferPool::NewPage(FileId file) {
   f.referenced = true;
   f.in_use = true;
   page_table_[id] = victim;
-  PageHandle handle(this, victim, id, f.data.get());
-  return handle;
+  return PageHandle(this, victim, id, f.data.get());
 }
 
 Status BufferPool::FlushAll() {
   // SHORE-style: sort dirty pages so the flush is as sequential as possible.
+  // Unlike the eviction flush this includes pinned pages — callers promise
+  // quiescence (shutdown, checkpoints).
+  std::unique_lock<std::mutex> lock(mutex_);
   std::vector<size_t> dirty;
   for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].in_use && frames_[i].dirty) dirty.push_back(i);
+    Frame& f = frames_[i];
+    if (f.in_use && f.dirty && !f.io_busy) {
+      f.io_busy = true;
+      dirty.push_back(i);
+    }
   }
   std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
     return frames_[a].id < frames_[b].id;
   });
-  for (size_t i : dirty) {
-    PBSM_RETURN_IF_ERROR(disk_->WritePage(frames_[i].id, frames_[i].data.get()));
-    frames_[i].dirty = false;
+  lock.unlock();
+  Status status;
+  size_t written = 0;
+  for (; written < dirty.size(); ++written) {
+    Frame& f = frames_[dirty[written]];
+    status = disk_->WritePage(f.id, f.data.get());
+    if (!status.ok()) break;
   }
-  return Status::OK();
+  lock.lock();
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    Frame& f = frames_[dirty[i]];
+    if (i < written) f.dirty = false;
+    f.io_busy = false;
+  }
+  io_cv_.notify_all();
+  return status;
 }
 
 Status BufferPool::DropFile(FileId file) {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (f.in_use && f.id.file == file) {
-      if (f.pin_count > 0) {
+      if (f.pin_count > 0 || f.io_busy) {
         return Status::FailedPrecondition("dropping file with pinned pages");
       }
       page_table_.erase(f.id);
@@ -146,6 +227,7 @@ Status BufferPool::DropFile(FileId file) {
       f.dirty = false;
     }
   }
+  lock.unlock();
   return disk_->DeleteFile(file);
 }
 

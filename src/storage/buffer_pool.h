@@ -1,8 +1,10 @@
 #ifndef PBSM_STORAGE_BUFFER_POOL_H_
 #define PBSM_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -24,16 +26,28 @@ class PageHandle {
 
   PageHandle(const PageHandle&) = delete;
   PageHandle& operator=(const PageHandle&) = delete;
-  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
-  PageHandle& operator=(PageHandle&& o) noexcept {
-    Release();
-    pool_ = o.pool_;
-    frame_ = o.frame_;
-    id_ = o.id_;
-    data_ = o.data_;
-    dirty_ = o.dirty_;
+  PageHandle(PageHandle&& o) noexcept
+      : pool_(o.pool_),
+        frame_(o.frame_),
+        id_(o.id_),
+        data_(o.data_),
+        dirty_(o.dirty_) {
     o.pool_ = nullptr;
     o.data_ = nullptr;
+    o.dirty_ = false;
+  }
+  PageHandle& operator=(PageHandle&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      id_ = o.id_;
+      data_ = o.data_;
+      dirty_ = o.dirty_;
+      o.pool_ = nullptr;
+      o.data_ = nullptr;
+      o.dirty_ = false;
+    }
     return *this;
   }
 
@@ -57,7 +71,8 @@ class PageHandle {
   bool dirty_ = false;
 };
 
-/// Fixed-capacity page cache with CLOCK replacement.
+/// Fixed-capacity page cache with CLOCK replacement, safe for concurrent use
+/// from many threads.
 ///
 /// Mirrors the SHORE behaviours the paper leans on:
 ///  * operators do not manage their own partition buffers — they pin/unpin
@@ -65,6 +80,18 @@ class PageHandle {
 ///  * when dirty pages must be flushed, the pool writes them in sorted
 ///    (file, page) order to turn random evictions into near-sequential disk
 ///    writes (§4.6 of the paper).
+///
+/// Latching protocol: one pool mutex guards the page table, the frame
+/// metadata (pin counts, dirty/reference bits) and the clock hand; it is
+/// never held across disk I/O. A frame doing I/O (being read in on a miss,
+/// or written out during an eviction flush) is marked `io_busy`, which acts
+/// as the per-frame latch: the miss path skips io_busy frames during victim
+/// selection, and the hit path waits on `io_cv_` until the latch clears, so
+/// page bytes are never read or replaced mid-transfer. Pinned frames are
+/// never evicted, so the data pointer inside a PageHandle stays valid
+/// without holding any lock — concurrent readers of a pinned page are safe;
+/// writers of the *same* page must coordinate externally (the executors
+/// only ever write thread-private pages).
 class BufferPool {
  public:
   /// `pool_bytes` is rounded down to whole pages (>= 1 page enforced).
@@ -81,6 +108,7 @@ class BufferPool {
   Result<PageHandle> NewPage(FileId file);
 
   /// Writes back every dirty page (sorted order), keeping contents cached.
+  /// Requires that no concurrent thread is mutating pinned pages.
   Status FlushAll();
 
   /// Drops all frames belonging to `file` without writing them back, then
@@ -89,8 +117,8 @@ class BufferPool {
 
   size_t capacity_pages() const { return frames_.size(); }
   size_t pool_bytes() const { return frames_.size() * kPageSize; }
-  uint64_t hit_count() const { return hits_; }
-  uint64_t miss_count() const { return misses_; }
+  uint64_t hit_count() const;
+  uint64_t miss_count() const;
 
   DiskManager* disk() const { return disk_; }
 
@@ -104,14 +132,25 @@ class BufferPool {
     bool dirty = false;
     bool referenced = false;
     bool in_use = false;
+    bool io_busy = false;  ///< Per-frame latch: disk I/O in flight.
   };
 
-  /// Finds a victim frame (clock sweep), flushing it if dirty.
-  Result<size_t> GetVictimFrame();
+  /// Finds a victim frame (clock sweep), flushing dirty candidates if
+  /// needed. Called with *lock held; may release it around disk writes.
+  Result<size_t> GetVictimFrame(std::unique_lock<std::mutex>* lock);
+
+  /// Writes out all clean-able dirty frames in sorted (file, page) order.
+  /// Called with *lock held; releases it around the writes.
+  Status FlushDirtyUnpinned(std::unique_lock<std::mutex>* lock);
+
   void Unpin(size_t frame, bool dirty);
 
   DiskManager* disk_;
   std::vector<Frame> frames_;
+
+  mutable std::mutex mutex_;
+  /// Signalled whenever a frame's io_busy latch clears.
+  std::condition_variable io_cv_;
   std::unordered_map<PageId, size_t, PageIdHash> page_table_;
   size_t clock_hand_ = 0;
   uint64_t hits_ = 0;

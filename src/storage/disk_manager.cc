@@ -35,15 +35,18 @@ Result<FileId> DiskManager::OpenNewFile(const std::string& path) {
 }
 
 Result<FileId> DiskManager::CreateFile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return OpenNewFile(directory_ + "/" + name);
 }
 
 Result<FileId> DiskManager::CreateTempFile() {
+  std::lock_guard<std::mutex> lock(mutex_);
   return OpenNewFile(directory_ + "/tmp_" + std::to_string(temp_counter_++) +
                      ".spool");
 }
 
 Status DiskManager::DeleteFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = files_.find(file);
   if (it == files_.end()) {
     return Status::NotFound("file id " + std::to_string(file));
@@ -80,6 +83,7 @@ void DiskManager::Account(PageId id, bool is_write) {
 }
 
 Result<uint32_t> DiskManager::AllocatePage(FileId file) {
+  std::lock_guard<std::mutex> lock(mutex_);
   FileState* state = GetFile(file);
   if (state == nullptr) {
     return Status::NotFound("file id " + std::to_string(file));
@@ -94,6 +98,7 @@ Result<uint32_t> DiskManager::AllocatePage(FileId file) {
 }
 
 Status DiskManager::ReadPage(PageId id, char* buf) {
+  std::lock_guard<std::mutex> lock(mutex_);
   FileState* state = GetFile(id.file);
   if (state == nullptr) {
     return Status::NotFound("file id " + std::to_string(id.file));
@@ -112,6 +117,7 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
 }
 
 Status DiskManager::WritePage(PageId id, const char* buf) {
+  std::lock_guard<std::mutex> lock(mutex_);
   FileState* state = GetFile(id.file);
   if (state == nullptr) {
     return Status::NotFound("file id " + std::to_string(id.file));
@@ -130,6 +136,7 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
 }
 
 Result<uint32_t> DiskManager::NumPages(FileId file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const FileState* state = GetFile(file);
   if (state == nullptr) {
     return Status::NotFound("file id " + std::to_string(file));

@@ -2,6 +2,7 @@
 #define PBSM_STORAGE_DISK_MANAGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -61,6 +62,11 @@ struct IoStats {
 /// and costed with the DiskModel. The classification is device-wide, not
 /// per-file — interleaved access to two files destroys sequentiality exactly
 /// as it did on the paper's single data disk.
+///
+/// Thread-safe: a single mutex serialises file-table mutation, page I/O and
+/// stats accounting. Serialising the I/O itself is deliberate — it models
+/// the one spindle of the paper's machine, and keeps the device-wide
+/// sequentiality classification meaningful under concurrency.
 class DiskManager {
  public:
   /// Files are created under `directory` (created if absent).
@@ -94,8 +100,14 @@ class DiskManager {
   /// File size in bytes.
   Result<uint64_t> FileBytes(FileId file) const;
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats(); }
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = IoStats();
+  }
   const DiskModel& model() const { return model_; }
 
   const std::string& directory() const { return directory_; }
@@ -114,6 +126,7 @@ class DiskManager {
 
   std::string directory_;
   DiskModel model_;
+  mutable std::mutex mutex_;
   std::unordered_map<FileId, FileState> files_;
   FileId next_file_id_ = 1;
   uint64_t temp_counter_ = 0;

@@ -67,6 +67,11 @@ class HeapFile {
   template <typename Fn>
   Status Scan(Fn fn) const;
 
+  /// Scans only pages [first_page, end_page) — the unit the parallel filter
+  /// step uses to range-split a relation across worker threads.
+  template <typename Fn>
+  Status ScanPages(uint32_t first_page, uint32_t end_page, Fn fn) const;
+
   /// Pull-style sequential cursor over all records in physical order.
   /// Holds at most one pinned page between calls.
   class Cursor {
@@ -112,7 +117,14 @@ class HeapFile {
 
 template <typename Fn>
 Status HeapFile::Scan(Fn fn) const {
-  for (uint32_t page_no = 0; page_no < num_pages_; ++page_no) {
+  return ScanPages(0, num_pages_, fn);
+}
+
+template <typename Fn>
+Status HeapFile::ScanPages(uint32_t first_page, uint32_t end_page,
+                           Fn fn) const {
+  if (end_page > num_pages_) end_page = num_pages_;
+  for (uint32_t page_no = first_page; page_no < end_page; ++page_no) {
     PBSM_ASSIGN_OR_RETURN(PageHandle page,
                           pool_->FetchPage(PageId{file_, page_no}));
     const char* base = page.data();

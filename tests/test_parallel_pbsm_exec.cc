@@ -1,0 +1,175 @@
+#include "core/parallel_pbsm_exec.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/pbsm_join.h"
+#include "datagen/loader.h"
+#include "datagen/tiger_gen.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+using PairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool tp(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    tp.Submit([&count] { count.fetch_add(1); });
+  }
+  tp.Wait();
+  EXPECT_EQ(count.load(), 1000);
+  // The pool is reusable for a second batch.
+  tp.ParallelFor(64, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1064);
+}
+
+TEST(ThreadPoolTest, WorkStealingDrainsImbalancedQueues) {
+  // One long task + many short ones: the short ones must finish via steals
+  // while the long task's home worker is busy.
+  ThreadPool tp(4);
+  std::atomic<int> done{0};
+  tp.Submit([&] {
+    // Busy-wait until the short tasks are done (steals make this finite).
+    while (done.load() < 100) std::this_thread::yield();
+  });
+  for (int i = 0; i < 100; ++i) {
+    tp.Submit([&done] { done.fetch_add(1); });
+  }
+  tp.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+class ParallelPbsmExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<StorageEnv>(1024 * kPageSize);
+    TigerGenerator gen(TigerGenerator::Params{});
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        StoredRelation roads,
+        LoadRelation(env_->pool(), nullptr, "road", gen.GenerateRoads(1500)));
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        StoredRelation hydro,
+        LoadRelation(env_->pool(), nullptr, "hydro",
+                     gen.GenerateHydrography(500)));
+    roads_ = std::make_unique<StoredRelation>(std::move(roads));
+    hydro_ = std::make_unique<StoredRelation>(std::move(hydro));
+  }
+
+  PairSet SerialReference(SweepAlgorithm sweep, size_t budget) {
+    JoinOptions opts;
+    opts.memory_budget_bytes = budget;
+    opts.sweep = sweep;
+    PairSet expected;
+    auto cost = PbsmJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                         SpatialPredicate::kIntersects, opts,
+                         [&](Oid r, Oid s) {
+                           expected.emplace(r.Encode(), s.Encode());
+                         });
+    EXPECT_TRUE(cost.ok()) << cost.status().ToString();
+    EXPECT_GT(expected.size(), 0u);
+    return expected;
+  }
+
+  std::unique_ptr<StorageEnv> env_;
+  std::unique_ptr<StoredRelation> roads_, hydro_;
+};
+
+TEST_F(ParallelPbsmExecTest, MatchesSerialAcrossThreadCountsAndSweeps) {
+  for (const SweepAlgorithm sweep :
+       {SweepAlgorithm::kForwardSweep, SweepAlgorithm::kIntervalTreeSweep}) {
+    const PairSet expected = SerialReference(sweep, 1 << 20);
+    for (const uint32_t threads : {1u, 2u, 8u}) {
+      JoinOptions opts;
+      opts.memory_budget_bytes = 1 << 20;
+      opts.sweep = sweep;
+      opts.num_threads = threads;
+      PairSet got;
+      ParallelJoinStats stats;
+      auto cost = ParallelPbsmJoin(
+          env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+          SpatialPredicate::kIntersects, opts,
+          [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); }, &stats);
+      ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+      EXPECT_EQ(got, expected)
+          << threads << " threads, sweep " << static_cast<int>(sweep);
+      // The sink saw each de-duplicated pair exactly once.
+      EXPECT_EQ(cost->results, got.size());
+      EXPECT_EQ(stats.num_threads, threads);
+      EXPECT_EQ(stats.worker_busy_seconds.size(), threads);
+      EXPECT_GT(stats.TotalBusySeconds(), 0.0);
+      EXPECT_GE(stats.CriticalPathSpeedup(), 1.0);
+    }
+  }
+}
+
+TEST_F(ParallelPbsmExecTest, TinyBudgetTriggersRepartitioning) {
+  const PairSet expected =
+      SerialReference(SweepAlgorithm::kForwardSweep, 1 << 20);
+  JoinOptions opts;
+  // One partition holding everything + a budget far below its key-pointer
+  // footprint forces the in-memory §3.5 repartition path.
+  opts.memory_budget_bytes = 16 << 10;
+  opts.num_partitions_override = 1;
+  opts.num_threads = 4;
+  PairSet got;
+  auto cost = ParallelPbsmJoin(
+      env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+      SpatialPredicate::kIntersects, opts,
+      [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); });
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_GT(cost->repartitioned_pairs, 0u);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(ParallelPbsmExecTest, DefaultThreadCountUsesHardwareConcurrency) {
+  JoinOptions opts;
+  opts.memory_budget_bytes = 1 << 20;
+  opts.num_threads = 0;  // Hardware concurrency.
+  ParallelJoinStats stats;
+  auto cost = ParallelPbsmJoin(env_->pool(), roads_->AsInput(),
+                               hydro_->AsInput(),
+                               SpatialPredicate::kIntersects, opts, {},
+                               &stats);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_EQ(stats.num_threads, ThreadPool::DefaultThreads());
+  EXPECT_GT(cost->results, 0u);
+}
+
+TEST_F(ParallelPbsmExecTest, PartitionOverrideIsRespected) {
+  JoinOptions opts;
+  opts.memory_budget_bytes = 1 << 20;
+  opts.num_threads = 2;
+  opts.num_partitions_override = 3;
+  auto cost = ParallelPbsmJoin(env_->pool(), roads_->AsInput(),
+                               hydro_->AsInput(),
+                               SpatialPredicate::kIntersects, opts);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_EQ(cost->num_partitions, 3u);
+}
+
+TEST_F(ParallelPbsmExecTest, CostBreakdownHasAllPhases) {
+  JoinOptions opts;
+  opts.memory_budget_bytes = 1 << 20;
+  opts.num_threads = 2;
+  auto cost = ParallelPbsmJoin(env_->pool(), roads_->AsInput(),
+                               hydro_->AsInput(),
+                               SpatialPredicate::kIntersects, opts);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  ASSERT_EQ(cost->phases.size(), 4u);
+  EXPECT_EQ(cost->phases[0].first, "partition inputs");
+  EXPECT_EQ(cost->phases[1].first, "sweep partitions");
+  EXPECT_EQ(cost->phases[2].first, "merge candidates");
+  EXPECT_EQ(cost->phases[3].first, "refinement");
+  EXPECT_GT(cost->candidates, 0u);
+  EXPECT_GT(cost->Total().cpu_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace pbsm
