@@ -87,9 +87,10 @@ Status BufferPool::FlushDirtyUnpinned(std::unique_lock<std::mutex>* lock) {
 Result<size_t> BufferPool::GetVictimFrame(std::unique_lock<std::mutex>* lock) {
   // The flush drops the lock, so frame states can change under us; restart
   // the selection after each flush round. Every flush cleans at least the
-  // frame that triggered it, so the retry bound is only hit when other
+  // frame that triggered it, so the flush-retry bound is only hit when other
   // threads re-dirty frames faster than we can flush them.
-  for (int attempt = 0; attempt < 16; ++attempt) {
+  int flush_rounds = 0;
+  while (true) {
     // First pass: any unused frame.
     for (size_t i = 0; i < frames_.size(); ++i) {
       if (!frames_[i].in_use && !frames_[i].io_busy) return i;
@@ -97,11 +98,16 @@ Result<size_t> BufferPool::GetVictimFrame(std::unique_lock<std::mutex>* lock) {
     // Clock sweep: give each referenced unpinned frame one second chance.
     const size_t n = frames_.size();
     bool flushed = false;
+    bool io_in_flight = false;
     for (size_t sweep = 0; sweep < 2 * n; ++sweep) {
       Frame& f = frames_[clock_hand_];
       const size_t current = clock_hand_;
       clock_hand_ = (clock_hand_ + 1) % n;
-      if (f.pin_count > 0 || f.io_busy) continue;
+      if (f.io_busy) {
+        io_in_flight = true;
+        continue;
+      }
+      if (f.pin_count > 0) continue;
       if (f.referenced) {
         f.referenced = false;
         continue;
@@ -115,59 +121,95 @@ Result<size_t> BufferPool::GetVictimFrame(std::unique_lock<std::mutex>* lock) {
       f.in_use = false;
       return current;
     }
-    if (!flushed) break;
+    if (flushed) {
+      if (++flush_rounds >= 16) {
+        return Status::ResourceExhausted(
+            "buffer pool frames re-dirtied faster than they can be flushed");
+      }
+      continue;
+    }
+    if (io_in_flight) {
+      // Every evictable frame is only transiently latched for in-flight I/O
+      // (a flush round latches all dirty unpinned frames at once); wait for
+      // a latch to clear and retry instead of failing spuriously.
+      io_cv_.wait(*lock);
+      continue;
+    }
+    return Status::ResourceExhausted("all buffer pool frames are pinned");
   }
-  return Status::ResourceExhausted("all buffer pool frames are pinned");
 }
 
 Result<PageHandle> BufferPool::FetchPage(PageId id) {
   std::unique_lock<std::mutex> lock(mutex_);
+  bool counted = false;  // First probe decides whether this call hit/missed.
   while (true) {
     auto it = page_table_.find(id);
-    if (it == page_table_.end()) break;
-    Frame& f = frames_[it->second];
-    if (f.io_busy) {
-      // Another thread is reading this page in (or flushing it); wait for
-      // the latch, then re-probe — the frame may have been repurposed.
-      io_cv_.wait(lock);
+    if (it != page_table_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.io_busy) {
+        // Another thread is reading this page in (or flushing it); wait for
+        // the latch, then re-probe — the frame may have been repurposed.
+        io_cv_.wait(lock);
+        continue;
+      }
+      if (!counted) {
+        ++hits_;
+        counted = true;
+      }
+      ++f.pin_count;
+      f.referenced = true;
+      return PageHandle(this, it->second, id, f.data.get());
+    }
+    if (dropping_files_.count(id.file) > 0) {
+      return Status::FailedPrecondition("fetch from file being dropped");
+    }
+    if (!counted) {
+      ++misses_;
+      counted = true;
+    }
+    PBSM_ASSIGN_OR_RETURN(const size_t victim, GetVictimFrame(&lock));
+    // GetVictimFrame may release the lock (flush writes, latch waits), so
+    // another thread can have loaded `id` — or started dropping its file —
+    // in the meantime. Re-probe before claiming the victim: claiming anyway
+    // would publish a second mapping for `id` and orphan the live frame,
+    // whose later eviction erases the wrong page-table entry. The victim
+    // stays unused (in_use == false), so skipping it loses nothing.
+    if (page_table_.count(id) > 0 || dropping_files_.count(id.file) > 0) {
       continue;
     }
-    ++hits_;
-    ++f.pin_count;
+    Frame& f = frames_[victim];
+    f.id = id;
+    f.pin_count = 1;
+    f.dirty = false;
     f.referenced = true;
-    return PageHandle(this, it->second, id, f.data.get());
-  }
-  ++misses_;
-  PBSM_ASSIGN_OR_RETURN(const size_t victim, GetVictimFrame(&lock));
-  Frame& f = frames_[victim];
-  f.id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  f.referenced = true;
-  f.in_use = true;
-  f.io_busy = true;
-  // Publish the mapping before the read so concurrent fetchers of the same
-  // page wait on the latch instead of double-reading into a second frame.
-  page_table_[id] = victim;
-  lock.unlock();
-  const Status read = disk_->ReadPage(id, f.data.get());
-  lock.lock();
-  f.io_busy = false;
-  if (!read.ok()) {
-    page_table_.erase(id);
-    f.in_use = false;
-    f.pin_count = 0;
+    f.in_use = true;
+    f.io_busy = true;
+    // Publish the mapping before the read so concurrent fetchers of the same
+    // page wait on the latch instead of double-reading into a second frame.
+    page_table_[id] = victim;
+    lock.unlock();
+    const Status read = disk_->ReadPage(id, f.data.get());
+    lock.lock();
+    f.io_busy = false;
+    if (!read.ok()) {
+      page_table_.erase(id);
+      f.in_use = false;
+      f.pin_count = 0;
+      io_cv_.notify_all();
+      return read;
+    }
     io_cv_.notify_all();
-    return read;
+    return PageHandle(this, victim, id, f.data.get());
   }
-  io_cv_.notify_all();
-  return PageHandle(this, victim, id, f.data.get());
 }
 
 Result<PageHandle> BufferPool::NewPage(FileId file) {
   PBSM_ASSIGN_OR_RETURN(const uint32_t page_no, disk_->AllocatePage(file));
   const PageId id{file, page_no};
   std::unique_lock<std::mutex> lock(mutex_);
+  if (dropping_files_.count(file) > 0) {
+    return Status::FailedPrecondition("new page in file being dropped");
+  }
   PBSM_ASSIGN_OR_RETURN(const size_t victim, GetVictimFrame(&lock));
   Frame& f = frames_[victim];
   std::memset(f.data.get(), 0, kPageSize);
@@ -227,8 +269,15 @@ Status BufferPool::DropFile(FileId file) {
       f.dirty = false;
     }
   }
+  // Block re-fetches of this file's pages until the on-disk delete finishes;
+  // otherwise a concurrent FetchPage could re-load a page in the window and
+  // leave a frame referencing a deleted file.
+  dropping_files_.insert(file);
   lock.unlock();
-  return disk_->DeleteFile(file);
+  const Status status = disk_->DeleteFile(file);
+  lock.lock();
+  dropping_files_.erase(file);
+  return status;
 }
 
 }  // namespace pbsm

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -112,7 +113,10 @@ class BufferPool {
   Status FlushAll();
 
   /// Drops all frames belonging to `file` without writing them back, then
-  /// deletes the file. Used for temporary spools.
+  /// deletes the file. Used for temporary spools. Fails with
+  /// FailedPrecondition if any of the file's pages is pinned or mid-I/O;
+  /// concurrent FetchPage calls for the file fail the same way until the
+  /// on-disk delete completes.
   Status DropFile(FileId file);
 
   size_t capacity_pages() const { return frames_.size(); }
@@ -152,6 +156,9 @@ class BufferPool {
   /// Signalled whenever a frame's io_busy latch clears.
   std::condition_variable io_cv_;
   std::unordered_map<PageId, size_t, PageIdHash> page_table_;
+  /// Files whose DropFile is between frame purge and on-disk delete; fetches
+  /// of their pages are rejected so no frame can reference a deleted file.
+  std::unordered_set<FileId> dropping_files_;
   size_t clock_hand_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
