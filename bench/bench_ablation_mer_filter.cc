@@ -47,9 +47,13 @@ void Run() {
       JoinOptions opts = MakeJoinOptions(pool_bytes);
       opts.use_mer_filter = use_mer;
       opts.refinement_mode = mode;
-      auto cost = PbsmJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                           SpatialPredicate::kContains, opts);
-      PBSM_CHECK(cost.ok()) << cost.status().ToString();
+      JoinSpec spec;
+      spec.method = JoinMethod::kPbsm;
+      spec.predicate = SpatialPredicate::kContains;
+      spec.options = opts;
+      auto joined = SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), spec);
+      PBSM_CHECK(joined.ok()) << joined.status().ToString();
+      const JoinCostBreakdown* cost = &joined->breakdown;
       std::printf(
           "  mer=%-5s exact=%-11s refinement=%8.3fs total=%8.3fs "
           "results=%llu\n",

@@ -58,9 +58,12 @@ void Run() {
     JoinOptions opts = MakeJoinOptions(pool_bytes);
     opts.refinement_mode = c.mode;
     opts.sweep = c.filter_sweep;
-    auto cost = PbsmJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                         SpatialPredicate::kIntersects, opts);
-    PBSM_CHECK(cost.ok()) << cost.status().ToString();
+    JoinSpec spec;
+    spec.method = JoinMethod::kPbsm;
+    spec.options = opts;
+    auto joined = SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), spec);
+    PBSM_CHECK(joined.ok()) << joined.status().ToString();
+    const JoinCostBreakdown* cost = &joined->breakdown;
     const double refine = RefinementSeconds(*cost);
     if (c.mode == SegmentTestMode::kPlaneSweep &&
         c.filter_sweep == SweepAlgorithm::kForwardSweep) {

@@ -32,9 +32,12 @@ void Run() {
     ws.disk()->ResetStats();
     JoinOptions opts = MakeJoinOptions(pool_bytes);
     opts.num_tiles = tiles;
-    auto cost = PbsmJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                         SpatialPredicate::kIntersects, opts);
-    PBSM_CHECK(cost.ok()) << cost.status().ToString();
+    JoinSpec spec;
+    spec.method = JoinMethod::kPbsm;
+    spec.options = opts;
+    auto joined = SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), spec);
+    PBSM_CHECK(joined.ok()) << joined.status().ToString();
+    const JoinCostBreakdown* cost = &joined->breakdown;
     const double total = PaperSeconds(cost->Total());
     if (tiles == 1024u) base_total = total;
     std::printf("  %5u tiles: total=%8.3fs  partitions=%u replicated=%llu "

@@ -15,8 +15,6 @@
 #include <cstdio>
 
 #include "bench/join_bench.h"
-#include "core/spatial_hash_join.h"
-#include "core/zorder_join.h"
 
 namespace pbsm {
 namespace bench {
@@ -51,12 +49,13 @@ void Run() {
       auto s = LoadRelation(ws.pool(), nullptr, "hydro", tiger.hydro);
       PBSM_CHECK(s.ok()) << s.status().ToString();
       ws.disk()->ResetStats();
-      SpatialHashJoinOptions opts;
-      opts.join = MakeJoinOptions(pool_bytes);
-      auto cost = SpatialHashJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                                  SpatialPredicate::kIntersects, opts);
-      PBSM_CHECK(cost.ok()) << cost.status().ToString();
-      PrintJoinRow("Spatial hash join (LR96)", *cost);
+      JoinSpec join_spec;
+      join_spec.method = JoinMethod::kSpatialHash;
+      join_spec.options = MakeJoinOptions(pool_bytes);
+      auto joined =
+          SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), join_spec);
+      PBSM_CHECK(joined.ok()) << joined.status().ToString();
+      PrintJoinRow("Spatial hash join (LR96)", joined->breakdown);
     }
     {
       Workspace ws(pool_bytes);
@@ -65,14 +64,16 @@ void Run() {
       auto s = LoadRelation(ws.pool(), nullptr, "hydro", tiger.hydro);
       PBSM_CHECK(s.ok()) << s.status().ToString();
       ws.disk()->ResetStats();
-      ZOrderJoinOptions opts;
-      opts.max_level = 8;
-      opts.max_cells_per_object = 4;  // Its best grid (bench_ext_zorder).
-      opts.join = MakeJoinOptions(pool_bytes);
-      auto cost = ZOrderJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                             SpatialPredicate::kIntersects, opts);
-      PBSM_CHECK(cost.ok()) << cost.status().ToString();
-      PrintJoinRow("Z-transform join (Ore86)", *cost);
+      JoinSpec join_spec;
+      join_spec.method = JoinMethod::kZOrder;
+      join_spec.zorder_max_level = 8;
+      // Its best grid (bench_ext_zorder).
+      join_spec.zorder_max_cells_per_object = 4;
+      join_spec.options = MakeJoinOptions(pool_bytes);
+      auto joined =
+          SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), join_spec);
+      PBSM_CHECK(joined.ok()) << joined.status().ToString();
+      PrintJoinRow("Z-transform join (Ore86)", joined->breakdown);
     }
   }
 }

@@ -21,8 +21,7 @@
 
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
-#include "core/parallel_pbsm_exec.h"
-#include "core/pbsm_join.h"
+#include "core/spatial_join.h"
 #include "datagen/loader.h"
 
 namespace pbsm {
@@ -64,10 +63,14 @@ void Run() {
     opts.memory_budget_bytes = 4 << 20;
     opts.num_threads = threads;
     ParallelJoinStats stats;
-    auto cost = ParallelPbsmJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                                 SpatialPredicate::kIntersects, opts, {},
-                                 &stats);
-    PBSM_CHECK(cost.ok()) << cost.status().ToString();
+    JoinSpec join_spec;
+    join_spec.method = JoinMethod::kParallelPbsm;
+    join_spec.options = opts;
+    join_spec.parallel_stats = &stats;
+    auto joined =
+        SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), join_spec);
+    PBSM_CHECK(joined.ok()) << joined.status().ToString();
+    const JoinCostBreakdown* cost = &joined->breakdown;
     if (threads == 1) single_thread_wall = stats.total_wall_seconds;
     const double wall_speedup =
         stats.total_wall_seconds == 0.0
@@ -103,19 +106,25 @@ void Run() {
     PBSM_CHECK(s.ok()) << s.status().ToString();
     JoinOptions opts;
     opts.memory_budget_bytes = 4 << 20;
-    auto serial = PbsmJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                           SpatialPredicate::kIntersects, opts);
+    JoinSpec serial_spec;
+    serial_spec.method = JoinMethod::kPbsm;
+    serial_spec.options = opts;
+    auto serial =
+        SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), serial_spec);
     PBSM_CHECK(serial.ok()) << serial.status().ToString();
-    opts.num_threads = 4;
-    auto parallel = ParallelPbsmJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                                     SpatialPredicate::kIntersects, opts);
+    JoinSpec parallel_spec;
+    parallel_spec.method = JoinMethod::kParallelPbsm;
+    parallel_spec.options = opts;
+    parallel_spec.options.num_threads = 4;
+    auto parallel =
+        SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), parallel_spec);
     PBSM_CHECK(parallel.ok()) << parallel.status().ToString();
-    PBSM_CHECK(serial->results == parallel->results)
-        << "serial " << serial->results << " vs parallel "
-        << parallel->results;
+    PBSM_CHECK(serial->num_results == parallel->num_results)
+        << "serial " << serial->num_results << " vs parallel "
+        << parallel->num_results;
     std::printf("  serial/parallel result check: %llu == %llu OK\n",
-                static_cast<unsigned long long>(serial->results),
-                static_cast<unsigned long long>(parallel->results));
+                static_cast<unsigned long long>(serial->num_results),
+                static_cast<unsigned long long>(parallel->num_results));
   }
 
   if (json_out != nullptr) std::fclose(json_out);

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "core/pbsm_join.h"
+#include "core/spatial_join.h"
 #include "core/selectivity.h"
 #include "datagen/loader.h"
 
@@ -47,9 +47,13 @@ void Run() {
 
     JoinOptions opts;
     opts.memory_budget_bytes = 16 << 20;
-    auto cost = PbsmJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                         SpatialPredicate::kIntersects, opts);
-    PBSM_CHECK(cost.ok()) << cost.status().ToString();
+    JoinSpec join_spec;
+    join_spec.method = JoinMethod::kPbsm;
+    join_spec.options = opts;
+    auto joined =
+        SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), join_spec);
+    PBSM_CHECK(joined.ok()) << joined.status().ToString();
+    const JoinCostBreakdown* cost = &joined->breakdown;
     const double actual =
         static_cast<double>(cost->candidates - cost->duplicates_removed);
 

@@ -13,7 +13,6 @@
 #include <cstdio>
 
 #include "bench/join_bench.h"
-#include "core/zorder_join.h"
 
 namespace pbsm {
 namespace bench {
@@ -57,13 +56,15 @@ void Run() {
     PBSM_CHECK(s.ok()) << s.status().ToString();
     ws.disk()->ResetStats();
 
-    ZOrderJoinOptions opts;
-    opts.max_level = c.level;
-    opts.max_cells_per_object = c.cells;
-    opts.join = MakeJoinOptions(pool_bytes);
-    auto cost = ZOrderJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                           SpatialPredicate::kIntersects, opts);
-    PBSM_CHECK(cost.ok()) << cost.status().ToString();
+    JoinSpec join_spec;
+    join_spec.method = JoinMethod::kZOrder;
+    join_spec.zorder_max_level = c.level;
+    join_spec.zorder_max_cells_per_object = c.cells;
+    join_spec.options = MakeJoinOptions(pool_bytes);
+    auto joined =
+        SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), join_spec);
+    PBSM_CHECK(joined.ok()) << joined.status().ToString();
+    const JoinCostBreakdown* cost = &joined->breakdown;
     char label[64];
     std::snprintf(label, sizeof(label), "z-join L=%u cells<=%u", c.level,
                   c.cells);

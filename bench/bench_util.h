@@ -9,7 +9,10 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/join_cost.h"
+#include "core/spatial_join.h"
 #include "core/spatial_partitioner.h"
 #include "datagen/loader.h"
 #include "datagen/sequoia_gen.h"
@@ -185,6 +188,14 @@ inline void PrintJoinRow(const std::string& label,
       static_cast<unsigned long long>(cost.results));
 }
 
+/// Summary line for a facade JoinResult (same columns as the breakdown
+/// overload, labelled with the method name when no label is given).
+inline void PrintJoinRow(const std::string& label, const JoinResult& result) {
+  PrintJoinRow(label.empty() ? std::string(JoinMethodName(result.method))
+                             : label,
+               result.breakdown);
+}
+
 /// Full component breakdown (Figures 10-12 / Table 4 format).
 inline void PrintBreakdown(const std::string& label,
                            const JoinCostBreakdown& cost) {
@@ -246,6 +257,60 @@ inline void RunReplicationBench(const char* title,
     std::printf("  %8u tiles:  %-14.3f %-14.3f\n", tiles, h, r);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Uniform metrics export. Every bench binary (all of them include this
+// header, directly or via join_bench.h) prints one machine-readable line at
+// exit:
+//
+//   METRICS_JSON {"schema":"pbsm.metrics.v1","metrics":{...},
+//                 "derived":{...},"spans":{...}}
+//
+// `metrics` is the full MetricsSnapshot (counters/gauges/histograms),
+// `derived` holds ready-made ratios (buffer-pool hit rate, refinement
+// filter efficiency), `spans` is the nested phase-span tree. Disable with
+// PBSM_NO_METRICS_JSON=1.
+// ---------------------------------------------------------------------------
+
+inline std::string MetricsJsonBlob() {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const uint64_t hits = snap.counter("storage.bufferpool.hits");
+  const uint64_t misses = snap.counter("storage.bufferpool.misses");
+  const uint64_t tp = snap.counter("join.refine.true_positives");
+  const uint64_t fp = snap.counter("join.refine.false_positives");
+  auto rate = [](uint64_t num, uint64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  char derived[160];
+  std::snprintf(derived, sizeof(derived),
+                "{\"bufferpool_hit_rate\":%.6f,"
+                "\"refine_true_positive_rate\":%.6f}",
+                rate(hits, hits + misses), rate(tp, tp + fp));
+  std::string out = "{\"schema\":\"pbsm.metrics.v1\",\"metrics\":";
+  out += snap.ToJson();
+  out += ",\"derived\":";
+  out += derived;
+  out += ",\"spans\":";
+  out += Tracer::Global().SpanTreeJson();
+  out += "}";
+  return out;
+}
+
+inline void EmitMetricsJson() {
+  const char* off = std::getenv("PBSM_NO_METRICS_JSON");
+  if (off != nullptr && off[0] == '1') return;
+  std::printf("METRICS_JSON %s\n", MetricsJsonBlob().c_str());
+}
+
+namespace bench_internal {
+/// One instance per bench binary; its destructor runs after main() returns,
+/// when all workspaces are torn down and the metric writers have quiesced.
+struct MetricsJsonAtExit {
+  ~MetricsJsonAtExit() { EmitMetricsJson(); }
+};
+inline MetricsJsonAtExit g_metrics_json_at_exit;
+}  // namespace bench_internal
 
 }  // namespace bench
 }  // namespace pbsm

@@ -3,13 +3,12 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/inl_join.h"
-#include "core/pbsm_join.h"
 #include "core/index_build.h"
-#include "core/rtree_join.h"
+#include "core/spatial_join.h"
 
 namespace pbsm {
 namespace bench {
@@ -35,10 +34,10 @@ inline JoinOptions MakeJoinOptions(size_t pool_bytes) {
   return opts;
 }
 
-/// Runs one algorithm in a fresh (cold) workspace, as the paper did, and
-/// returns its cost breakdown. `algo`: 0 = PBSM, 1 = R-tree join, 2 = INL.
-inline JoinCostBreakdown RunOneJoin(const JoinBenchSpec& spec,
-                                    size_t pool_bytes, int algo) {
+/// Runs one join method through the SpatialJoin facade in a fresh (cold)
+/// workspace, as the paper did, and returns the uniform JoinResult.
+inline JoinResult RunOneJoinMethod(const JoinBenchSpec& spec,
+                                   size_t pool_bytes, JoinMethod method) {
   Workspace ws(pool_bytes);
   // Containment workloads store precomputed MERs with the polygons.
   const bool mers = spec.pred == SpatialPredicate::kContains;
@@ -50,29 +49,24 @@ inline JoinCostBreakdown RunOneJoin(const JoinBenchSpec& spec,
   PBSM_CHECK(s.ok()) << s.status().ToString();
   ws.disk()->ResetStats();
 
-  const JoinOptions opts = MakeJoinOptions(pool_bytes);
-  Result<JoinCostBreakdown> result = Status::Internal("unset");
-  switch (algo) {
-    case 0:
-      result = PbsmJoin(ws.pool(), r->AsInput(), s->AsInput(), spec.pred,
-                        opts);
-      break;
-    case 1:
-      result = RtreeJoin(ws.pool(), r->AsInput(), s->AsInput(), spec.pred,
-                         opts);
-      break;
-    case 2:
-      // INL builds the index on the smaller input (S) and probes it with
-      // the larger one, per §4.1. The join condition is pred(R, S), so the
-      // indexed input plays the predicate's right side.
-      result = IndexedNestedLoopsJoin(ws.pool(), s->AsInput(), r->AsInput(),
-                                      spec.pred, opts, /*sink=*/{},
-                                      /*preexisting_index=*/nullptr,
-                                      /*indexed_is_left=*/false);
-      break;
-  }
+  JoinSpec join_spec;
+  join_spec.method = method;
+  join_spec.predicate = spec.pred;
+  join_spec.options = MakeJoinOptions(pool_bytes);
+  // INL indexes the smaller input (S here) and probes it with the larger
+  // one, per §4.1 — the facade picks that side by cardinality.
+  auto result = SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), join_spec);
   PBSM_CHECK(result.ok()) << result.status().ToString();
-  return *result;
+  return std::move(*result);
+}
+
+/// Legacy int-coded variant: 0 = PBSM, 1 = R-tree join, 2 = INL.
+inline JoinCostBreakdown RunOneJoin(const JoinBenchSpec& spec,
+                                    size_t pool_bytes, int algo) {
+  static const JoinMethod kMethods[] = {JoinMethod::kPbsm, JoinMethod::kRtree,
+                                        JoinMethod::kInl};
+  PBSM_CHECK(algo >= 0 && algo < 3) << "bad algo " << algo;
+  return RunOneJoinMethod(spec, pool_bytes, kMethods[algo]).breakdown;
 }
 
 /// The Figure 7/8/9/13 harness: all three algorithms at 2/8/24 MB pools.
@@ -126,51 +120,34 @@ inline void RunPreexistingIndexSweep(const JoinBenchSpec& spec,
 
       // Pre-existing indices are built before measurement starts.
       std::optional<RStarTree> large_idx, small_idx;
-      const JoinOptions opts = MakeJoinOptions(pool_bytes);
+      JoinSpec join_spec;
+      join_spec.predicate = spec.pred;
+      join_spec.options = MakeJoinOptions(pool_bytes);
       if (v.idx_on_large) {
         auto idx = BuildIndexByBulkLoad(ws.pool(), r->AsInput(),
                                         "pre_large.rtree",
-                                        opts.index_fill_factor);
+                                        join_spec.options.index_fill_factor);
         PBSM_CHECK(idx.ok()) << idx.status().ToString();
         large_idx.emplace(std::move(*idx));
+        join_spec.r_index = &*large_idx;
       }
       if (v.idx_on_small) {
         auto idx = BuildIndexByBulkLoad(ws.pool(), s->AsInput(),
                                         "pre_small.rtree",
-                                        opts.index_fill_factor);
+                                        join_spec.options.index_fill_factor);
         PBSM_CHECK(idx.ok()) << idx.status().ToString();
         small_idx.emplace(std::move(*idx));
+        join_spec.s_index = &*small_idx;
       }
       ws.disk()->ResetStats();
 
-      Result<JoinCostBreakdown> result = Status::Internal("unset");
-      switch (v.algo) {
-        case 0:
-          result = PbsmJoin(ws.pool(), r->AsInput(), s->AsInput(), spec.pred,
-                            opts);
-          break;
-        case 1:
-          result = RtreeJoin(ws.pool(), r->AsInput(), s->AsInput(),
-                             spec.pred, opts,
-                             /*sink=*/{},
-                             large_idx ? &*large_idx : nullptr,
-                             small_idx ? &*small_idx : nullptr);
-          break;
-        case 2:
-          // INL probes the pre-existing index with the other input (§4.5).
-          if (v.idx_on_large) {
-            result = IndexedNestedLoopsJoin(ws.pool(), r->AsInput(),
-                                            s->AsInput(), spec.pred, opts,
-                                            /*sink=*/{}, &*large_idx,
-                                            /*indexed_is_left=*/true);
-          } else {
-            result = IndexedNestedLoopsJoin(ws.pool(), s->AsInput(),
-                                            r->AsInput(), spec.pred, opts,
-                                            /*sink=*/{}, &*small_idx,
-                                            /*indexed_is_left=*/false);
-          }
-          break;
-      }
+      // INL probes the pre-existing index with the other input (§4.5);
+      // the facade picks the indexed side from which index is set.
+      static const JoinMethod kMethods[] = {
+          JoinMethod::kPbsm, JoinMethod::kRtree, JoinMethod::kInl};
+      join_spec.method = kMethods[v.algo];
+      auto result =
+          SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), join_spec);
       PBSM_CHECK(result.ok()) << result.status().ToString();
       PrintJoinRow(v.label, *result);
     }

@@ -4,12 +4,12 @@
 //   ./examples/quickstart
 //
 // This walks the whole public API surface: storage (DiskManager/BufferPool/
-// HeapFile), data loading with catalog statistics, and the PbsmJoin call.
+// HeapFile), data loading with catalog statistics, and the SpatialJoin call.
 
 #include <cstdio>
 #include <filesystem>
 
-#include "core/pbsm_join.h"
+#include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "datagen/tiger_gen.h"
 #include "storage/tuple.h"
@@ -44,13 +44,12 @@ int main() {
 
   // 3. Run the Partition Based Spatial-Merge join: which roads cross which
   //    rivers? The sink receives each result pair's OIDs.
-  JoinOptions options;
-  options.memory_budget_bytes = 2 << 20;
+  JoinSpec spec;
+  spec.method = JoinMethod::kPbsm;
+  spec.predicate = SpatialPredicate::kIntersects;
+  spec.options.memory_budget_bytes = 2 << 20;
   uint64_t shown = 0;
-  auto result = PbsmJoin(
-      &pool, roads->AsInput(), rivers->AsInput(),
-      SpatialPredicate::kIntersects, options,
-      [&](Oid road_oid, Oid river_oid) {
+  spec.sink = [&](Oid road_oid, Oid river_oid) {
         if (shown++ >= 3) return;  // Print just a few.
         std::string r_rec, s_rec;
         if (roads->heap.Fetch(road_oid, &r_rec).ok() &&
@@ -62,7 +61,8 @@ int main() {
                         river->name.c_str());
           }
         }
-      });
+      };
+  auto result = SpatialJoin(&pool, roads->AsInput(), rivers->AsInput(), spec);
   if (!result.ok()) {
     std::fprintf(stderr, "join failed: %s\n",
                  result.status().ToString().c_str());
@@ -70,18 +70,26 @@ int main() {
   }
 
   // 4. The cost breakdown mirrors the paper's Figures 10-12 components.
+  const JoinCostBreakdown& cost = result->breakdown;
   std::printf("\nPBSM: %llu candidates -> %llu results "
               "(%llu duplicates removed), %u partitions over %u tiles\n",
-              (unsigned long long)result->candidates,
-              (unsigned long long)result->results,
-              (unsigned long long)result->duplicates_removed,
-              result->num_partitions, result->num_tiles);
-  for (const auto& [phase, cost] : result->phases) {
+              (unsigned long long)cost.candidates,
+              (unsigned long long)cost.results,
+              (unsigned long long)cost.duplicates_removed,
+              cost.num_partitions, cost.num_tiles);
+  for (const auto& [phase, phase_cost] : cost.phases) {
     std::printf("  %-20s cpu=%7.3fs  physical I/O: %llu reads, %llu writes\n",
-                phase.c_str(), cost.cpu_seconds,
-                (unsigned long long)cost.io.reads,
-                (unsigned long long)cost.io.writes);
+                phase.c_str(), phase_cost.cpu_seconds,
+                (unsigned long long)phase_cost.io.reads,
+                (unsigned long long)phase_cost.io.writes);
   }
+
+  // 5. The join's metrics delta: observability without extra bookkeeping.
+  std::printf("buffer pool: %llu hits, %llu misses during the join\n",
+              (unsigned long long)result->metrics.counter(
+                  "storage.bufferpool.hits"),
+              (unsigned long long)result->metrics.counter(
+                  "storage.bufferpool.misses"));
   std::filesystem::remove_all(dir);
   return 0;
 }

@@ -2,7 +2,7 @@
 // point: bring your own data, no generators involved.
 //
 //   ./examples/spatial_join_cli R.wkt S.wkt [intersects|contains]
-//                               [pbsm|rtree|inl]
+//                               [pbsm|parallel_pbsm|rtree|inl|spatial_hash|zorder]
 //
 // Each input file holds one WKT geometry per line (POINT / LINESTRING /
 // POLYGON; '#' lines are comments). The join result is printed as
@@ -16,9 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "core/inl_join.h"
-#include "core/pbsm_join.h"
-#include "core/rtree_join.h"
+#include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "geom/wkt.h"
 
@@ -57,7 +55,8 @@ Result<std::vector<Tuple>> ReadWktFile(const std::string& path) {
 int RunDemo() {
   std::printf(
       "usage: spatial_join_cli R.wkt S.wkt [intersects|contains] "
-      "[pbsm|rtree|inl]\n\nrunning built-in demo instead:\n");
+      "[pbsm|parallel_pbsm|rtree|inl|spatial_hash|zorder]\n\n"
+      "running built-in demo instead:\n");
   const std::string dir = "/tmp/pbsm_cli_demo";
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
@@ -133,34 +132,42 @@ int RunCli(int argc, const char** argv) {
                 (unsigned long long)s_line);
   };
 
-  JoinOptions opts;
-  opts.memory_budget_bytes = 8 << 20;
-  opts.use_mer_filter = pred == SpatialPredicate::kContains;
-  Result<JoinCostBreakdown> cost = Status::Internal("unset");
-  if (algo == "pbsm") {
-    cost = PbsmJoin(&pool, r->AsInput(), s->AsInput(), pred, opts, sink);
-  } else if (algo == "rtree") {
-    cost = RtreeJoin(&pool, r->AsInput(), s->AsInput(), pred, opts, sink);
-  } else if (algo == "inl") {
-    cost = IndexedNestedLoopsJoin(&pool, r->AsInput(), s->AsInput(), pred,
-                                  opts, sink);
-  } else {
+  JoinSpec spec;
+  const auto method = ParseJoinMethod(algo);
+  if (!method.has_value()) {
     std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
     return 2;
   }
-  if (!cost.ok()) {
+  spec.method = *method;
+  spec.predicate = pred;
+  spec.options.memory_budget_bytes = 8 << 20;
+  spec.options.use_mer_filter = pred == SpatialPredicate::kContains;
+  spec.sink = sink;
+  auto result = SpatialJoin(&pool, r->AsInput(), s->AsInput(), spec);
+  if (!result.ok()) {
     std::fprintf(stderr, "join failed: %s\n",
-                 cost.status().ToString().c_str());
+                 result.status().ToString().c_str());
     return 1;
   }
   std::fprintf(stderr, "# %s %s: %llu results from %llu candidates\n",
                algo.c_str(), pred_name.c_str(),
-               (unsigned long long)cost->results,
-               (unsigned long long)cost->candidates);
-  for (const auto& [phase, c] : cost->phases) {
+               (unsigned long long)result->num_results,
+               (unsigned long long)result->breakdown.candidates);
+  for (const auto& [phase, c] : result->breakdown.phases) {
     std::fprintf(stderr, "#   %-24s %.4fs cpu, %llu I/Os\n", phase.c_str(),
                  c.cpu_seconds, (unsigned long long)c.io.total());
   }
+  std::fprintf(
+      stderr,
+      "# pool: %llu hits / %llu misses; refinement: %llu true / %llu false "
+      "positives\n",
+      (unsigned long long)result->metrics.counter("storage.bufferpool.hits"),
+      (unsigned long long)result->metrics.counter(
+          "storage.bufferpool.misses"),
+      (unsigned long long)result->metrics.counter(
+          "join.refine.true_positives"),
+      (unsigned long long)result->metrics.counter(
+          "join.refine.false_positives"));
   std::filesystem::remove_all(dir);
   return 0;
 }

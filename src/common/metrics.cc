@@ -1,0 +1,243 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pbsm {
+
+namespace metrics_internal {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t shard =
+      next_thread.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return shard;
+}
+
+}  // namespace metrics_internal
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+uint64_t Histogram::BucketUpperBound(size_t b) {
+  if (b == 0) return 0;
+  if (b >= kBuckets - 1) return UINT64_MAX;
+  return (1ull << b) - 1;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& c : cells_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const auto& s : sums_) total += s.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(kBuckets, 0);
+  for (size_t shard = 0; shard < metrics_internal::kShards; ++shard) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      out[b] += cells_[shard * kBuckets + b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+  for (auto& s : sums_) s.value.store(0, std::memory_order_relaxed);
+}
+
+uint64_t HistogramSnapshot::PercentileUpperBound(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (const auto& [ub, n] : buckets) {
+    seen += n;
+    if (static_cast<double>(seen) >= target) return ub;
+  }
+  return buckets.empty() ? 0 : buckets.back().first;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot.
+// ---------------------------------------------------------------------------
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    const uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    out.counters[name] = value >= base ? value - base : 0;
+  }
+  out.gauges = gauges;
+  for (const auto& [name, hist] : histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      out.histograms[name] = hist;
+      continue;
+    }
+    HistogramSnapshot d;
+    d.count = hist.count >= it->second.count ? hist.count - it->second.count : 0;
+    d.sum = hist.sum >= it->second.sum ? hist.sum - it->second.sum : 0;
+    std::map<uint64_t, uint64_t> base;
+    for (const auto& [ub, n] : it->second.buckets) base[ub] = n;
+    for (const auto& [ub, n] : hist.buckets) {
+      auto bit = base.find(ub);
+      const uint64_t b = bit == base.end() ? 0 : bit->second;
+      if (n > b) d.buckets.emplace_back(ub, n - b);
+    }
+    out.histograms[name] = std::move(d);
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendU64(&out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendI64(&out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":{\"count\":";
+    AppendU64(&out, hist.count);
+    out += ",\"sum\":";
+    AppendU64(&out, hist.sum);
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& [ub, n] : hist.buckets) {
+      if (!bfirst) out.push_back(',');
+      bfirst = false;
+      out.push_back('[');
+      AppendU64(&out, ub);
+      out.push_back(',');
+      AppendU64(&out, n);
+      out.push_back(']');
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so instrumented statics destroyed after main can still report.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.count = hist->Count();
+    h.sum = hist->Sum();
+    const std::vector<uint64_t> buckets = hist->BucketCounts();
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] != 0) {
+        h.buckets.emplace_back(Histogram::BucketUpperBound(b), buckets[b]);
+      }
+    }
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace pbsm

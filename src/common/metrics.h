@@ -1,0 +1,205 @@
+#ifndef PBSM_COMMON_METRICS_H_
+#define PBSM_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pbsm {
+
+// ---------------------------------------------------------------------------
+// Metric primitives.
+//
+// The hot-path operations (Counter::Add, Gauge::Set, Histogram::Record) are
+// lock-free: relaxed atomic read-modify-writes on state that is sharded
+// across cache lines, so concurrent workers never contend on one word.
+// Reads (Value(), Snapshot()) sum the shards and may observe a value that is
+// slightly stale with respect to in-flight increments — exact once the
+// writers have quiesced, which is when snapshots are taken.
+//
+// Metric objects are owned by a MetricsRegistry and live as long as the
+// registry; instrumented components look their metrics up once (by name) and
+// keep the raw pointer, so steady-state instrumentation does no lookups.
+// ---------------------------------------------------------------------------
+
+namespace metrics_internal {
+
+/// Number of cache-line-padded shards per metric. A power of two so the
+/// thread-to-shard mapping is a mask, sized to cover more hardware threads
+/// than the executors ever run.
+inline constexpr size_t kShards = 16;
+
+/// Stable per-thread shard index (threads are striped round-robin).
+size_t ThreadShard();
+
+struct alignas(64) PaddedAtomic {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace metrics_internal
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    shards_[metrics_internal::ThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void Reset() {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<metrics_internal::PaddedAtomic, metrics_internal::kShards>
+      shards_;
+};
+
+/// Last-write-wins instantaneous value (e.g. pool capacity, queue depth).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-scale (power-of-two bucket) histogram of non-negative integer samples.
+///
+/// Bucket b counts samples whose value v satisfies
+///   b == 0             : v == 0
+///   1 <= b < kBuckets-1: 2^(b-1) <= v < 2^b
+///   b == kBuckets-1    : v >= 2^(kBuckets-2)   (overflow bucket)
+/// so bucket upper bounds are 0, 1, 2, 4, 8, ... Record() is a single
+/// relaxed fetch_add on a sharded slot; count and sum are derived at read
+/// time.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t value) {
+    const size_t shard = metrics_internal::ThreadShard();
+    cells_[shard * kBuckets + BucketFor(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    sums_[shard].value.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket `value` lands in.
+  static size_t BucketFor(uint64_t value) {
+    if (value == 0) return 0;
+    const size_t bit = 64 - static_cast<size_t>(__builtin_clzll(value));
+    return bit < kBuckets - 1 ? bit : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket `b` (UINT64_MAX for the overflow one).
+  static uint64_t BucketUpperBound(size_t b);
+
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  /// Per-bucket counts, summed over shards (size kBuckets).
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  // [shard][bucket], flattened; sharded like Counter to avoid contention.
+  std::array<std::atomic<uint64_t>, metrics_internal::kShards * kBuckets>
+      cells_{};
+  std::array<metrics_internal::PaddedAtomic, metrics_internal::kShards> sums_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots.
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  /// Non-empty buckets only, as (inclusive upper bound, count), ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket containing quantile q in [0, 1] — an
+  /// order-of-magnitude estimate, which is what log-scale buckets buy.
+  uint64_t PercentileUpperBound(double q) const;
+};
+
+/// Point-in-time copy of every metric in a registry. Deterministically
+/// ordered (std::map) so exported JSON is stable.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// This snapshot minus an earlier one: counters and histogram counts
+  /// subtract (saturating at 0); gauges keep this snapshot's value. Used to
+  /// scope cumulative process-wide metrics to one operation.
+  MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
+
+  uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  /// Compact (single-line) JSON: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{"count":..,"sum":..,"buckets":[[ub,n],...]}}}.
+  std::string ToJson() const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+/// Named metric directory. Lookup (GetCounter/GetGauge/GetHistogram) takes a
+/// mutex and is meant for component construction time; the returned pointer
+/// is stable for the registry's lifetime and lock-free to operate on.
+///
+/// Naming scheme (see DESIGN.md "Observability"): dot-separated
+/// <layer>.<component>.<event>, e.g. "storage.bufferpool.hits",
+/// "join.refine.true_positives".
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in component reports to.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (names stay registered).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_COMMON_METRICS_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace pbsm {
 
 namespace {
@@ -30,6 +32,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  static Counter* const tasks =
+      MetricsRegistry::Global().GetCounter("common.threadpool.tasks");
+  tasks->Add();
   const size_t home = next_queue_.fetch_add(1) % queues_.size();
   {
     std::lock_guard<std::mutex> lock(queues_[home]->mutex);
@@ -56,6 +61,8 @@ bool ThreadPool::TryRunOneTask(size_t worker_index) {
   }
   // Steal the oldest task (front) of the first non-empty sibling.
   if (!task) {
+    static Counter* const steals =
+        MetricsRegistry::Global().GetCounter("common.threadpool.steals");
     const size_t n = queues_.size();
     for (size_t off = 1; off < n && !task; ++off) {
       WorkQueue& victim = *queues_[(worker_index + off) % n];
@@ -63,6 +70,7 @@ bool ThreadPool::TryRunOneTask(size_t worker_index) {
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
+        steals->Add();
       }
     }
   }

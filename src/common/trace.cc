@@ -1,0 +1,234 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+namespace pbsm {
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+namespace {
+std::atomic<uint64_t> g_next_tracer_key{1};
+}  // namespace
+
+Tracer::Tracer()
+    : tracer_key_(g_next_tracer_key.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  // Leaked so spans closing during static destruction still have a tracer.
+  static Tracer* g = new Tracer();
+  return *g;
+}
+
+Tracer::ThreadLog* Tracer::GetThreadLog() {
+  // Per-thread cache: tracer key -> shared_ptr<ThreadLog>. The tracer also
+  // holds the shared_ptr, so records survive thread exit.
+  static thread_local std::unordered_map<uint64_t, std::shared_ptr<ThreadLog>>
+      cache;
+  auto it = cache.find(tracer_key_);
+  if (it != cache.end()) return it->second.get();
+
+  auto log = std::make_shared<ThreadLog>();
+  log->thread_id = next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(logs_mutex_);
+    logs_.push_back(log);
+  }
+  cache.emplace(tracer_key_, log);
+  return log.get();
+}
+
+std::pair<uint32_t, uint32_t> Tracer::OpenSpan() {
+  ThreadLog* log = GetThreadLog();
+  const uint32_t id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(log->mutex);
+  const uint32_t parent = log->open_stack.empty() ? 0 : log->open_stack.back();
+  log->open_stack.push_back(id);
+  return {id, parent};
+}
+
+void Tracer::CloseSpan(std::string_view name, uint32_t span_id,
+                       uint32_t parent_id, uint64_t start_us) {
+  const uint64_t end_us = NowMicros();
+  ThreadLog* log = GetThreadLog();
+  std::lock_guard<std::mutex> lock(log->mutex);
+  // Spans close LIFO per thread (they are scoped), so span_id is the top.
+  if (!log->open_stack.empty() && log->open_stack.back() == span_id) {
+    log->open_stack.pop_back();
+  }
+  if (log->finished.size() >= kMaxSpansPerThread) {
+    ++log->dropped;
+    return;
+  }
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.start_us = start_us;
+  rec.end_us = end_us;
+  rec.thread_id = log->thread_id;
+  rec.span_id = span_id;
+  rec.parent_id = parent_id;
+  log->finished.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Tracer::FinishedSpans() const {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> lock(logs_mutex_);
+    logs = logs_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& log : logs) {
+    std::lock_guard<std::mutex> lock(log->mutex);
+    out.insert(out.end(), log->finished.begin(), log->finished.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.thread_id != b.thread_id) return a.thread_id < b.thread_id;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+uint64_t Tracer::dropped_spans() const {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> lock(logs_mutex_);
+    logs = logs_;
+  }
+  uint64_t dropped = 0;
+  for (const auto& log : logs) {
+    std::lock_guard<std::mutex> lock(log->mutex);
+    dropped += log->dropped;
+  }
+  return dropped;
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> lock(logs_mutex_);
+    logs = logs_;
+  }
+  for (const auto& log : logs) {
+    std::lock_guard<std::mutex> lock(log->mutex);
+    log->finished.clear();
+    log->dropped = 0;
+  }
+}
+
+namespace {
+
+void AppendSpanNode(std::string* out, const SpanRecord& rec,
+                    const std::unordered_map<uint32_t, std::vector<size_t>>&
+                        children,
+                    const std::vector<SpanRecord>& all) {
+  *out += "{\"name\":";
+  AppendJsonString(out, rec.name);
+  *out += ",\"start_us\":";
+  AppendU64(out, rec.start_us);
+  *out += ",\"dur_us\":";
+  AppendU64(out, rec.end_us - rec.start_us);
+  *out += ",\"tid\":";
+  AppendU64(out, rec.thread_id);
+  auto it = children.find(rec.span_id);
+  if (it != children.end()) {
+    *out += ",\"children\":[";
+    bool first = true;
+    for (const size_t child : it->second) {
+      if (!first) out->push_back(',');
+      first = false;
+      AppendSpanNode(out, all[child], children, all);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string Tracer::SpanTreeJson() const {
+  const std::vector<SpanRecord> spans = FinishedSpans();
+  // parent span_id -> indices of children, in (tid, start) order.
+  std::unordered_map<uint32_t, std::vector<size_t>> children;
+  std::unordered_map<uint32_t, bool> known;
+  for (const SpanRecord& s : spans) known[s.span_id] = true;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    // A span whose parent never finished (still open, or dropped) is
+    // reported as a root rather than lost.
+    if (spans[i].parent_id != 0 && known.count(spans[i].parent_id) > 0) {
+      children[spans[i].parent_id].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::string out = "[";
+  bool first = true;
+  for (const size_t r : roots) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendSpanNode(&out, spans[r], children, spans);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  const std::vector<SpanRecord> spans = FinishedSpans();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, s.name);
+    out += ",\"ph\":\"X\",\"ts\":";
+    AppendU64(&out, s.start_us);
+    out += ",\"dur\":";
+    AppendU64(&out, s.end_us - s.start_us);
+    out += ",\"pid\":1,\"tid\":";
+    AppendU64(&out, s.thread_id);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+TraceSpan::TraceSpan(std::string_view name, Tracer* tracer) {
+  Tracer* t = tracer != nullptr ? tracer : &Tracer::Global();
+  if (!t->enabled()) return;
+  tracer_ = t;
+  name_ = std::string(name);
+  const auto [id, parent] = t->OpenSpan();
+  span_id_ = id;
+  parent_id_ = parent;
+  start_us_ = t->NowMicros();  // After bookkeeping: span times the work.
+}
+
+TraceSpan::~TraceSpan() {
+  if (tracer_ == nullptr) return;
+  tracer_->CloseSpan(name_, span_id_, parent_id_, start_us_);
+}
+
+}  // namespace pbsm

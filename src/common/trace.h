@@ -1,0 +1,140 @@
+#ifndef PBSM_COMMON_TRACE_H_
+#define PBSM_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pbsm {
+
+/// One finished span: a named, nested interval on one thread.
+struct SpanRecord {
+  std::string name;
+  uint64_t start_us = 0;  ///< Microseconds since the tracer epoch.
+  uint64_t end_us = 0;
+  uint32_t thread_id = 0;  ///< Small sequential id, first-span order.
+  uint32_t span_id = 0;    ///< Unique, > 0.
+  uint32_t parent_id = 0;  ///< 0 = root (no enclosing span on this thread).
+
+  double duration_seconds() const {
+    return static_cast<double>(end_us - start_us) * 1e-6;
+  }
+};
+
+/// Collects TraceSpan records from all threads.
+///
+/// Each thread owns a log (created on its first span) holding its open-span
+/// stack and finished records; opening/closing a span touches only that log
+/// under its own (uncontended) mutex, so tracing never serialises workers
+/// against each other. Nesting is per thread: a span opened on a worker
+/// thread roots a new tree there — cross-thread phases are correlated by
+/// wall-clock overlap, exactly how the Chrome trace viewer renders them.
+///
+/// Logs are bounded (kMaxSpansPerThread); beyond the cap spans are counted
+/// as dropped instead of recorded, so long-running processes cannot grow
+/// without bound.
+class Tracer {
+ public:
+  static constexpr size_t kMaxSpansPerThread = 1 << 16;
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every built-in component reports to.
+  static Tracer& Global();
+
+  /// When disabled, TraceSpan construction is a no-op (one relaxed load).
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Copies out every finished span, ordered by (thread_id, start_us).
+  /// Threads with spans still open contribute only their finished ones.
+  std::vector<SpanRecord> FinishedSpans() const;
+
+  /// Spans not recorded because a per-thread log hit its cap.
+  uint64_t dropped_spans() const;
+
+  /// Discards all finished spans (open spans keep their identity).
+  void Clear();
+
+  /// Nested span tree as JSON:
+  /// [{"name":..,"start_us":..,"dur_us":..,"tid":..,
+  ///   "children":[...]}, ...] — roots ordered by (tid, start).
+  std::string SpanTreeJson() const;
+
+  /// Chrome trace_event format (load in chrome://tracing or Perfetto):
+  /// {"traceEvents":[{"name":..,"ph":"X","ts":..,"dur":..,"pid":1,
+  ///                  "tid":..},...]}.
+  std::string ChromeTraceJson() const;
+
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+ private:
+  friend class TraceSpan;
+
+  struct ThreadLog {
+    mutable std::mutex mutex;
+    uint32_t thread_id = 0;
+    std::vector<uint32_t> open_stack;  ///< span_ids of open spans.
+    std::vector<SpanRecord> finished;
+    uint64_t dropped = 0;
+  };
+
+  /// This thread's log in this tracer, created on first use.
+  ThreadLog* GetThreadLog();
+
+  /// Returns (span_id, parent_id) for a span opening now on this thread.
+  std::pair<uint32_t, uint32_t> OpenSpan();
+  void CloseSpan(std::string_view name, uint32_t span_id, uint32_t parent_id,
+                 uint64_t start_us);
+
+  std::atomic<bool> enabled_{true};
+  /// Process-unique id: keys the per-thread log cache, so a new tracer
+  /// reusing a destroyed tracer's address never inherits its logs.
+  const uint64_t tracer_key_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint32_t> next_span_id_{1};
+  std::atomic<uint32_t> next_thread_id_{0};
+
+  mutable std::mutex logs_mutex_;
+  std::vector<std::shared_ptr<ThreadLog>> logs_;
+};
+
+/// RAII phase marker: records a SpanRecord on the owning thread covering the
+/// guarded scope. Nested TraceSpans on the same thread form a tree.
+///
+///   { TraceSpan span("join.pbsm/partition R"); ...work... }
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, Tracer* tracer = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;  ///< Null when tracing was disabled at entry.
+  std::string name_;
+  uint64_t start_us_ = 0;
+  uint32_t span_id_ = 0;
+  uint32_t parent_id_ = 0;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_COMMON_TRACE_H_

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/index_build.h"
 #include "storage/tuple.h"
 
@@ -19,8 +20,9 @@ Result<JoinCostBreakdown> IndexedNestedLoopsJoin(
   std::optional<RStarTree> built;
   const RStarTree* index = preexisting_index;
   if (index == nullptr) {
-    PhaseCost& cost = breakdown.AddPhase("build index " + indexed.info.name);
-    PhaseTimer timer(disk, &cost);
+    const std::string phase = "build index " + indexed.info.name;
+    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseTimer timer(disk, &cost, phase);
     PBSM_ASSIGN_OR_RETURN(
         RStarTree tree,
         BuildIndexByBulkLoad(pool, indexed,
@@ -33,7 +35,14 @@ Result<JoinCostBreakdown> IndexedNestedLoopsJoin(
 
   {
     PhaseCost& cost = breakdown.AddPhase("probe index");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "probe index");
+    // INL evaluates the exact predicate inline, so its probe loop is also
+    // its refinement step for true/false-positive accounting.
+    static Counter* const true_positives =
+        MetricsRegistry::Global().GetCounter("join.refine.true_positives");
+    static Counter* const false_positives =
+        MetricsRegistry::Global().GetCounter("join.refine.false_positives");
+    uint64_t tp = 0, fp = 0;
     std::vector<uint64_t> hits;
     std::string record;
     const Status scan_status = probing.heap->Scan(
@@ -60,12 +69,17 @@ Result<JoinCostBreakdown> IndexedNestedLoopsJoin(
                                         r_tuple.geometry,
                                         opts.refinement_mode);
             if (matches) {
+              ++tp;
               ++breakdown.results;
               if (sink) sink(Oid::Decode(r_encoded), s_oid);
+            } else {
+              ++fp;
             }
           }
           return Status::OK();
         });
+    true_positives->Add(tp);
+    false_positives->Add(fp);
     PBSM_RETURN_IF_ERROR(scan_status);
   }
 

@@ -30,6 +30,9 @@ namespace pbsm {
 /// unaffected; containment joins must set this correctly.
 ///
 /// Result pairs are emitted as (indexed, probing) regardless.
+/// Deprecated for new callers: use SpatialJoin() in core/spatial_join.h,
+/// which wraps this entry point behind the unified JoinSpec/JoinResult
+/// API and adds tracing + metrics capture.
 Result<JoinCostBreakdown> IndexedNestedLoopsJoin(
     BufferPool* pool, const JoinInput& indexed, const JoinInput& probing,
     SpatialPredicate pred, const JoinOptions& opts,

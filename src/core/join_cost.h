@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "storage/disk_manager.h"
 
 namespace pbsm {
@@ -43,11 +45,16 @@ struct PhaseCost {
 };
 
 /// RAII capture of one component's cost: wall time plus the DiskManager
-/// stats delta over the guarded scope, accumulated into `*cost`.
+/// stats delta over the guarded scope, accumulated into `*cost`. When a
+/// `span_name` is given the scope is also recorded as a TraceSpan in the
+/// global tracer, so every join phase shows up in the span tree / Chrome
+/// trace without separate instrumentation.
 class PhaseTimer {
  public:
+  PhaseTimer(DiskManager* disk, PhaseCost* cost, std::string_view span_name)
+      : disk_(disk), cost_(cost), start_io_(disk->stats()), span_(span_name) {}
   PhaseTimer(DiskManager* disk, PhaseCost* cost)
-      : disk_(disk), cost_(cost), start_io_(disk->stats()) {}
+      : disk_(disk), cost_(cost), start_io_(disk->stats()), span_("phase") {}
   ~PhaseTimer() {
     cost_->cpu_seconds += watch_.ElapsedSeconds();
     const IoStats delta = disk_->stats() - start_io_;
@@ -64,6 +71,7 @@ class PhaseTimer {
   DiskManager* disk_;
   PhaseCost* cost_;
   IoStats start_io_;
+  TraceSpan span_;
   Stopwatch watch_;
 };
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/logging.h"
 #include "core/plane_sweep_join.h"
 #include "core/spatial_partitioner.h"
 #include "geom/predicates.h"
@@ -58,16 +59,22 @@ struct JoinOptions {
   uint32_t num_threads = 0;
 };
 
-/// Evaluates the exact predicate on two geometries.
-inline bool EvaluatePredicate(SpatialPredicate pred, const Geometry& r,
-                              const Geometry& s, SegmentTestMode mode) {
+/// Evaluates the exact predicate on two geometries. The switch is
+/// exhaustive; an out-of-range enum value (memory corruption, an
+/// unhandled new predicate) aborts instead of silently returning false and
+/// dropping result pairs.
+[[nodiscard]] inline bool EvaluatePredicate(SpatialPredicate pred,
+                                            const Geometry& r,
+                                            const Geometry& s,
+                                            SegmentTestMode mode) {
   switch (pred) {
     case SpatialPredicate::kIntersects:
       return Intersects(r, s, mode);
     case SpatialPredicate::kContains:
       return Contains(r, s, mode);
   }
-  return false;
+  PBSM_CHECK(false) << "unknown SpatialPredicate "
+                    << static_cast<int>(pred);
 }
 
 }  // namespace pbsm

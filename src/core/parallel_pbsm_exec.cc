@@ -214,7 +214,7 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
   st.partition_task_seconds.assign(2 * threads, 0.0);
   {
     PhaseCost& cost = breakdown.AddPhase("partition inputs");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "partition inputs");
     Stopwatch wall;
     for (uint32_t t = 0; t < threads; ++t) {
       tp.Submit([&, t] {
@@ -249,7 +249,7 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
   st.sweep_task_seconds.assign(num_partitions, 0.0);
   {
     PhaseCost& cost = breakdown.AddPhase("sweep partitions");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "sweep partitions");
     Stopwatch wall;
     for (uint32_t p = 0; p < num_partitions; ++p) {
       tp.Submit([&, p] {
@@ -291,7 +291,7 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
   std::vector<OidPair> deduped;
   {
     PhaseCost& cost = breakdown.AddPhase("merge candidates");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "merge candidates");
     Stopwatch wall;
     deduped.reserve(breakdown.candidates);
     struct RunCursor {
@@ -335,7 +335,7 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
   // R pages (near-sequential reads, as in the serial §3.2 step). ----
   {
     PhaseCost& cost = breakdown.AddPhase("refinement");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "refinement");
     Stopwatch wall;
 
     std::vector<std::pair<size_t, size_t>> shards;

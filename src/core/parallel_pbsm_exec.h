@@ -73,6 +73,9 @@ struct ParallelJoinStats {
 /// *wall-clock* time (workers run concurrently) and its io counters are the
 /// aggregate physical I/O of the phase; per-task busy times live in
 /// `*stats` (optional).
+/// Deprecated for new callers: use SpatialJoin() in core/spatial_join.h,
+/// which wraps this entry point behind the unified JoinSpec/JoinResult
+/// API and adds tracing + metrics capture.
 Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
                                            const JoinInput& r,
                                            const JoinInput& s,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/plane_sweep_join.h"
 #include "core/refinement.h"
 #include "core/spatial_partitioner.h"
@@ -84,6 +85,9 @@ Status MergePair(BufferPool* pool, SpoolFile* r_spool, SpoolFile* s_spool,
     // universe. The grid shape changes with the tile count, so skewed
     // clusters that landed in one partition spread across the sub-grid.
     ++breakdown->repartitioned_pairs;
+    static Histogram* const repartition_depth =
+        MetricsRegistry::Global().GetHistogram("join.pbsm.repartition_depth");
+    repartition_depth->Record(depth + 1);
     uint32_t sub_parts = SpatialPartitioner::EstimatePartitionCount(
         r_spool->num_records(), s_spool->num_records(),
         opts.memory_budget_bytes);
@@ -202,14 +206,16 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
   }
 
   {
-    PhaseCost& cost = breakdown.AddPhase("partition " + r.info.name);
-    PhaseTimer timer(disk, &cost);
+    const std::string phase = "partition " + r.info.name;
+    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseTimer timer(disk, &cost, phase);
     PBSM_RETURN_IF_ERROR(PartitionInput(*r.heap, partitioner, &r_spools,
                                         &breakdown.replicated));
   }
   {
-    PhaseCost& cost = breakdown.AddPhase("partition " + s.info.name);
-    PhaseTimer timer(disk, &cost);
+    const std::string phase = "partition " + s.info.name;
+    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseTimer timer(disk, &cost, phase);
     PBSM_RETURN_IF_ERROR(PartitionInput(*s.heap, partitioner, &s_spools,
                                         &breakdown.replicated));
   }
@@ -218,7 +224,7 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
   CandidateSorter sorter(pool, opts.memory_budget_bytes, OidPairLess{});
   {
     PhaseCost& cost = breakdown.AddPhase("merge partitions");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "merge partitions");
     for (uint32_t p = 0; p < num_partitions; ++p) {
       PBSM_RETURN_IF_ERROR(MergePair(pool, &r_spools[p], &s_spools[p],
                                      universe, opts, /*depth=*/0, &sorter,
@@ -231,7 +237,7 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
   // ---- Refinement. ----
   {
     PhaseCost& cost = breakdown.AddPhase("refinement");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "refinement");
     PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, *r.heap, *s.heap, pred,
                                           opts, sink, &breakdown));
   }

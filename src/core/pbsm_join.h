@@ -28,6 +28,9 @@ namespace pbsm {
 ///
 /// Returns the per-component cost breakdown; result pairs go to `sink`
 /// (which may be empty when only counts are needed).
+/// Deprecated for new callers: use SpatialJoin() in core/spatial_join.h,
+/// which wraps this entry point behind the unified JoinSpec/JoinResult
+/// API and adds tracing + metrics capture.
 Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
                                    const JoinInput& s, SpatialPredicate pred,
                                    const JoinOptions& opts,

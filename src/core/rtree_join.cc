@@ -104,8 +104,9 @@ Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
 
   std::optional<RStarTree> r_built, s_built;
   if (r_index == nullptr) {
-    PhaseCost& cost = breakdown.AddPhase("build index " + r.info.name);
-    PhaseTimer timer(disk, &cost);
+    const std::string phase = "build index " + r.info.name;
+    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseTimer timer(disk, &cost, phase);
     PBSM_ASSIGN_OR_RETURN(
         RStarTree tree,
         BuildIndexByBulkLoad(pool, r, "rtj_idx_" + r.info.name + ".rtree",
@@ -115,8 +116,9 @@ Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
     r_index = &*r_built;
   }
   if (s_index == nullptr) {
-    PhaseCost& cost = breakdown.AddPhase("build index " + s.info.name);
-    PhaseTimer timer(disk, &cost);
+    const std::string phase = "build index " + s.info.name;
+    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseTimer timer(disk, &cost, phase);
     PBSM_ASSIGN_OR_RETURN(
         RStarTree tree,
         BuildIndexByBulkLoad(pool, s, "rtj_idx_" + s.info.name + ".rtree",
@@ -129,7 +131,7 @@ Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
   CandidateSorter sorter(pool, opts.memory_budget_bytes, OidPairLess{});
   {
     PhaseCost& cost = breakdown.AddPhase("join trees");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "join trees");
     PBSM_RETURN_IF_ERROR(JoinNodes(*r_index, r_index->root_page(), *s_index,
                                    s_index->root_page(), opts, &sorter,
                                    &breakdown));
@@ -137,7 +139,7 @@ Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
 
   {
     PhaseCost& cost = breakdown.AddPhase("refinement");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "refinement");
     PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, *r.heap, *s.heap, pred,
                                           opts, sink, &breakdown));
   }

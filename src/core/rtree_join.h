@@ -20,6 +20,9 @@ namespace pbsm {
 /// traversed in tandem. Leaf-level matches become candidate OID pairs,
 /// which run through the shared refinement step (§3.2 semantics, identical
 /// to PBSM's).
+/// Deprecated for new callers: use SpatialJoin() in core/spatial_join.h,
+/// which wraps this entry point behind the unified JoinSpec/JoinResult
+/// API and adds tracing + metrics capture.
 Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
                                     const JoinInput& s, SpatialPredicate pred,
                                     const JoinOptions& opts,

@@ -37,8 +37,9 @@ Result<JoinCostBreakdown> SpatialHashJoin(
   // ---- Seed bucket extents from a sample of R. ----
   std::vector<Rect> extents(num_buckets);
   {
-    PhaseCost& cost = breakdown.AddPhase("sample " + r.info.name);
-    PhaseTimer timer(disk, &cost);
+    const std::string phase = "sample " + r.info.name;
+    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseTimer timer(disk, &cost, phase);
     size_t sample_target = static_cast<size_t>(
         static_cast<double>(r.info.cardinality) * options.sample_fraction);
     sample_target = std::max<size_t>(sample_target, num_buckets * 4);
@@ -99,8 +100,9 @@ Result<JoinCostBreakdown> SpatialHashJoin(
     s_spools.push_back(std::move(ss));
   }
   {
-    PhaseCost& cost = breakdown.AddPhase("partition " + r.info.name);
-    PhaseTimer timer(disk, &cost);
+    const std::string phase = "partition " + r.info.name;
+    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseTimer timer(disk, &cost, phase);
     PBSM_RETURN_IF_ERROR(r.heap->Scan(
         [&](Oid oid, const char* data, size_t size) -> Status {
           PBSM_ASSIGN_OR_RETURN(const Tuple tuple, Tuple::Parse(data, size));
@@ -127,8 +129,9 @@ Result<JoinCostBreakdown> SpatialHashJoin(
 
   // ---- Partition S: replicate to every overlapping bucket extent. ----
   {
-    PhaseCost& cost = breakdown.AddPhase("partition " + s.info.name);
-    PhaseTimer timer(disk, &cost);
+    const std::string phase = "partition " + s.info.name;
+    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseTimer timer(disk, &cost, phase);
     PBSM_RETURN_IF_ERROR(s.heap->Scan(
         [&](Oid oid, const char* data, size_t size) -> Status {
           PBSM_ASSIGN_OR_RETURN(const Tuple tuple, Tuple::Parse(data, size));
@@ -151,7 +154,7 @@ Result<JoinCostBreakdown> SpatialHashJoin(
                          OidPairLess{});
   {
     PhaseCost& cost = breakdown.AddPhase("merge buckets");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "merge buckets");
     const uint64_t chunk_records = std::max<uint64_t>(
         1, options.join.memory_budget_bytes / 2 / sizeof(KeyPointer));
     for (uint32_t b = 0; b < num_buckets; ++b) {
@@ -198,7 +201,7 @@ Result<JoinCostBreakdown> SpatialHashJoin(
   // bucket, so pairs are unique; the sort still orders fetches. ----
   {
     PhaseCost& cost = breakdown.AddPhase("refinement");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "refinement");
     PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, *r.heap, *s.heap, pred,
                                           options.join, sink, &breakdown));
   }

@@ -37,6 +37,9 @@ struct SpatialHashJoinOptions {
 ///     the shared refinement (LR96 itself "ignores the very expensive
 ///     refinement step" — the paper's words; here it is included so totals
 ///     are comparable).
+/// Deprecated for new callers: use SpatialJoin() in core/spatial_join.h,
+/// which wraps this entry point behind the unified JoinSpec/JoinResult
+/// API and adds tracing + metrics capture.
 Result<JoinCostBreakdown> SpatialHashJoin(
     BufferPool* pool, const JoinInput& r, const JoinInput& s,
     SpatialPredicate pred, const SpatialHashJoinOptions& options,

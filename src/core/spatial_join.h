@@ -1,0 +1,107 @@
+#ifndef PBSM_CORE_SPATIAL_JOIN_H_
+#define PBSM_CORE_SPATIAL_JOIN_H_
+
+#include <optional>
+#include <string_view>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/join_cost.h"
+#include "core/join_options.h"
+#include "core/parallel_pbsm_exec.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+
+namespace pbsm {
+
+/// Every join algorithm the system implements, selectable through the one
+/// SpatialJoin() facade below.
+enum class JoinMethod {
+  kPbsm,          ///< Partition Based Spatial-Merge join (the paper's §3).
+  kParallelPbsm,  ///< Threaded PBSM executor (shared-memory parallel).
+  kInl,           ///< Indexed nested loops over an R*-tree (§4.1).
+  kRtree,         ///< Synchronized R*-tree traversal join (§4.2, BKS93).
+  kSpatialHash,   ///< Spatial hash join (LR96).
+  kZOrder,        ///< Orenstein z-value transform join (Ore86/OM88).
+};
+
+/// Stable lowercase identifier ("pbsm", "parallel_pbsm", "inl", "rtree",
+/// "spatial_hash", "zorder") — used in CLI flags, metrics and trace spans.
+std::string_view JoinMethodName(JoinMethod method);
+
+/// Inverse of JoinMethodName; nullopt on an unknown identifier.
+std::optional<JoinMethod> ParseJoinMethod(std::string_view name);
+
+/// The complete specification of one spatial join: the algorithm, the exact
+/// predicate, the shared knobs, and the per-algorithm extras that used to
+/// live in SpatialHashJoinOptions / ZOrderJoinOptions / the extra parameters
+/// of IndexedNestedLoopsJoin and RtreeJoin. Fields an algorithm does not use
+/// are ignored.
+struct JoinSpec {
+  JoinMethod method = JoinMethod::kPbsm;
+  SpatialPredicate predicate = SpatialPredicate::kIntersects;
+
+  /// Knobs shared by every algorithm (memory budget, tiles, refinement
+  /// mode, thread count for the parallel executor, ...).
+  JoinOptions options;
+
+  /// Receives each (r, s) result pair. Always oriented as the facade's
+  /// inputs: first OID from `r`, second from `s`, whichever side an
+  /// algorithm internally indexes or probes. May be empty for counts only.
+  ResultSink sink;
+
+  // --- kInl / kRtree: pre-existing indexes (Figures 14/15 variants) ---
+  /// R*-tree over the r (resp. s) input. kRtree uses both when given and
+  /// builds the missing ones; kInl probes with the other side and requires
+  /// at most one. Ignored by the non-index methods.
+  const RStarTree* r_index = nullptr;
+  const RStarTree* s_index = nullptr;
+
+  // --- kSpatialHash ---
+  uint32_t hash_num_buckets = 0;      ///< 0 derives from Equation 1.
+  double hash_sample_fraction = 0.01; ///< R sample seeding bucket extents.
+
+  // --- kZOrder ---
+  uint32_t zorder_max_level = 8;           ///< Quadtree depth.
+  uint32_t zorder_max_cells_per_object = 4;///< Cells approximating one MBR.
+
+  // --- kParallelPbsm ---
+  /// Optional sink for per-worker/per-task timing statistics.
+  ParallelJoinStats* parallel_stats = nullptr;
+};
+
+/// What one SpatialJoin() execution produced: the result-pair count, the
+/// per-phase cost breakdown the legacy entry points returned, and the
+/// global-metrics delta attributable to this join (counters bumped and
+/// histograms recorded between entry and exit — buffer-pool hits/misses,
+/// refinement true/false positives, repartition depths, ...).
+struct JoinResult {
+  JoinMethod method = JoinMethod::kPbsm;
+  uint64_t num_results = 0;      ///< == breakdown.results.
+  double wall_seconds = 0.0;     ///< End-to-end facade wall time.
+  JoinCostBreakdown breakdown;
+  MetricsSnapshot metrics;       ///< Delta snapshot over this join.
+};
+
+/// Unified entry point: runs the join described by `spec` over inputs `r`
+/// and `s` and returns a uniform JoinResult. Every execution is wrapped in
+/// a "join/<method>" trace span (phases nest underneath) and bumps the
+/// "join.candidates" / "join.results" / "join.duplicates_removed" /
+/// "join.replicated" / "join.repartitioned_pairs" counters.
+///
+/// Orientation: the predicate is evaluated as pred(r, s) and result pairs
+/// arrive at spec.sink as (r_oid, s_oid) for every method, including kInl
+/// (which internally may index either side; the facade indexes the side
+/// with a pre-existing index, else the smaller input, and restores the
+/// caller's orientation).
+///
+/// The legacy per-algorithm entry points (PbsmJoin, ParallelPbsmJoin,
+/// IndexedNestedLoopsJoin, RtreeJoin, SpatialHashJoin, ZOrderJoin) remain
+/// available but are deprecated for new code — they are what this facade
+/// dispatches to.
+Result<JoinResult> SpatialJoin(BufferPool* pool, const JoinInput& r,
+                               const JoinInput& s, const JoinSpec& spec);
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_SPATIAL_JOIN_H_

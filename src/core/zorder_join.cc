@@ -132,15 +132,17 @@ Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
   ZSorter s_sorter(pool, options.join.memory_budget_bytes, ZElementLess{});
   uint64_t r_elements = 0, s_elements = 0;
   {
-    PhaseCost& cost = breakdown.AddPhase("transform " + r.info.name);
-    PhaseTimer timer(disk, &cost);
+    const std::string phase = "transform " + r.info.name;
+    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseTimer timer(disk, &cost, phase);
     PBSM_RETURN_IF_ERROR(
         TransformInput(*r.heap, &decomposer, &r_sorter, &r_elements));
     PBSM_RETURN_IF_ERROR(r_sorter.Finish());
   }
   {
-    PhaseCost& cost = breakdown.AddPhase("transform " + s.info.name);
-    PhaseTimer timer(disk, &cost);
+    const std::string phase = "transform " + s.info.name;
+    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseTimer timer(disk, &cost, phase);
     PBSM_RETURN_IF_ERROR(
         TransformInput(*s.heap, &decomposer, &s_sorter, &s_elements));
     PBSM_RETURN_IF_ERROR(s_sorter.Finish());
@@ -153,7 +155,7 @@ Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
                              OidPairLess{});
   {
     PhaseCost& cost = breakdown.AddPhase("merge z-lists");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "merge z-lists");
 
     // (hi, oid) stacks of currently open intervals; quadtree intervals are
     // nested-or-disjoint, so every open interval on the opposite stack
@@ -199,7 +201,7 @@ Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
   // ---- Shared refinement. ----
   {
     PhaseCost& cost = breakdown.AddPhase("refinement");
-    PhaseTimer timer(disk, &cost);
+    PhaseTimer timer(disk, &cost, "refinement");
     PBSM_RETURN_IF_ERROR(RefineCandidates(&candidates, *r.heap, *s.heap,
                                           pred, options.join, sink,
                                           &breakdown));

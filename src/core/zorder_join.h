@@ -38,6 +38,9 @@ struct ZOrderJoinOptions {
 ///
 /// Refinement: identical to PBSM's (shared RefineCandidates), including
 /// duplicate elimination — one object pair can meet through several cells.
+/// Deprecated for new callers: use SpatialJoin() in core/spatial_join.h,
+/// which wraps this entry point behind the unified JoinSpec/JoinResult
+/// API and adds tracing + metrics capture.
 Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
                                      const JoinInput& s,
                                      SpatialPredicate pred,

@@ -22,6 +22,13 @@ BufferPool::BufferPool(DiskManager* disk, size_t pool_bytes) : disk_(disk) {
   for (Frame& f : frames_) {
     f.data = std::make_unique<char[]>(kPageSize);
   }
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  m_hits_ = metrics.GetCounter("storage.bufferpool.hits");
+  m_misses_ = metrics.GetCounter("storage.bufferpool.misses");
+  m_evictions_ = metrics.GetCounter("storage.bufferpool.evictions");
+  m_flush_batches_ = metrics.GetCounter("storage.bufferpool.flush_batches");
+  m_flush_pages_ = metrics.GetCounter("storage.bufferpool.flush_pages");
+  m_latch_waits_ = metrics.GetCounter("storage.bufferpool.latch_waits");
 }
 
 BufferPool::~BufferPool() {
@@ -65,6 +72,9 @@ Status BufferPool::FlushDirtyUnpinned(std::unique_lock<std::mutex>* lock) {
   std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
     return frames_[a].id < frames_[b].id;
   });
+
+  m_flush_batches_->Add();
+  m_flush_pages_->Add(dirty.size());
 
   lock->unlock();
   Status status;
@@ -119,6 +129,7 @@ Result<size_t> BufferPool::GetVictimFrame(std::unique_lock<std::mutex>* lock) {
       }
       page_table_.erase(f.id);
       f.in_use = false;
+      m_evictions_->Add();
       return current;
     }
     if (flushed) {
@@ -132,6 +143,7 @@ Result<size_t> BufferPool::GetVictimFrame(std::unique_lock<std::mutex>* lock) {
       // Every evictable frame is only transiently latched for in-flight I/O
       // (a flush round latches all dirty unpinned frames at once); wait for
       // a latch to clear and retry instead of failing spuriously.
+      m_latch_waits_->Add();
       io_cv_.wait(*lock);
       continue;
     }
@@ -149,11 +161,13 @@ Result<PageHandle> BufferPool::FetchPage(PageId id) {
       if (f.io_busy) {
         // Another thread is reading this page in (or flushing it); wait for
         // the latch, then re-probe — the frame may have been repurposed.
+        m_latch_waits_->Add();
         io_cv_.wait(lock);
         continue;
       }
       if (!counted) {
         ++hits_;
+        m_hits_->Add();
         counted = true;
       }
       ++f.pin_count;
@@ -165,6 +179,7 @@ Result<PageHandle> BufferPool::FetchPage(PageId id) {
     }
     if (!counted) {
       ++misses_;
+      m_misses_->Add();
       counted = true;
     }
     PBSM_ASSIGN_OR_RETURN(const size_t victim, GetVictimFrame(&lock));
@@ -238,6 +253,8 @@ Status BufferPool::FlushAll() {
   std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
     return frames_[a].id < frames_[b].id;
   });
+  m_flush_batches_->Add();
+  m_flush_pages_->Add(dirty.size());
   lock.unlock();
   Status status;
   size_t written = 0;

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -162,6 +163,16 @@ class BufferPool {
   size_t clock_hand_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+
+  // Global-registry counters ("storage.bufferpool.*"), resolved once at
+  // construction. latch_waits counts io_cv_ sleeps (fetch of an in-flight
+  // page, or victim search with all evictable frames latched).
+  Counter* m_hits_;
+  Counter* m_misses_;
+  Counter* m_evictions_;
+  Counter* m_flush_batches_;
+  Counter* m_flush_pages_;
+  Counter* m_latch_waits_;
 };
 
 }  // namespace pbsm

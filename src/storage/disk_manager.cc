@@ -12,6 +12,11 @@ namespace pbsm {
 DiskManager::DiskManager(std::string directory, DiskModel model)
     : directory_(std::move(directory)), model_(model) {
   ::mkdir(directory_.c_str(), 0755);
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  m_reads_ = metrics.GetCounter("storage.disk.reads");
+  m_writes_ = metrics.GetCounter("storage.disk.writes");
+  m_seq_reads_ = metrics.GetCounter("storage.disk.seq_reads");
+  m_seq_writes_ = metrics.GetCounter("storage.disk.seq_writes");
 }
 
 DiskManager::~DiskManager() {
@@ -72,10 +77,18 @@ void DiskManager::Account(PageId id, bool is_write) {
                           id.page_no == last_access_.page_no + 1;
   if (is_write) {
     ++stats_.writes;
-    if (sequential) ++stats_.sequential_writes;
+    m_writes_->Add();
+    if (sequential) {
+      ++stats_.sequential_writes;
+      m_seq_writes_->Add();
+    }
   } else {
     ++stats_.reads;
-    if (sequential) ++stats_.sequential_reads;
+    m_reads_->Add();
+    if (sequential) {
+      ++stats_.sequential_reads;
+      m_seq_reads_->Add();
+    }
   }
   stats_.modeled_seconds += model_.PageCost(sequential);
   last_access_ = id;

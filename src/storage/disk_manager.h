@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/page.h"
 
@@ -134,6 +135,13 @@ class DiskManager {
   // Last physical page touched on the (single, shared) device.
   PageId last_access_;
   bool has_last_access_ = false;
+
+  // Global-registry mirrors of stats_, resolved once at construction
+  // ("storage.disk.*"; see DESIGN.md "Observability").
+  Counter* m_reads_;
+  Counter* m_writes_;
+  Counter* m_seq_reads_;
+  Counter* m_seq_writes_;
 };
 
 }  // namespace pbsm

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/spool_file.h"
 
@@ -43,6 +44,9 @@ class ExternalSorter {
   /// Adds one record. Must not be called after Finish().
   Status Add(const T& rec) {
     PBSM_CHECK(!finished_) << "Add after Finish";
+    static Counter* const records =
+        MetricsRegistry::Global().GetCounter("storage.extsort.records");
+    records->Add();
     buffer_.push_back(rec);
     ++num_records_;
     if (buffer_.size() >= max_buffered_) {
@@ -118,6 +122,9 @@ class ExternalSorter {
 
   /// Merges the first `count` runs into one new run (one cascade step).
   Status MergeRunGroup(size_t count) {
+    static Counter* const merge_passes =
+        MetricsRegistry::Global().GetCounter("storage.extsort.merge_passes");
+    merge_passes->Add();
     std::vector<typename SpoolFile::Reader> readers;
     readers.reserve(count);
     for (size_t i = 0; i < count; ++i) {
@@ -150,6 +157,9 @@ class ExternalSorter {
   }
 
   Status SpillRun() {
+    static Counter* const spill_runs =
+        MetricsRegistry::Global().GetCounter("storage.extsort.spill_runs");
+    spill_runs->Add();
     std::sort(buffer_.begin(), buffer_.end(), less_);
     PBSM_ASSIGN_OR_RETURN(SpoolFile run,
                           SpoolFile::Create(pool_, sizeof(T)));

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/metrics.h"
+
 namespace pbsm {
 
 uint16_t HeapFile::GetU16(const char* p) {
@@ -18,6 +20,9 @@ Result<HeapFile> HeapFile::Create(BufferPool* pool, const std::string& name) {
 }
 
 Result<Oid> HeapFile::Append(const char* data, size_t size) {
+  static Counter* const appends =
+      MetricsRegistry::Global().GetCounter("storage.heapfile.appends");
+  appends->Add();
   if (size > MaxRecordSize()) {
     return Status::InvalidArgument("record of " + std::to_string(size) +
                                    " bytes exceeds page capacity");
@@ -86,6 +91,9 @@ Result<bool> HeapFile::Cursor::Next(Oid* oid, std::string* record) {
 }
 
 Status HeapFile::Fetch(Oid oid, std::string* out) const {
+  static Counter* const fetches =
+      MetricsRegistry::Global().GetCounter("storage.heapfile.fetches");
+  fetches->Add();
   if (oid.page_no >= num_pages_) {
     return Status::OutOfRange("OID page beyond heap file");
   }

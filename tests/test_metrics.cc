@@ -1,0 +1,220 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace pbsm {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter c;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads, [&](size_t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) c.Add();
+  });
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds 0; bucket b holds [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10u);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11u);
+  EXPECT_EQ(Histogram::BucketFor(~0ull), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 8u - 1);  // Holds [4, 8).
+}
+
+TEST(HistogramTest, CountSumAndBuckets) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);
+  h.Record(5);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 11u);
+  const std::vector<uint64_t> buckets = h.BucketCounts();
+  EXPECT_EQ(buckets[0], 1u);                       // The 0.
+  EXPECT_EQ(buckets[1], 1u);                       // The 1.
+  EXPECT_EQ(buckets[Histogram::BucketFor(5)], 2u); // The two 5s.
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreLossless) {
+  Histogram h;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads, [&](size_t t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) h.Record(t);
+  });
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+  uint64_t expected_sum = 0;
+  for (size_t t = 0; t < kThreads; ++t) expected_sum += t * kPerThread;
+  EXPECT_EQ(h.Sum(), expected_sum);
+}
+
+TEST(MetricsRegistryTest, LookupIsStableAndIdempotent) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x.y.z");
+  Counter* b = reg.GetCounter("x.y.z");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("x.y.other"), a);
+  a->Add(7);
+  EXPECT_EQ(reg.Snapshot().counter("x.y.z"), 7u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupAndBump) {
+  MetricsRegistry reg;
+  constexpr size_t kThreads = 8;
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads, [&](size_t t) {
+    // Half the threads race on the same name, half create their own.
+    const std::string name =
+        t % 2 == 0 ? "shared" : "own." + std::to_string(t);
+    Counter* c = reg.GetCounter(name);
+    for (int i = 0; i < 10000; ++i) c->Add();
+  });
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counter("shared"), 4u * 10000u);
+  EXPECT_EQ(snap.counter("own.1"), 10000u);
+}
+
+TEST(MetricsSnapshotTest, DeltaSubtractsCountersAndHistograms) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Histogram* h = reg.GetHistogram("h");
+  c->Add(5);
+  h->Record(8);
+  const MetricsSnapshot before = reg.Snapshot();
+  c->Add(3);
+  h->Record(8);
+  h->Record(16);
+  const MetricsSnapshot delta = reg.Snapshot().Delta(before);
+  EXPECT_EQ(delta.counter("c"), 3u);
+  const auto it = delta.histograms.find("h");
+  ASSERT_NE(it, delta.histograms.end());
+  EXPECT_EQ(it->second.count, 2u);
+}
+
+TEST(MetricsSnapshotTest, ToJsonIsWellFormedAndStable) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.b")->Add(2);
+  reg.GetGauge("g")->Set(-4);
+  reg.GetHistogram("h")->Record(3);
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"a.b\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g\":-4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+  // Single line, brace-balanced.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Add(9);
+  reg.GetHistogram("h")->Record(1);
+  reg.ResetAll();
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counter("c"), 0u);
+  ASSERT_EQ(snap.histograms.count("h"), 1u);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(TraceTest, NestedSpansLinkToParents) {
+  Tracer tracer;
+  {
+    TraceSpan outer("outer", &tracer);
+    { TraceSpan inner("inner", &tracer); }
+    { TraceSpan inner2("inner2", &tracer); }
+  }
+  const std::vector<SpanRecord> spans = tracer.FinishedSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Sorted by start time: outer first.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent_id, spans[0].span_id);
+  EXPECT_EQ(spans[2].name, "inner2");
+  EXPECT_EQ(spans[2].parent_id, spans[0].span_id);
+  EXPECT_GE(spans[0].end_us, spans[1].end_us);
+}
+
+TEST(TraceTest, SpansFromWorkerThreadsAllRecorded) {
+  Tracer tracer;
+  constexpr size_t kTasks = 64;
+  ThreadPool pool(4);
+  pool.ParallelFor(kTasks, [&](size_t i) {
+    TraceSpan span("task", &tracer);
+    (void)i;
+  });
+  EXPECT_EQ(tracer.FinishedSpans().size(), kTasks);
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+}
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  { TraceSpan span("ghost", &tracer); }
+  EXPECT_TRUE(tracer.FinishedSpans().empty());
+}
+
+TEST(TraceTest, JsonExportsContainSpans) {
+  Tracer tracer;
+  {
+    TraceSpan outer("phase a", &tracer);
+    TraceSpan inner("phase b", &tracer);
+  }
+  const std::string tree = tracer.SpanTreeJson();
+  EXPECT_NE(tree.find("\"phase a\""), std::string::npos) << tree;
+  EXPECT_NE(tree.find("\"children\""), std::string::npos) << tree;
+  const std::string chrome = tracer.ChromeTraceJson();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos) << chrome;
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos) << chrome;
+}
+
+TEST(TraceTest, ClearDiscardsHistory) {
+  Tracer tracer;
+  { TraceSpan span("s", &tracer); }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.FinishedSpans().empty());
+}
+
+}  // namespace
+}  // namespace pbsm

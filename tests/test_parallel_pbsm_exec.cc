@@ -104,7 +104,10 @@ TEST_F(ParallelPbsmExecTest, MatchesSerialAcrossThreadCountsAndSweeps) {
       EXPECT_EQ(stats.num_threads, threads);
       EXPECT_EQ(stats.worker_busy_seconds.size(), threads);
       EXPECT_GT(stats.TotalBusySeconds(), 0.0);
-      EXPECT_GE(stats.CriticalPathSpeedup(), 1.0);
+      // TotalBusySeconds sums per-task timings while the denominator is
+      // per-worker busy time, which also covers timer and queue overhead
+      // between tasks — so the ratio can land epsilon below 1.0.
+      EXPECT_GE(stats.CriticalPathSpeedup(), 0.95);
     }
   }
 }
