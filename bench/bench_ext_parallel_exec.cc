@@ -134,7 +134,8 @@ void Run() {
 }  // namespace bench
 }  // namespace pbsm
 
-int main() {
+int main(int argc, char** argv) {
+  pbsm::bench::ParseBenchArgs(argc, argv);
   pbsm::bench::Run();
   return 0;
 }

@@ -8,8 +8,9 @@
 
 #include "bench/join_bench.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pbsm::bench;
+  ParseBenchArgs(argc, argv);
   const double scale = ScaleFromEnv();
   const TigerData tiger = GenTiger(scale);
   JoinBenchSpec spec;

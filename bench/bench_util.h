@@ -87,6 +87,36 @@ inline std::vector<std::pair<std::string, size_t>> PoolSizes(double scale) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault profile plumbing (resilience experiments; see EXPERIMENTS.md).
+//
+// A scenario spec in FaultInjector::Parse syntax, e.g.
+// "seed=42;read=0.01;torn=0.001", arms a deterministic fault injector on
+// every Workspace the bench creates — loads included, exactly like a flaky
+// device. Set via `--fault-profile=SPEC` (call ParseBenchArgs in main) or
+// the PBSM_FAULT_PROFILE environment variable; the flag wins.
+// ---------------------------------------------------------------------------
+
+inline std::string& FaultProfileSpec() {
+  static std::string spec = [] {
+    const char* env = std::getenv("PBSM_FAULT_PROFILE");
+    return env != nullptr ? std::string(env) : std::string();
+  }();
+  return spec;
+}
+
+/// Handles the common bench flags (currently just --fault-profile=SPEC).
+/// Benches that take no other arguments call this at the top of main().
+inline void ParseBenchArgs(int argc, char** argv) {
+  const std::string prefix = "--fault-profile=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      FaultProfileSpec() = arg.substr(prefix.size());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Workspace: a scratch directory with a DiskManager + BufferPool.
 // ---------------------------------------------------------------------------
 
@@ -97,6 +127,12 @@ class Workspace {
     const char* dir = ::mkdtemp(tmpl);
     dir_ = dir != nullptr ? dir : "/tmp/pbsm_bench_fallback";
     disk_ = std::make_unique<DiskManager>(dir_);
+    if (!FaultProfileSpec().empty()) {
+      auto injector = FaultInjector::Parse(FaultProfileSpec());
+      PBSM_CHECK(injector.ok()) << "bad --fault-profile: "
+                                << injector.status().ToString();
+      disk_->set_fault_injector(std::move(*injector));
+    }
     pool_ = std::make_unique<BufferPool>(disk_.get(), pool_bytes);
   }
   ~Workspace() {

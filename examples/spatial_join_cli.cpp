@@ -3,11 +3,17 @@
 //
 //   ./examples/spatial_join_cli R.wkt S.wkt [intersects|contains]
 //                               [pbsm|parallel_pbsm|rtree|inl|spatial_hash|zorder]
+//                               [--fault-profile=SPEC]
 //
 // Each input file holds one WKT geometry per line (POINT / LINESTRING /
 // POLYGON; '#' lines are comments). The join result is printed as
 // "<r_line> <s_line>" pairs of 1-based input line numbers, followed by the
 // cost breakdown. With no arguments, a small built-in demo runs.
+//
+// --fault-profile arms a deterministic storage fault injector (see
+// FaultInjector::Parse for the spec syntax, e.g. "seed=42;read=0.01"):
+// transient faults are retried transparently by the buffer pool; permanent
+// ones make the join fail with a clean non-OK status (exit code 1).
 
 #include <cstdio>
 #include <cstring>
@@ -78,6 +84,21 @@ int RunDemo() {
 }  // namespace
 
 int RunCli(int argc, const char** argv) {
+  // Strip flag arguments; the rest are positional.
+  std::string fault_profile;
+  std::vector<const char*> positional;
+  const std::string fault_prefix = "--fault-profile=";
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(fault_prefix, 0) == 0) {
+      fault_profile = arg.substr(fault_prefix.size());
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(positional.size());
+  argv = positional.data();
+
   const std::string r_path = argv[1];
   const std::string s_path = argv[2];
   const std::string pred_name = argc > 3 ? argv[3] : "intersects";
@@ -106,6 +127,15 @@ int RunCli(int argc, const char** argv) {
   const std::string dir = "/tmp/pbsm_cli_work";
   std::filesystem::remove_all(dir);
   DiskManager disk(dir);
+  if (!fault_profile.empty()) {
+    auto injector = FaultInjector::Parse(fault_profile);
+    if (!injector.ok()) {
+      std::fprintf(stderr, "bad --fault-profile: %s\n",
+                   injector.status().ToString().c_str());
+      return 2;
+    }
+    disk.set_fault_injector(std::move(*injector));
+  }
   BufferPool pool(&disk, 32 << 20);
   Catalog catalog;
   auto r = LoadRelation(&pool, &catalog, "R", std::move(r_tuples).value(),

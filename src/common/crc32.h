@@ -1,0 +1,45 @@
+#ifndef PBSM_COMMON_CRC32_H_
+#define PBSM_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pbsm {
+
+namespace crc32_internal {
+
+/// CRC-32C (Castagnoli) lookup table, built once at compile time. The
+/// Castagnoli polynomial is the one storage systems use for block checksums
+/// (iSCSI, ext4, LevelDB); software table lookup is plenty for 8 KiB pages.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace crc32_internal
+
+/// CRC-32C of `n` bytes at `data`. Deterministic across platforms.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ crc32_internal::kTable[(crc ^ p[i]) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace pbsm
+
+#endif  // PBSM_COMMON_CRC32_H_

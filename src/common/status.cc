@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -20,6 +20,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kNotSupported,
+  /// Work abandoned because a sibling task already failed; carries no
+  /// information of its own and is filtered out in favour of the sibling's
+  /// first real error (see ParallelPbsmJoin).
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "IoError").
@@ -29,7 +33,11 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// The library never throws; every operation that can fail returns a Status
 /// (or a Result<T>, below). The OK status carries no allocation.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how I/O errors turn into
+/// wrong join results; callers that genuinely cannot act on a failure
+/// (destructors, shutdown paths) must say so with an explicit void cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -70,6 +78,9 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -90,7 +101,7 @@ class Status {
 /// Either a value of type T or an error Status. Modeled after
 /// arrow::Result / absl::StatusOr.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so `return value;` works in functions returning Result<T>.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,11 +1,13 @@
 #include "core/parallel_pbsm_exec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <queue>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -21,14 +23,53 @@ namespace {
 /// Key-pointer buffers one scan task routed into: one vector per partition.
 using PartitionBuffers = std::vector<std::vector<KeyPointer>>;
 
+/// Shared cancellation state of one parallel join: the first worker to hit
+/// a real error records it and trips the flag; siblings poll the flag and
+/// bail with kCancelled (which carries no information and is filtered in
+/// favour of the recorded first error). This is what turns one failed
+/// partition worker into a prompt, clean join abort instead of N workers
+/// independently grinding through doomed I/O.
+class Canceller {
+ public:
+  bool is_cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Records `s` as the join's error if it is the first real one (OK and
+  /// kCancelled are ignored) and cancels all siblings.
+  void Report(const Status& s) {
+    if (s.ok() || s.code() == StatusCode::kCancelled) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_.ok()) first_error_ = s;
+    }
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// The first real error reported, or OK.
+  Status FirstError() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return first_error_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mutex_;
+  Status first_error_;
+};
+
 /// Scans pages [first, end) of `heap`, routing each tuple's key-pointer
 /// into `bufs` (one bucket per partition).
 Status ScanRangeIntoBuffers(const HeapFile& heap, uint32_t first,
                             uint32_t end, const SpatialPartitioner& part,
-                            PartitionBuffers* bufs, uint64_t* replicated) {
+                            const Canceller& cancel, PartitionBuffers* bufs,
+                            uint64_t* replicated) {
   std::vector<uint32_t> targets;
   return heap.ScanPages(
       first, end, [&](Oid oid, const char* data, size_t size) -> Status {
+        if (cancel.is_cancelled()) {
+          return Status::Cancelled("sibling scan task failed");
+        }
         PBSM_ASSIGN_OR_RETURN(const Tuple tuple, Tuple::Parse(data, size));
         const KeyPointer kp{tuple.geometry.Mbr(), oid.Encode()};
         targets.clear();
@@ -202,6 +243,9 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
 
   Stopwatch total_watch;
   ThreadPool tp(threads);
+  Canceller cancel;
+  static Counter* const cancelled_tasks =
+      MetricsRegistry::Global().GetCounter("join.parallel.cancelled_tasks");
 
   // ---- Phase 1: parallel filter scan. Each task owns a page range of one
   // input and private per-partition buffers; the barrier makes them visible
@@ -220,23 +264,38 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
       tp.Submit([&, t] {
         TaskTimer tt(&st.partition_task_seconds[t],
                      &st.worker_busy_seconds);
+        if (cancel.is_cancelled()) {
+          cancelled_tasks->Add();
+          task_status[t] = Status::Cancelled("sibling scan task failed");
+          return;
+        }
         r_bufs[t].resize(num_partitions);
         task_status[t] = ScanRangeIntoBuffers(
             *r.heap, r_ranges[t].first, r_ranges[t].second, partitioner,
-            &r_bufs[t], &task_replicated[t]);
+            cancel, &r_bufs[t], &task_replicated[t]);
+        cancel.Report(task_status[t]);
       });
       tp.Submit([&, t] {
         TaskTimer tt(&st.partition_task_seconds[threads + t],
                      &st.worker_busy_seconds);
+        if (cancel.is_cancelled()) {
+          cancelled_tasks->Add();
+          task_status[threads + t] =
+              Status::Cancelled("sibling scan task failed");
+          return;
+        }
         s_bufs[t].resize(num_partitions);
         task_status[threads + t] = ScanRangeIntoBuffers(
             *s.heap, s_ranges[t].first, s_ranges[t].second, partitioner,
-            &s_bufs[t], &task_replicated[threads + t]);
+            cancel, &s_bufs[t], &task_replicated[threads + t]);
+        cancel.Report(task_status[threads + t]);
       });
     }
     tp.Wait();
     st.partition_wall_seconds = wall.ElapsedSeconds();
   }
+  // The first real error wins; sibling kCancelled statuses are noise.
+  PBSM_RETURN_IF_ERROR(cancel.FirstError());
   for (const Status& ts : task_status) PBSM_RETURN_IF_ERROR(ts);
   for (const uint64_t rep : task_replicated) breakdown.replicated += rep;
 
@@ -357,10 +416,21 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
     for (size_t i = 0; i < shards.size(); ++i) {
       tp.Submit([&, i] {
         TaskTimer tt(&st.refine_task_seconds[i], &st.worker_busy_seconds);
+        if (cancel.is_cancelled()) {
+          cancelled_tasks->Add();
+          shard_status[i] = Status::Cancelled("sibling refine shard failed");
+          return;
+        }
         size_t cursor = shards[i].first;
         const size_t end = shards[i].second;
-        const SortedPairStream next = [&deduped, &cursor,
-                                       end](OidPair* out) -> Result<bool> {
+        // The stream is the shard's inner loop; polling the cancellation
+        // flag here bounds how much doomed refinement I/O a sibling still
+        // performs after the first failure.
+        const SortedPairStream next = [&deduped, &cursor, end,
+                                       &cancel](OidPair* out) -> Result<bool> {
+          if (cancel.is_cancelled()) {
+            return Status::Cancelled("sibling refine shard failed");
+          }
           if (cursor >= end) return false;
           *out = deduped[cursor++];
           return true;
@@ -375,10 +445,12 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
         shard_status[i] =
             RefinePairStream(next, *r.heap, *s.heap, pred, opts, shard_sink,
                              &shard_breakdowns[i]);
+        cancel.Report(shard_status[i]);
       });
     }
     tp.Wait();
     st.refine_wall_seconds = wall.ElapsedSeconds();
+    PBSM_RETURN_IF_ERROR(cancel.FirstError());
     for (const Status& ss : shard_status) PBSM_RETURN_IF_ERROR(ss);
     for (const JoinCostBreakdown& sb : shard_breakdowns) {
       breakdown.results += sb.results;

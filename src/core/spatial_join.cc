@@ -122,7 +122,15 @@ Result<JoinResult> SpatialJoin(BufferPool* pool, const JoinInput& r,
   result.method = spec.method;
   {
     TraceSpan span(span_name);
-    PBSM_ASSIGN_OR_RETURN(result.breakdown, Dispatch(pool, r, s, spec));
+    Result<JoinCostBreakdown> dispatched = Dispatch(pool, r, s, spec);
+    if (!dispatched.ok()) {
+      metrics
+          .GetCounter("join.failures." +
+                      std::string(JoinMethodName(spec.method)))
+          ->Add();
+      return dispatched.status();
+    }
+    result.breakdown = std::move(dispatched).value();
   }
   result.wall_seconds = watch.ElapsedSeconds();
   result.num_results = result.breakdown.results;

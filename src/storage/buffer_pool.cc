@@ -1,7 +1,9 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -15,7 +17,9 @@ void PageHandle::Release() {
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t pool_bytes) : disk_(disk) {
+BufferPool::BufferPool(DiskManager* disk, size_t pool_bytes,
+                       IoRetryPolicy retry)
+    : disk_(disk), retry_(retry) {
   size_t n = pool_bytes / kPageSize;
   if (n == 0) n = 1;
   frames_.resize(n);
@@ -29,6 +33,7 @@ BufferPool::BufferPool(DiskManager* disk, size_t pool_bytes) : disk_(disk) {
   m_flush_batches_ = metrics.GetCounter("storage.bufferpool.flush_batches");
   m_flush_pages_ = metrics.GetCounter("storage.bufferpool.flush_pages");
   m_latch_waits_ = metrics.GetCounter("storage.bufferpool.latch_waits");
+  m_io_retries_ = metrics.GetCounter("io.retries");
 }
 
 BufferPool::~BufferPool() {
@@ -44,6 +49,50 @@ uint64_t BufferPool::hit_count() const {
 uint64_t BufferPool::miss_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+size_t BufferPool::pinned_frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t pinned = 0;
+  for (const Frame& f : frames_) {
+    if (f.in_use && f.pin_count > 0) ++pinned;
+  }
+  return pinned;
+}
+
+namespace {
+/// Transient device errors are worth retrying; everything else (corruption,
+/// missing file, exhausted pool) is deterministic and retrying only burns
+/// time.
+bool IsRetryable(const Status& s) {
+  return s.code() == StatusCode::kIoError;
+}
+}  // namespace
+
+Status BufferPool::ReadWithRetry(PageId id, char* buf) {
+  Status status;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    status = disk_->ReadPage(id, buf);
+    if (status.ok() || !IsRetryable(status)) return status;
+    if (attempt == retry_.max_attempts) break;
+    m_io_retries_->Add();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(attempt * retry_.backoff_us));
+  }
+  return status;
+}
+
+Status BufferPool::WriteWithRetry(PageId id, const char* buf) {
+  Status status;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    status = disk_->WritePage(id, buf);
+    if (status.ok() || !IsRetryable(status)) return status;
+    if (attempt == retry_.max_attempts) break;
+    m_io_retries_->Add();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(attempt * retry_.backoff_us));
+  }
+  return status;
 }
 
 void BufferPool::Unpin(size_t frame, bool dirty) {
@@ -81,7 +130,7 @@ Status BufferPool::FlushDirtyUnpinned(std::unique_lock<std::mutex>* lock) {
   size_t written = 0;
   for (; written < dirty.size(); ++written) {
     Frame& f = frames_[dirty[written]];
-    status = disk_->WritePage(f.id, f.data.get());
+    status = WriteWithRetry(f.id, f.data.get());
     if (!status.ok()) break;
   }
   lock->lock();
@@ -203,7 +252,7 @@ Result<PageHandle> BufferPool::FetchPage(PageId id) {
     // page wait on the latch instead of double-reading into a second frame.
     page_table_[id] = victim;
     lock.unlock();
-    const Status read = disk_->ReadPage(id, f.data.get());
+    const Status read = ReadWithRetry(id, f.data.get());
     lock.lock();
     f.io_busy = false;
     if (!read.ok()) {
@@ -260,7 +309,7 @@ Status BufferPool::FlushAll() {
   size_t written = 0;
   for (; written < dirty.size(); ++written) {
     Frame& f = frames_[dirty[written]];
-    status = disk_->WritePage(f.id, f.data.get());
+    status = WriteWithRetry(f.id, f.data.get());
     if (!status.ok()) break;
   }
   lock.lock();

@@ -94,10 +94,21 @@ class PageHandle {
 /// without holding any lock — concurrent readers of a pinned page are safe;
 /// writers of the *same* page must coordinate externally (the executors
 /// only ever write thread-private pages).
+/// How the pool handles transient physical I/O failures (kIoError): each
+/// failed read/write is retried up to `max_attempts` total attempts with
+/// linear backoff. Non-retryable codes (Corruption from a torn page,
+/// NotFound, OutOfRange, ResourceExhausted) fail immediately — retrying a
+/// torn page re-reads the same torn bytes.
+struct IoRetryPolicy {
+  int max_attempts = 4;
+  int backoff_us = 50;  ///< Sleep attempt * backoff_us between attempts.
+};
+
 class BufferPool {
  public:
   /// `pool_bytes` is rounded down to whole pages (>= 1 page enforced).
-  BufferPool(DiskManager* disk, size_t pool_bytes);
+  BufferPool(DiskManager* disk, size_t pool_bytes,
+             IoRetryPolicy retry = IoRetryPolicy());
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -124,6 +135,10 @@ class BufferPool {
   size_t pool_bytes() const { return frames_.size() * kPageSize; }
   uint64_t hit_count() const;
   uint64_t miss_count() const;
+  /// Number of frames with a nonzero pin count — zero once every PageHandle
+  /// is released, including down error-propagation paths (the fault tests
+  /// assert this after every failed join).
+  size_t pinned_frames() const;
 
   DiskManager* disk() const { return disk_; }
 
@@ -148,9 +163,15 @@ class BufferPool {
   /// Called with *lock held; releases it around the writes.
   Status FlushDirtyUnpinned(std::unique_lock<std::mutex>* lock);
 
+  /// disk_->ReadPage / WritePage with the retry policy applied. Called
+  /// without the pool mutex (the frame involved is io_busy-latched).
+  Status ReadWithRetry(PageId id, char* buf);
+  Status WriteWithRetry(PageId id, const char* buf);
+
   void Unpin(size_t frame, bool dirty);
 
   DiskManager* disk_;
+  IoRetryPolicy retry_;
   std::vector<Frame> frames_;
 
   mutable std::mutex mutex_;
@@ -173,6 +194,7 @@ class BufferPool {
   Counter* m_flush_batches_;
   Counter* m_flush_pages_;
   Counter* m_latch_waits_;
+  Counter* m_io_retries_;
 };
 
 }  // namespace pbsm

@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/crc32.h"
+
 namespace pbsm {
 
 DiskManager::DiskManager(std::string directory, DiskModel model)
@@ -17,6 +19,7 @@ DiskManager::DiskManager(std::string directory, DiskModel model)
   m_writes_ = metrics.GetCounter("storage.disk.writes");
   m_seq_reads_ = metrics.GetCounter("storage.disk.seq_reads");
   m_seq_writes_ = metrics.GetCounter("storage.disk.seq_writes");
+  m_torn_pages_ = metrics.GetCounter("io.torn_pages_detected");
 }
 
 DiskManager::~DiskManager() {
@@ -59,6 +62,13 @@ Status DiskManager::DeleteFile(FileId file) {
   ::close(it->second.fd);
   ::unlink(it->second.path.c_str());
   files_.erase(it);
+  for (auto cs = page_checksums_.begin(); cs != page_checksums_.end();) {
+    if (cs->first.file == file) {
+      cs = page_checksums_.erase(cs);
+    } else {
+      ++cs;
+    }
+  }
   return Status::OK();
 }
 
@@ -101,10 +111,16 @@ Result<uint32_t> DiskManager::AllocatePage(FileId file) {
   if (state == nullptr) {
     return Status::NotFound("file id " + std::to_string(file));
   }
+  if (fault_injector_ != nullptr) {
+    FaultInjector::Decision d =
+        fault_injector_->Decide(FaultOp::kAllocate, PageId{file, 0});
+    if (!d.status.ok()) return d.status;
+  }
   const uint32_t page_no = state->num_pages++;
   // The page is materialized lazily; ftruncate extends with zeros.
   if (::ftruncate(state->fd,
                   static_cast<off_t>(state->num_pages) * kPageSize) != 0) {
+    --state->num_pages;
     return Status::IoError("ftruncate: " + std::string(std::strerror(errno)));
   }
   return page_no;
@@ -120,10 +136,24 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
     return Status::OutOfRange("page " + std::to_string(id.page_no) +
                               " beyond file end");
   }
+  if (fault_injector_ != nullptr) {
+    FaultInjector::Decision d = fault_injector_->Decide(FaultOp::kRead, id);
+    if (!d.status.ok()) return d.status;
+  }
   const ssize_t n = ::pread(state->fd, buf, kPageSize,
                             static_cast<off_t>(id.page_no) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IoError("pread returned " + std::to_string(n));
+  }
+  // Verify against the checksum of the last intended write (if any): a
+  // mismatch means the medium holds bytes nobody handed to WritePage — a
+  // torn write. Not retryable: re-reading yields the same torn bytes.
+  auto cs = page_checksums_.find(id);
+  if (cs != page_checksums_.end() && Crc32c(buf, kPageSize) != cs->second) {
+    m_torn_pages_->Add();
+    return Status::Corruption(
+        "page checksum mismatch (torn write): file " +
+        std::to_string(id.file) + " page " + std::to_string(id.page_no));
   }
   Account(id, /*is_write=*/false);
   return Status::OK();
@@ -139,11 +169,21 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
     return Status::OutOfRange("page " + std::to_string(id.page_no) +
                               " beyond file end");
   }
-  const ssize_t n = ::pwrite(state->fd, buf, kPageSize,
+  size_t bytes_to_write = kPageSize;
+  if (fault_injector_ != nullptr) {
+    FaultInjector::Decision d = fault_injector_->Decide(FaultOp::kWrite, id);
+    if (!d.status.ok()) return d.status;
+    if (d.torn) bytes_to_write = d.torn_bytes;
+  }
+  const ssize_t n = ::pwrite(state->fd, buf, bytes_to_write,
                              static_cast<off_t>(id.page_no) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
+  if (n != static_cast<ssize_t>(bytes_to_write)) {
     return Status::IoError("pwrite returned " + std::to_string(n));
   }
+  // Record the checksum of the *intended* page contents, torn or not: a
+  // torn write reports success (as a crash mid-write would), and the
+  // recorded checksum is what later exposes it at read time.
+  page_checksums_[id] = Crc32c(buf, kPageSize);
   Account(id, /*is_write=*/true);
   return Status::OK();
 }

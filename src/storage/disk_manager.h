@@ -2,6 +2,7 @@
 #define PBSM_STORAGE_DISK_MANAGER_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 
 namespace pbsm {
@@ -68,6 +70,13 @@ struct IoStats {
 /// stats accounting. Serialising the I/O itself is deliberate — it models
 /// the one spindle of the paper's machine, and keeps the device-wide
 /// sequentiality classification meaningful under concurrency.
+///
+/// Fault tolerance: an optional FaultInjector is consulted before every
+/// physical operation (deterministic scripted failures for testing), and a
+/// CRC-32C checksum of every written page is kept and verified on read, so
+/// torn writes surface as Status::Corruption instead of silently feeding
+/// garbage to the operators. See DESIGN.md "Fault injection & error
+/// propagation".
 class DiskManager {
  public:
   /// Files are created under `directory` (created if absent).
@@ -101,6 +110,18 @@ class DiskManager {
   /// File size in bytes.
   Result<uint64_t> FileBytes(FileId file) const;
 
+  /// Installs (or clears, with nullptr) a fault injector consulted before
+  /// every physical read/write/allocate. Shared ownership so test scenarios
+  /// can keep inspecting the injector after handing it over.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fault_injector_ = std::move(injector);
+  }
+  std::shared_ptr<FaultInjector> fault_injector() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fault_injector_;
+  }
+
   IoStats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
@@ -132,6 +153,15 @@ class DiskManager {
   FileId next_file_id_ = 1;
   uint64_t temp_counter_ = 0;
   IoStats stats_;
+  /// Optional deterministic fault source (see fault_injector.h).
+  std::shared_ptr<FaultInjector> fault_injector_;
+  /// CRC-32C of the last *intended* contents of every page written through
+  /// WritePage. Verified on every ReadPage; a mismatch means the on-disk
+  /// bytes diverged from what the writer handed us — a torn write (injected
+  /// or real) — and surfaces as Status::Corruption. Pages that were only
+  /// ftruncate-extended (allocated, never written) have no entry and are
+  /// not checked.
+  std::unordered_map<PageId, uint32_t, PageIdHash> page_checksums_;
   // Last physical page touched on the (single, shared) device.
   PageId last_access_;
   bool has_last_access_ = false;
@@ -142,6 +172,7 @@ class DiskManager {
   Counter* m_writes_;
   Counter* m_seq_reads_;
   Counter* m_seq_writes_;
+  Counter* m_torn_pages_;
 };
 
 }  // namespace pbsm

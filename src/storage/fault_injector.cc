@@ -1,0 +1,137 @@
+#include "storage/fault_injector.h"
+
+#include <cstdlib>
+
+#include "common/metrics.h"
+
+namespace pbsm {
+
+namespace {
+
+Status ErrorFor(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead:
+      return Status::IoError("injected read fault");
+    case FaultOp::kWrite:
+      return Status::IoError("injected write fault");
+    case FaultOp::kAllocate:
+      return Status::ResourceExhausted("injected ENOSPC on page allocation");
+  }
+  return Status::Internal("unknown FaultOp");
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(RuleState{rule, 0, 0});
+}
+
+FaultInjector::Decision FaultInjector::Decide(FaultOp op, PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  static Counter* const injected =
+      MetricsRegistry::Global().GetCounter("io.injected_faults");
+  Decision decision;
+  for (RuleState& rs : rules_) {
+    const FaultRule& r = rs.rule;
+    if (r.op != op) continue;
+    if (r.file != kInvalidFileId && r.file != id.file) continue;
+    ++rs.ops_seen;
+    if (r.max_faults != 0 && rs.fired >= r.max_faults) continue;  // Recovered.
+    bool fire;
+    if (r.at_op != 0) {
+      fire = rs.ops_seen == r.at_op;
+    } else {
+      fire = rng_.Bernoulli(r.probability);
+    }
+    if (!fire) continue;
+    ++rs.fired;
+    ++injected_;
+    injected->Add();
+    if (r.kind == FaultKind::kTornWrite) {
+      decision.torn = true;
+      // A torn write persists a strict prefix: at least one byte, never the
+      // whole page. Seeded, so scenarios replay.
+      decision.torn_bytes =
+          1 + static_cast<size_t>(rng_.Uniform(kPageSize - 1));
+    } else {
+      decision.status = ErrorFor(op);
+    }
+    return decision;  // First firing rule wins.
+  }
+  return decision;
+}
+
+uint64_t FaultInjector::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+Result<std::shared_ptr<FaultInjector>> FaultInjector::Parse(
+    const std::string& spec) {
+  uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string term = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (term.empty()) continue;
+
+    const size_t eq = term.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault profile term '" + term +
+                                     "' is not key=value");
+    }
+    const std::string key = term.substr(0, eq);
+    const std::string value = term.substr(eq + 1);
+    if (key == "seed") {
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
+
+    FaultRule rule;
+    if (key == "read") {
+      rule.op = FaultOp::kRead;
+    } else if (key == "write") {
+      rule.op = FaultOp::kWrite;
+    } else if (key == "alloc") {
+      rule.op = FaultOp::kAllocate;
+    } else if (key == "torn") {
+      rule.op = FaultOp::kWrite;
+      rule.kind = FaultKind::kTornWrite;
+    } else {
+      return Status::InvalidArgument("unknown fault profile key '" + key +
+                                     "'");
+    }
+
+    // value = <probability>[xN]
+    char* rest = nullptr;
+    rule.probability = std::strtod(value.c_str(), &rest);
+    if (rest == value.c_str() || rule.probability < 0.0 ||
+        rule.probability > 1.0) {
+      return Status::InvalidArgument("bad fault probability in '" + term +
+                                     "'");
+    }
+    if (*rest == 'x') {
+      rule.max_faults = std::strtoull(rest + 1, &rest, 10);
+      if (rule.max_faults == 0) {
+        return Status::InvalidArgument("bad fault count in '" + term + "'");
+      }
+    }
+    if (*rest != '\0') {
+      return Status::InvalidArgument("trailing garbage in '" + term + "'");
+    }
+    rules.push_back(rule);
+  }
+
+  auto injector = std::make_shared<FaultInjector>(seed);
+  for (const FaultRule& rule : rules) injector->AddRule(rule);
+  return injector;
+}
+
+}  // namespace pbsm

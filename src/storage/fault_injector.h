@@ -1,0 +1,120 @@
+#ifndef PBSM_STORAGE_FAULT_INJECTOR_H_
+#define PBSM_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace pbsm {
+
+/// Which physical operation a fault rule matches.
+enum class FaultOp {
+  kRead,      ///< DiskManager::ReadPage.
+  kWrite,     ///< DiskManager::WritePage.
+  kAllocate,  ///< DiskManager::AllocatePage (ENOSPC-style failures).
+};
+
+/// What happens when a rule fires.
+enum class FaultKind {
+  kError,      ///< The operation fails with a non-OK Status.
+  kTornWrite,  ///< The write persists only a prefix of the page but still
+               ///< *reports success* — the crash-mid-write case the per-page
+               ///< checksums exist to catch on a later read.
+};
+
+/// One scripted injection rule. A rule fires when its operation matches,
+/// its file filter (if any) matches, and either its deterministic trigger
+/// (`at_op`) or its seeded probability says so. `max_faults` makes a rule
+/// transient: after firing that many times it disarms ("recovers") and the
+/// device behaves normally again.
+struct FaultRule {
+  FaultOp op = FaultOp::kRead;
+  FaultKind kind = FaultKind::kError;
+
+  /// Per-attempt firing probability in [0, 1]. Because every retry re-rolls,
+  /// p < 1 models independent transient faults (a retry usually succeeds)
+  /// while p == 1 with max_faults == 0 models a permanent device failure.
+  double probability = 0.0;
+
+  /// Fires at most this many times, then the rule disarms. 0 = unlimited.
+  uint64_t max_faults = 0;
+
+  /// Restrict to one file; kInvalidFileId matches every file.
+  FileId file = kInvalidFileId;
+
+  /// When nonzero: fire deterministically on exactly the Nth matching
+  /// operation this rule observes (1-based), ignoring `probability`.
+  uint64_t at_op = 0;
+};
+
+/// Deterministic, seeded fault injector hooked into DiskManager.
+///
+/// Every physical page operation consults Decide() before touching the file
+/// descriptor. All decisions derive from one seeded Rng plus per-rule
+/// counters, so a scenario replays identically from its seed — the property
+/// the differential fault tests lean on. Thread-safe (one mutex; the disk
+/// manager already serialises I/O, so this is never contended on a hot
+/// path).
+///
+/// Counters are mirrored into the global MetricsRegistry as
+/// "io.injected_faults" (every fired rule, torn writes included).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void AddRule(const FaultRule& rule);
+
+  /// Parses a scenario profile string into an injector. Format: semicolon-
+  /// or comma-separated `key=value` terms
+  ///
+  ///   seed=42;read=0.01;write=0.005;alloc=1x1;torn=0.002
+  ///
+  /// where read/write/alloc/torn take a probability, optionally suffixed
+  /// `xN` to disarm after N fires (a transient burst), e.g. `read=1x5` =
+  /// the next five reads fail, then the device recovers. `alloc` failures
+  /// surface as ResourceExhausted (ENOSPC); the others as IoError; `torn`
+  /// silently truncates writes (caught later by page checksums).
+  static Result<std::shared_ptr<FaultInjector>> Parse(const std::string& spec);
+
+  /// The verdict for one physical operation.
+  struct Decision {
+    /// Non-OK when an error rule fired; the operation must fail with it.
+    Status status;
+    /// A torn-write rule fired: persist only `torn_bytes` of the page and
+    /// report success.
+    bool torn = false;
+    size_t torn_bytes = 0;
+  };
+
+  /// Consults the rules for one operation. Called by DiskManager with its
+  /// own mutex held; also safe standalone.
+  Decision Decide(FaultOp op, PageId id);
+
+  /// Total rule firings so far (errors + torn writes).
+  uint64_t injected_faults() const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    uint64_t ops_seen = 0;
+    uint64_t fired = 0;
+  };
+
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::vector<RuleState> rules_;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_STORAGE_FAULT_INJECTOR_H_

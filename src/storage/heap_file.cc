@@ -53,6 +53,16 @@ Result<Oid> HeapFile::Append(const char* data, size_t size) {
 
   // Start a new page.
   PBSM_ASSIGN_OR_RETURN(PageHandle page, pool_->NewPage(file_));
+  if (page.id().page_no != num_pages_) {
+    // A previous Append allocated a page on disk but failed before this
+    // counter advanced (e.g. a transient fault mid-call). Appending into
+    // the later page would desynchronise OIDs from physical pages and make
+    // every subsequent Fetch read the wrong record — refuse instead.
+    return Status::Internal(
+        "heap file page desync after failed append: expected page " +
+        std::to_string(num_pages_) + ", allocated " +
+        std::to_string(page.id().page_no));
+  }
   ++num_pages_;
   char* base = page.mutable_data();
   const uint16_t new_off = static_cast<uint16_t>(kPageSize - need);

@@ -17,6 +17,16 @@ Status SpoolFile::Append(const void* record) {
   PageHandle page;
   if (slot == 0) {
     PBSM_ASSIGN_OR_RETURN(page, pool_->NewPage(file_));
+    if (page.id().page_no != num_records_ / rpp) {
+      // An earlier Append allocated its page but failed before any record
+      // landed (transient fault mid-call). The reader derives page numbers
+      // from record indices, so silently writing into a later page would
+      // make it read the orphaned zero page — fail loudly instead.
+      return Status::Internal(
+          "spool page desync after failed append: expected page " +
+          std::to_string(num_records_ / rpp) + ", allocated " +
+          std::to_string(page.id().page_no));
+    }
   } else {
     const uint32_t page_no = static_cast<uint32_t>(num_records_ / rpp);
     PBSM_ASSIGN_OR_RETURN(page, pool_->FetchPage(PageId{file_, page_no}));

@@ -1,0 +1,104 @@
+#ifndef PBSM_TESTS_JOIN_TEST_HARNESS_H_
+#define PBSM_TESTS_JOIN_TEST_HARNESS_H_
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/spatial_join.h"
+#include "datagen/loader.h"
+#include "geom/predicates.h"
+#include "storage/tuple.h"
+
+namespace pbsm {
+
+/// Join results keyed by generator-assigned tuple ids, not OIDs: ids are
+/// stable across storage layouts and thread counts, so the same dataset
+/// yields the same IdPairSet no matter how it was physically loaded. This
+/// is what makes the differential comparison meaningful — and lets the
+/// fault tests assert bit-identical results after transparent retries.
+using IdPairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+/// O(|r| * |s|) oracle: evaluates the exact predicate on every tuple pair
+/// with the naive (quadratic) segment tests, sharing no code with the
+/// filter/partition machinery under test beyond the geometry kernels.
+inline IdPairSet BruteForceJoin(const std::vector<Tuple>& r,
+                                const std::vector<Tuple>& s,
+                                SpatialPredicate pred) {
+  IdPairSet out;
+  for (const Tuple& a : r) {
+    const Rect a_mbr = a.geometry.Mbr();
+    for (const Tuple& b : s) {
+      // The MBR test is a pure optimisation: both predicates imply
+      // MBR intersection, so skipping disjoint-MBR pairs drops no results.
+      if (!a_mbr.Intersects(b.geometry.Mbr())) continue;
+      if (EvaluatePredicate(pred, a.geometry, b.geometry,
+                            SegmentTestMode::kNaive)) {
+        out.emplace(a.id, b.id);
+      }
+    }
+  }
+  return out;
+}
+
+/// Scans `heap` and returns the OID -> tuple-id mapping, so sink pairs
+/// (which carry OIDs) can be translated back into id space.
+inline Result<std::map<uint64_t, uint64_t>> OidToIdMap(const HeapFile& heap) {
+  std::map<uint64_t, uint64_t> map;
+  PBSM_RETURN_IF_ERROR(heap.Scan(
+      [&map](Oid oid, const char* data, size_t size) -> Status {
+        PBSM_ASSIGN_OR_RETURN(const Tuple tuple, Tuple::Parse(data, size));
+        map[oid.Encode()] = tuple.id;
+        return Status::OK();
+      }));
+  return map;
+}
+
+/// Runs one SpatialJoin method over already-loaded relations and returns
+/// the result pairs in tuple-id space. Propagates any join failure, which
+/// is what the fault-injection tests assert on.
+///
+/// The OID -> id maps may be passed in precomputed; the fault tests do so,
+/// built *before* arming the injector, so a scripted failure is attributed
+/// to the join under test and not to the harness's own bookkeeping scans.
+inline Result<IdPairSet> RunJoinToIdPairs(
+    BufferPool* pool, const StoredRelation& r, const StoredRelation& s,
+    JoinSpec spec, const std::map<uint64_t, uint64_t>* r_map = nullptr,
+    const std::map<uint64_t, uint64_t>* s_map = nullptr) {
+  std::map<uint64_t, uint64_t> r_local, s_local;
+  if (r_map == nullptr) {
+    PBSM_ASSIGN_OR_RETURN(r_local, OidToIdMap(r.heap));
+    r_map = &r_local;
+  }
+  if (s_map == nullptr) {
+    PBSM_ASSIGN_OR_RETURN(s_local, OidToIdMap(s.heap));
+    s_map = &s_local;
+  }
+  const auto& r_ids = *r_map;
+  const auto& s_ids = *s_map;
+  std::vector<std::pair<uint64_t, uint64_t>> raw;
+  spec.sink = [&raw](Oid ro, Oid so) {
+    raw.emplace_back(ro.Encode(), so.Encode());
+  };
+  PBSM_RETURN_IF_ERROR(
+      SpatialJoin(pool, r.AsInput(), s.AsInput(), spec).status());
+  IdPairSet out;
+  for (const auto& [ro, so] : raw) {
+    out.emplace(r_ids.at(ro), s_ids.at(so));
+  }
+  return out;
+}
+
+/// All six methods the facade dispatches to, for sweep loops.
+inline const std::vector<JoinMethod>& AllJoinMethods() {
+  static const std::vector<JoinMethod> methods = {
+      JoinMethod::kPbsm,       JoinMethod::kParallelPbsm, JoinMethod::kInl,
+      JoinMethod::kRtree,      JoinMethod::kSpatialHash,  JoinMethod::kZOrder,
+  };
+  return methods;
+}
+
+}  // namespace pbsm
+
+#endif  // PBSM_TESTS_JOIN_TEST_HARNESS_H_

@@ -1,0 +1,449 @@
+// Fault-injection suite: scripted storage failures must surface as non-OK
+// Status at every public entry point — never as a crash, an abort, or a
+// silently wrong answer — and transient faults must be retried away without
+// perturbing join results (verified against the same brute-force oracle the
+// differential suite uses).
+//
+// Everything is deterministic: the injector derives all decisions from one
+// seeded Rng, so a failing scenario replays identically from its seed.
+
+#include "storage/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "datagen/tiger_gen.h"
+#include "tests/join_test_harness.h"
+#include "tests/test_util.h"
+
+namespace pbsm {
+namespace {
+
+uint64_t GlobalCounter(const std::string& name) {
+  return MetricsRegistry::Global().Snapshot().counter(name);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, ParseAcceptsFullProfile) {
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      auto injector,
+      FaultInjector::Parse("seed=42;read=0.01;write=0.005,alloc=1x1;torn=0.5"));
+  ASSERT_NE(injector, nullptr);
+  EXPECT_EQ(injector->injected_faults(), 0u);
+}
+
+TEST(FaultInjectorTest, ParseRejectsMalformedProfiles) {
+  EXPECT_FALSE(FaultInjector::Parse("read").ok());
+  EXPECT_FALSE(FaultInjector::Parse("frobnicate=0.5").ok());
+  EXPECT_FALSE(FaultInjector::Parse("read=1.5").ok());
+  EXPECT_FALSE(FaultInjector::Parse("read=abc").ok());
+  EXPECT_FALSE(FaultInjector::Parse("read=0.5x0").ok());
+  EXPECT_FALSE(FaultInjector::Parse("read=0.5junk").ok());
+}
+
+TEST(FaultInjectorTest, DecisionsAreDeterministicInSeed) {
+  auto run = [] {
+    FaultInjector injector(/*seed=*/99);
+    FaultRule rule;
+    rule.op = FaultOp::kRead;
+    rule.probability = 0.3;
+    injector.AddRule(rule);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(
+          !injector.Decide(FaultOp::kRead, PageId{1, 0}).status.ok());
+    }
+    return fired;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultInjectorTest, AtOpFiresExactlyOnceAndBurstDisarms) {
+  FaultInjector injector(/*seed=*/1);
+  FaultRule at3;
+  at3.op = FaultOp::kWrite;
+  at3.at_op = 3;
+  injector.AddRule(at3);
+  for (int i = 1; i <= 6; ++i) {
+    const bool failed =
+        !injector.Decide(FaultOp::kWrite, PageId{1, 0}).status.ok();
+    EXPECT_EQ(failed, i == 3) << "op " << i;
+  }
+
+  FaultInjector burst(/*seed=*/1);
+  FaultRule two;
+  two.op = FaultOp::kRead;
+  two.probability = 1.0;
+  two.max_faults = 2;  // Fails twice, then the "device" recovers.
+  burst.AddRule(two);
+  EXPECT_FALSE(burst.Decide(FaultOp::kRead, PageId{1, 0}).status.ok());
+  EXPECT_FALSE(burst.Decide(FaultOp::kRead, PageId{1, 0}).status.ok());
+  EXPECT_TRUE(burst.Decide(FaultOp::kRead, PageId{1, 0}).status.ok());
+  EXPECT_EQ(burst.injected_faults(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// DiskManager integration: errors, ENOSPC, torn writes + checksums.
+// ---------------------------------------------------------------------------
+
+TEST(DiskFaultTest, ReadFaultSurfacesAsIoError) {
+  StorageEnv env;
+  PBSM_ASSERT_OK_AND_ASSIGN(const FileId file,
+                            env.disk()->CreateFile("fault_read"));
+  PBSM_ASSERT_OK_AND_ASSIGN(const uint32_t page_no,
+                            env.disk()->AllocatePage(file));
+  std::vector<char> buf(kPageSize, 'x');
+  PBSM_ASSERT_OK(env.disk()->WritePage(PageId{file, page_no}, buf.data()));
+
+  auto injector = std::make_shared<FaultInjector>(7);
+  FaultRule rule;
+  rule.op = FaultOp::kRead;
+  rule.at_op = 1;
+  injector->AddRule(rule);
+  env.disk()->set_fault_injector(injector);
+
+  const Status failed = env.disk()->ReadPage(PageId{file, page_no}, buf.data());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError) << failed.ToString();
+  // The rule fired once; the device is healthy again and data is intact.
+  std::vector<char> again(kPageSize);
+  PBSM_ASSERT_OK(env.disk()->ReadPage(PageId{file, page_no}, again.data()));
+  EXPECT_EQ(std::memcmp(again.data(), buf.data(), kPageSize), 0);
+  EXPECT_EQ(injector->injected_faults(), 1u);
+}
+
+TEST(DiskFaultTest, AllocationFaultSurfacesAsResourceExhausted) {
+  StorageEnv env;
+  PBSM_ASSERT_OK_AND_ASSIGN(const FileId file,
+                            env.disk()->CreateFile("fault_alloc"));
+  auto injector = std::make_shared<FaultInjector>(7);
+  FaultRule rule;
+  rule.op = FaultOp::kAllocate;
+  rule.probability = 1.0;
+  injector->AddRule(rule);
+  env.disk()->set_fault_injector(injector);
+
+  const auto alloc = env.disk()->AllocatePage(file);
+  ASSERT_FALSE(alloc.ok());
+  EXPECT_EQ(alloc.status().code(), StatusCode::kResourceExhausted);
+  // A failed allocation must not grow the file.
+  PBSM_ASSERT_OK_AND_ASSIGN(const uint32_t pages, env.disk()->NumPages(file));
+  EXPECT_EQ(pages, 0u);
+}
+
+TEST(DiskFaultTest, TornWriteIsDetectedByChecksumOnRead) {
+  StorageEnv env;
+  PBSM_ASSERT_OK_AND_ASSIGN(const FileId file,
+                            env.disk()->CreateFile("fault_torn"));
+  PBSM_ASSERT_OK_AND_ASSIGN(const uint32_t page_no,
+                            env.disk()->AllocatePage(file));
+
+  auto injector = std::make_shared<FaultInjector>(7);
+  FaultRule rule;
+  rule.op = FaultOp::kWrite;
+  rule.kind = FaultKind::kTornWrite;
+  rule.at_op = 1;
+  injector->AddRule(rule);
+  env.disk()->set_fault_injector(injector);
+
+  const uint64_t torn_before = GlobalCounter("io.torn_pages_detected");
+  std::vector<char> buf(kPageSize);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<char>(i * 31);
+  // The torn write *reports success* — that is the failure mode: a crash
+  // mid-write that nobody notices until the page is read back.
+  PBSM_ASSERT_OK(env.disk()->WritePage(PageId{file, page_no}, buf.data()));
+
+  std::vector<char> read_buf(kPageSize);
+  const Status corrupt =
+      env.disk()->ReadPage(PageId{file, page_no}, read_buf.data());
+  EXPECT_EQ(corrupt.code(), StatusCode::kCorruption) << corrupt.ToString();
+  EXPECT_EQ(GlobalCounter("io.torn_pages_detected"), torn_before + 1);
+
+  // A full rewrite heals the page.
+  PBSM_ASSERT_OK(env.disk()->WritePage(PageId{file, page_no}, buf.data()));
+  PBSM_ASSERT_OK(env.disk()->ReadPage(PageId{file, page_no}, read_buf.data()));
+  EXPECT_EQ(std::memcmp(read_buf.data(), buf.data(), kPageSize), 0);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool integration: bounded retry, clean unpin on failure.
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolFaultTest, TransientReadFaultIsRetriedTransparently) {
+  StorageEnv env(/*pool_bytes=*/4 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(const FileId file,
+                            env.disk()->CreateFile("retry_read"));
+  {
+    PBSM_ASSERT_OK_AND_ASSIGN(PageHandle page, env.pool()->NewPage(file));
+    std::memset(page.mutable_data(), 0x5a, kPageSize);
+  }
+  PBSM_ASSERT_OK(env.pool()->FlushAll());
+  // Force the page out of the pool by cycling other pages through it, so
+  // the fetch below performs a real disk read.
+  PBSM_ASSERT_OK_AND_ASSIGN(const FileId filler,
+                            env.disk()->CreateFile("filler"));
+  for (int i = 0; i < 8; ++i) {
+    PBSM_ASSERT_OK_AND_ASSIGN(PageHandle page, env.pool()->NewPage(filler));
+    std::memset(page.mutable_data(), 0, kPageSize);
+  }
+
+  auto injector = std::make_shared<FaultInjector>(7);
+  FaultRule rule;
+  rule.op = FaultOp::kRead;
+  rule.probability = 1.0;
+  rule.max_faults = 2;  // Two failures, then recovery: within retry budget.
+  injector->AddRule(rule);
+  env.disk()->set_fault_injector(injector);
+
+  const uint64_t retries_before = GlobalCounter("io.retries");
+  PBSM_ASSERT_OK_AND_ASSIGN(PageHandle page,
+                            env.pool()->FetchPage(PageId{file, 0}));
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(page.data()[i], 0x5a) << "byte " << i;
+  }
+  EXPECT_GE(GlobalCounter("io.retries"), retries_before + 2);
+  EXPECT_EQ(injector->injected_faults(), 2u);
+}
+
+TEST(BufferPoolFaultTest, PermanentReadFaultFailsFetchAndLeavesNoPins) {
+  StorageEnv env(/*pool_bytes=*/4 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(const FileId file,
+                            env.disk()->CreateFile("perm_read"));
+  PBSM_ASSERT_OK_AND_ASSIGN(const uint32_t page_no,
+                            env.disk()->AllocatePage(file));
+
+  auto injector = std::make_shared<FaultInjector>(7);
+  FaultRule rule;
+  rule.op = FaultOp::kRead;
+  rule.probability = 1.0;  // Permanent: every attempt fails, retries included.
+  injector->AddRule(rule);
+  env.disk()->set_fault_injector(injector);
+
+  const auto fetch = env.pool()->FetchPage(PageId{file, page_no});
+  ASSERT_FALSE(fetch.ok());
+  EXPECT_EQ(fetch.status().code(), StatusCode::kIoError);
+  // The failed fetch must not leak its frame: nothing pinned, and the pool
+  // still has room for other work.
+  EXPECT_EQ(env.pool()->pinned_frames(), 0u);
+  env.disk()->set_fault_injector(nullptr);
+  PBSM_ASSERT_OK_AND_ASSIGN(const FileId other,
+                            env.disk()->CreateFile("healthy"));
+  PBSM_ASSERT_OK_AND_ASSIGN(PageHandle page, env.pool()->NewPage(other));
+  std::memset(page.mutable_data(), 1, kPageSize);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: all six join methods under injected faults.
+// ---------------------------------------------------------------------------
+
+class JoinFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TigerGenerator::Params params;
+    params.seed = 7;
+    // An eighth of the default universe: denser features, so the join has a
+    // few hundred genuine result pairs for the bit-identical comparison.
+    params.universe = Rect(params.universe.xlo, params.universe.ylo,
+                           params.universe.xlo + params.universe.width() / 8,
+                           params.universe.ylo + params.universe.height() / 8);
+    TigerGenerator gen(params);
+    roads_ = gen.GenerateRoads(400);
+    hydro_ = gen.GenerateHydrography(180);
+    expected_ = BruteForceJoin(roads_, hydro_, SpatialPredicate::kIntersects);
+    ASSERT_GT(expected_.size(), 0u);
+  }
+
+  JoinSpec Spec(JoinMethod method, uint32_t threads) const {
+    JoinSpec spec;
+    spec.method = method;
+    spec.options.memory_budget_bytes = 1 << 20;
+    spec.options.num_tiles = 64;
+    spec.options.num_threads = threads;
+    return spec;
+  }
+
+  std::vector<Tuple> roads_;
+  std::vector<Tuple> hydro_;
+  IdPairSet expected_;
+};
+
+TEST_F(JoinFaultTest, TransientReadFaultsPreserveResultsOnEveryMethod) {
+  // Acceptance criterion: under >= 1% transient read faults every method
+  // completes with bit-identical results and zero aborts. A generous retry
+  // budget (8 attempts at 5% per-attempt failure) makes an unrecovered read
+  // a ~4e-11 event per I/O — and the seeded injector makes whatever happens
+  // replay identically.
+  IoRetryPolicy retry;
+  retry.max_attempts = 8;
+  retry.backoff_us = 1;
+  for (const JoinMethod method : AllJoinMethods()) {
+    SCOPED_TRACE(JoinMethodName(method));
+    // A tiny pool forces real disk reads (and hence injector hits) instead
+    // of serving the whole join from cache.
+    StorageEnv env(/*pool_bytes=*/8 * kPageSize, DiskModel(), retry);
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const StoredRelation r,
+        LoadRelation(env.pool(), nullptr, "road", roads_));
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const StoredRelation s,
+        LoadRelation(env.pool(), nullptr, "hydro", hydro_));
+    PBSM_ASSERT_OK_AND_ASSIGN(const auto r_ids, OidToIdMap(r.heap));
+    PBSM_ASSERT_OK_AND_ASSIGN(const auto s_ids, OidToIdMap(s.heap));
+
+    PBSM_ASSERT_OK_AND_ASSIGN(auto injector,
+                              FaultInjector::Parse("seed=11;read=0.05"));
+    env.disk()->set_fault_injector(injector);
+
+    const uint64_t faults_before = GlobalCounter("io.injected_faults");
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const IdPairSet got,
+        RunJoinToIdPairs(env.pool(), r, s, Spec(method, /*threads=*/3),
+                         &r_ids, &s_ids));
+    EXPECT_EQ(got, expected_);
+    // The scenario must actually have exercised the fault path.
+    EXPECT_GT(GlobalCounter("io.injected_faults"), faults_before);
+    EXPECT_EQ(env.pool()->pinned_frames(), 0u);
+  }
+}
+
+TEST_F(JoinFaultTest, PermanentReadFaultFailsEveryMethodWithoutLeaks) {
+  for (const JoinMethod method : AllJoinMethods()) {
+    SCOPED_TRACE(JoinMethodName(method));
+    StorageEnv env(/*pool_bytes=*/8 * kPageSize);
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const StoredRelation r,
+        LoadRelation(env.pool(), nullptr, "road", roads_));
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const StoredRelation s,
+        LoadRelation(env.pool(), nullptr, "hydro", hydro_));
+    PBSM_ASSERT_OK_AND_ASSIGN(const auto r_ids, OidToIdMap(r.heap));
+    PBSM_ASSERT_OK_AND_ASSIGN(const auto s_ids, OidToIdMap(s.heap));
+
+    PBSM_ASSERT_OK_AND_ASSIGN(auto injector,
+                              FaultInjector::Parse("seed=11;read=1"));
+    env.disk()->set_fault_injector(injector);
+
+    const auto got = RunJoinToIdPairs(
+        env.pool(), r, s, Spec(method, /*threads=*/4), &r_ids, &s_ids);
+    ASSERT_FALSE(got.ok()) << "method survived a dead disk";
+    // The first real error wins — never the siblings' kCancelled noise.
+    EXPECT_EQ(got.status().code(), StatusCode::kIoError)
+        << got.status().ToString();
+    EXPECT_EQ(env.pool()->pinned_frames(), 0u);
+    // The facade records the failure per method.
+    EXPECT_GT(GlobalCounter("join.failures." +
+                            std::string(JoinMethodName(method))),
+              0u);
+  }
+}
+
+TEST_F(JoinFaultTest, EnospcDuringJoinSurfacesAsResourceExhausted) {
+  // Allocation failures hit methods that spool intermediates (temp files,
+  // index builds). Methods that never allocate during the join legitimately
+  // succeed — but none may crash or mis-answer.
+  for (const JoinMethod method : AllJoinMethods()) {
+    SCOPED_TRACE(JoinMethodName(method));
+    StorageEnv env(/*pool_bytes=*/8 * kPageSize);
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const StoredRelation r,
+        LoadRelation(env.pool(), nullptr, "road", roads_));
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const StoredRelation s,
+        LoadRelation(env.pool(), nullptr, "hydro", hydro_));
+    PBSM_ASSERT_OK_AND_ASSIGN(const auto r_ids, OidToIdMap(r.heap));
+    PBSM_ASSERT_OK_AND_ASSIGN(const auto s_ids, OidToIdMap(s.heap));
+
+    PBSM_ASSERT_OK_AND_ASSIGN(auto injector,
+                              FaultInjector::Parse("seed=11;alloc=1"));
+    env.disk()->set_fault_injector(injector);
+
+    const auto got = RunJoinToIdPairs(
+        env.pool(), r, s, Spec(method, /*threads=*/2), &r_ids, &s_ids);
+    if (got.ok()) {
+      EXPECT_EQ(*got, expected_);
+    } else {
+      EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted)
+          << got.status().ToString();
+    }
+    EXPECT_EQ(env.pool()->pinned_frames(), 0u);
+  }
+}
+
+TEST_F(JoinFaultTest, TornWriteDuringJoinSurfacesAsCorruption) {
+  // One torn page among the join's own writes (spool runs, index pages):
+  // the checksum catches it on read-back and the join fails with
+  // Corruption instead of emitting pairs computed from garbage. The tiny
+  // pool guarantees the torn page is written out and read back.
+  for (const JoinMethod method :
+       {JoinMethod::kPbsm, JoinMethod::kParallelPbsm, JoinMethod::kRtree}) {
+    SCOPED_TRACE(JoinMethodName(method));
+    StorageEnv env(/*pool_bytes=*/8 * kPageSize);
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const StoredRelation r,
+        LoadRelation(env.pool(), nullptr, "road", roads_));
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const StoredRelation s,
+        LoadRelation(env.pool(), nullptr, "hydro", hydro_));
+    PBSM_ASSERT_OK_AND_ASSIGN(const auto r_ids, OidToIdMap(r.heap));
+    PBSM_ASSERT_OK_AND_ASSIGN(const auto s_ids, OidToIdMap(s.heap));
+
+    auto injector = std::make_shared<FaultInjector>(11);
+    FaultRule rule;
+    rule.op = FaultOp::kWrite;
+    rule.kind = FaultKind::kTornWrite;
+    rule.at_op = 3;  // Tear the third write after the join starts.
+    injector->AddRule(rule);
+    env.disk()->set_fault_injector(injector);
+
+    const uint64_t torn_before = GlobalCounter("io.torn_pages_detected");
+    const auto got = RunJoinToIdPairs(
+        env.pool(), r, s, Spec(method, /*threads=*/2), &r_ids, &s_ids);
+    if (got.ok()) {
+      // The torn page happened never to be read back (it was rewritten
+      // first); the answer must still be exact.
+      EXPECT_EQ(*got, expected_);
+    } else {
+      EXPECT_EQ(got.status().code(), StatusCode::kCorruption)
+          << got.status().ToString();
+      EXPECT_GT(GlobalCounter("io.torn_pages_detected"), torn_before);
+    }
+    EXPECT_EQ(env.pool()->pinned_frames(), 0u);
+  }
+}
+
+TEST_F(JoinFaultTest, ParallelJoinReportsFirstRealErrorNotCancellation) {
+  StorageEnv env(/*pool_bytes=*/8 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(const StoredRelation r,
+                            LoadRelation(env.pool(), nullptr, "road", roads_));
+  PBSM_ASSERT_OK_AND_ASSIGN(
+      const StoredRelation s,
+      LoadRelation(env.pool(), nullptr, "hydro", hydro_));
+  PBSM_ASSERT_OK_AND_ASSIGN(const auto r_ids, OidToIdMap(r.heap));
+  PBSM_ASSERT_OK_AND_ASSIGN(const auto s_ids, OidToIdMap(s.heap));
+
+  auto injector = std::make_shared<FaultInjector>(11);
+  FaultRule rule;
+  rule.op = FaultOp::kRead;
+  rule.probability = 1.0;
+  injector->AddRule(rule);
+  env.disk()->set_fault_injector(injector);
+
+  const auto got = RunJoinToIdPairs(env.pool(), r, s,
+                                    Spec(JoinMethod::kParallelPbsm,
+                                         /*threads=*/4),
+                                    &r_ids, &s_ids);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError)
+      << got.status().ToString();
+  EXPECT_NE(got.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(env.pool()->pinned_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace pbsm

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "geom/predicates.h"
+#include "geom/segment.h"
 
 namespace pbsm {
 namespace {
@@ -142,6 +146,189 @@ TEST_P(GeometryRoundTripTest, RandomGeometriesSurviveSerialization) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GeometryRoundTripTest,
                          ::testing::Values(7, 77, 777));
+
+// ---------------------------------------------------------------------------
+// Property-based fuzz: the production predicates vs independent oracles,
+// driven by a fixed seed corpus so every run replays the same cases and a
+// failure message pins the exact (seed, iteration) to reproduce.
+// ---------------------------------------------------------------------------
+
+Point RandomPoint(Rng* rng, double lo = -50, double hi = 50) {
+  return Point{rng->UniformDouble(lo, hi), rng->UniformDouble(lo, hi)};
+}
+
+/// Short random segment; small extents make intersections non-trivially
+/// rare (roughly half the sampled pairs intersect, half do not).
+Segment RandomSegment(Rng* rng) {
+  const Point a = RandomPoint(rng);
+  return Segment{a, Point{a.x + rng->UniformDouble(-12, 12),
+                          a.y + rng->UniformDouble(-12, 12)}};
+}
+
+/// Random convex ring in counter-clockwise order: points sorted by angle
+/// around their centroid. Convexity is what gives us an independent exact
+/// containment oracle (the half-plane test below).
+std::vector<Point> RandomConvexRing(Rng* rng) {
+  const Point center = RandomPoint(rng, -30, 30);
+  const double radius = rng->UniformDouble(2, 25);
+  const int n = 3 + static_cast<int>(rng->Uniform(8));
+  std::vector<double> angles;
+  for (int i = 0; i < n; ++i) {
+    angles.push_back(rng->UniformDouble(0, 2 * 3.14159265358979323846));
+  }
+  std::sort(angles.begin(), angles.end());
+  std::vector<Point> ring;
+  for (const double a : angles) {
+    ring.push_back(Point{center.x + radius * std::cos(a),
+                         center.y + radius * std::sin(a)});
+  }
+  return ring;
+}
+
+/// Exact containment oracle for a CCW convex ring: inside (boundary
+/// inclusive) iff `p` is on the left of, or collinear with, every edge.
+/// Shares nothing with PointInRing's crossing-number implementation.
+bool ConvexRingContains(const Point& p, const std::vector<Point>& ring) {
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % ring.size()];
+    if (Orientation(a, b, p) < 0) return false;
+  }
+  return true;
+}
+
+TEST(GeometryFuzzTest, SegmentSetsPlaneSweepMatchesQuadraticOracle) {
+  for (const uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(seed);
+    for (int iter = 0; iter < 300; ++iter) {
+      std::vector<Segment> red, blue;
+      const int nr = 1 + static_cast<int>(rng.Uniform(12));
+      const int nb = 1 + static_cast<int>(rng.Uniform(12));
+      for (int i = 0; i < nr; ++i) red.push_back(RandomSegment(&rng));
+      for (int i = 0; i < nb; ++i) blue.push_back(RandomSegment(&rng));
+
+      // Oracle: raw all-pairs over the exact segment primitive.
+      bool oracle = false;
+      for (const Segment& r : red) {
+        for (const Segment& b : blue) {
+          if (SegmentsIntersect(r, b)) {
+            oracle = true;
+            break;
+          }
+        }
+        if (oracle) break;
+      }
+      EXPECT_EQ(SegmentSetsIntersect(red, blue, SegmentTestMode::kPlaneSweep),
+                oracle)
+          << "seed=" << seed << " iter=" << iter;
+      EXPECT_EQ(SegmentSetsIntersect(red, blue, SegmentTestMode::kNaive),
+                oracle)
+          << "seed=" << seed << " iter=" << iter;
+    }
+  }
+}
+
+TEST(GeometryFuzzTest, PointInConvexRingMatchesHalfPlaneOracle) {
+  for (const uint64_t seed : {11u, 12u, 13u}) {
+    Rng rng(seed);
+    for (int iter = 0; iter < 200; ++iter) {
+      const std::vector<Point> ring = RandomConvexRing(&rng);
+      for (int q = 0; q < 12; ++q) {
+        // Mix far-away points with points near (and exactly on) the
+        // boundary, where crossing-number implementations break first.
+        Point p;
+        if (q < 6) {
+          p = RandomPoint(&rng, -60, 60);
+        } else if (q < 9) {
+          const Point& a = ring[rng.Uniform(ring.size())];
+          p = Point{a.x + rng.UniformDouble(-0.5, 0.5),
+                    a.y + rng.UniformDouble(-0.5, 0.5)};
+        } else {
+          p = ring[rng.Uniform(ring.size())];  // Exactly a vertex.
+        }
+        EXPECT_EQ(PointInRing(p, ring), ConvexRingContains(p, ring))
+            << "seed=" << seed << " iter=" << iter << " p=(" << p.x << ","
+            << p.y << ")";
+      }
+    }
+  }
+}
+
+TEST(GeometryFuzzTest, PointInPolygonRespectsHoles) {
+  for (const uint64_t seed : {21u, 22u}) {
+    Rng rng(seed);
+    for (int iter = 0; iter < 150; ++iter) {
+      const std::vector<Point> outer = RandomConvexRing(&rng);
+      // A hole strictly inside the outer ring: shrink it towards its
+      // centroid so every hole vertex stays interior.
+      Point c{0, 0};
+      for (const Point& p : outer) {
+        c.x += p.x;
+        c.y += p.y;
+      }
+      c.x /= static_cast<double>(outer.size());
+      c.y /= static_cast<double>(outer.size());
+      std::vector<Point> hole;
+      for (const Point& p : outer) {
+        hole.push_back(Point{c.x + (p.x - c.x) * 0.4,
+                             c.y + (p.y - c.y) * 0.4});
+      }
+      const Geometry polygon = Geometry::MakePolygon({outer, hole});
+
+      for (int q = 0; q < 10; ++q) {
+        const Point p = RandomPoint(&rng, -60, 60);
+        const bool in_outer = ConvexRingContains(p, outer);
+        const bool in_hole = ConvexRingContains(p, hole);
+        bool on_hole_boundary = false;
+        for (size_t i = 0; i < hole.size(); ++i) {
+          if (PointOnSegment(
+                  p, Segment{hole[i], hole[(i + 1) % hole.size()]})) {
+            on_hole_boundary = true;
+            break;
+          }
+        }
+        // Boundary-inclusive semantics: a point on the hole's boundary
+        // still belongs to the polygon.
+        const bool oracle = in_outer && (!in_hole || on_hole_boundary);
+        EXPECT_EQ(PointInPolygon(p, polygon), oracle)
+            << "seed=" << seed << " iter=" << iter << " p=(" << p.x << ","
+            << p.y << ")";
+      }
+    }
+  }
+}
+
+TEST(GeometryFuzzTest, IntersectsModesAgreeAndAreSymmetric) {
+  for (const uint64_t seed : {31u, 32u, 33u}) {
+    Rng rng(seed);
+    for (int iter = 0; iter < 150; ++iter) {
+      auto random_geometry = [&]() -> Geometry {
+        const int kind = static_cast<int>(rng.Uniform(3));
+        if (kind == 0) return Geometry::MakePoint(RandomPoint(&rng));
+        if (kind == 1) {
+          std::vector<Point> pts{RandomPoint(&rng)};
+          const int n = 1 + static_cast<int>(rng.Uniform(8));
+          for (int i = 0; i < n; ++i) {
+            pts.push_back(Point{pts.back().x + rng.UniformDouble(-10, 10),
+                                pts.back().y + rng.UniformDouble(-10, 10)});
+          }
+          return Geometry::MakePolyline(std::move(pts));
+        }
+        return Geometry::MakePolygon({RandomConvexRing(&rng)});
+      };
+      const Geometry a = random_geometry();
+      const Geometry b = random_geometry();
+      const bool naive = Intersects(a, b, SegmentTestMode::kNaive);
+      EXPECT_EQ(Intersects(a, b, SegmentTestMode::kPlaneSweep), naive)
+          << "seed=" << seed << " iter=" << iter;
+      EXPECT_EQ(Intersects(b, a, SegmentTestMode::kNaive), naive)
+          << "symmetry, seed=" << seed << " iter=" << iter;
+      // Disjoint MBRs must imply a negative answer (the filter step's
+      // correctness precondition).
+      if (!a.Mbr().Intersects(b.Mbr())) EXPECT_FALSE(naive);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace pbsm

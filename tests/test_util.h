@@ -41,12 +41,13 @@ namespace pbsm {
 class StorageEnv {
  public:
   explicit StorageEnv(size_t pool_bytes = 1 << 20,
-                      DiskModel model = DiskModel()) {
+                      DiskModel model = DiskModel(),
+                      IoRetryPolicy retry = IoRetryPolicy()) {
     char tmpl[] = "/tmp/pbsm_test_XXXXXX";
     const char* dir = ::mkdtemp(tmpl);
     dir_ = dir != nullptr ? dir : "/tmp/pbsm_test_fallback";
     disk_ = std::make_unique<DiskManager>(dir_, model);
-    pool_ = std::make_unique<BufferPool>(disk_.get(), pool_bytes);
+    pool_ = std::make_unique<BufferPool>(disk_.get(), pool_bytes, retry);
   }
   ~StorageEnv() {
     pool_.reset();
