@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/join_cost.h"
+#include "core/sweep_kernel.h"
 #include "core/spatial_join.h"
 #include "core/spatial_partitioner.h"
 #include "datagen/loader.h"
@@ -308,6 +309,24 @@ inline void RunReplicationBench(const char* title,
 // PBSM_NO_METRICS_JSON=1.
 // ---------------------------------------------------------------------------
 
+/// Filter-kernel provenance for the METRICS_JSON blob: which kernel the
+/// auto dispatcher resolves to on this host, the CPU/build capability bits
+/// behind that decision, and any PBSM_SIMD override in effect. Perf numbers
+/// without this block are unattributable across machines.
+inline std::string HostInfoJson() {
+  const char* env = std::getenv("PBSM_SIMD");
+  const std::string_view kernel = KernelKindName(ResolveKernel(SimdMode::kAuto));
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"resolved_kernel\":\"%.*s\","
+                "\"avx2_compiled_in\":%s,\"avx2_supported\":%s,"
+                "\"pbsm_simd_env\":\"%s\"}",
+                static_cast<int>(kernel.size()), kernel.data(),
+                Avx2CompiledIn() ? "true" : "false",
+                Avx2Supported() ? "true" : "false", env != nullptr ? env : "");
+  return buf;
+}
+
 inline std::string MetricsJsonBlob() {
   const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
   const uint64_t hits = snap.counter("storage.bufferpool.hits");
@@ -323,7 +342,9 @@ inline std::string MetricsJsonBlob() {
                 "{\"bufferpool_hit_rate\":%.6f,"
                 "\"refine_true_positive_rate\":%.6f}",
                 rate(hits, hits + misses), rate(tp, tp + fp));
-  std::string out = "{\"schema\":\"pbsm.metrics.v1\",\"metrics\":";
+  std::string out = "{\"schema\":\"pbsm.metrics.v1\",\"host\":";
+  out += HostInfoJson();
+  out += ",\"metrics\":";
   out += snap.ToJson();
   out += ",\"derived\":";
   out += derived;

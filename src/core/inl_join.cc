@@ -51,7 +51,7 @@ Result<JoinCostBreakdown> IndexedNestedLoopsJoin(
                                 Tuple::Parse(data, size));
           hits.clear();
           PBSM_RETURN_IF_ERROR(
-              index->WindowQuery(s_tuple.geometry.Mbr(), &hits));
+              index->WindowQuery(s_tuple.geometry.Mbr(), &hits, opts.simd));
           breakdown.candidates += hits.size();
           for (const uint64_t r_encoded : hits) {
             // Fetch the matching indexed tuple and check the predicate

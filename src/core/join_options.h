@@ -39,6 +39,9 @@ struct JoinOptions {
   uint32_t num_tiles = 1024;  ///< Requested NT (the paper's default).
   TileMapping mapping = TileMapping::kHash;
   SweepAlgorithm sweep = SweepAlgorithm::kForwardSweep;
+  /// Filter-kernel selection for plane sweeps and R-tree node scans. kAuto
+  /// consults the PBSM_SIMD environment variable, then CPUID.
+  SimdMode simd = SimdMode::kAuto;
   /// 0 = use Equation 1; otherwise forces the partition count.
   uint32_t num_partitions_override = 0;
 

@@ -11,6 +11,7 @@
 #include "core/plane_sweep_join.h"
 #include "core/refinement.h"
 #include "core/spatial_partitioner.h"
+#include "core/sweep_kernel.h"
 #include "storage/tuple.h"
 
 namespace pbsm {
@@ -178,13 +179,10 @@ Result<ParallelPbsmReport> SimulateParallelPbsm(
     CandidateSorter sorter(pool, options.join.memory_budget_bytes,
                            OidPairLess{});
     Status append_status;
-    wr.candidates += PlaneSweepJoin(
+    wr.candidates += PlaneSweepJoinBatch(
         &r_kps, &s_kps,
-        [&](uint64_t ro, uint64_t so) {
-          if (!append_status.ok()) return;
-          append_status = sorter.Add(OidPair{ro, so});
-        },
-        options.join.sweep);
+        SorterBatchSink<CandidateSorter>{&sorter, &append_status},
+        options.join.sweep, options.join.simd);
     PBSM_RETURN_IF_ERROR(append_status);
 
     // Refinement. Full mode reads the worker's private heaps; MBR-only

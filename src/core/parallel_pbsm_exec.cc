@@ -14,6 +14,7 @@
 #include "core/plane_sweep_join.h"
 #include "core/refinement.h"
 #include "core/spatial_partitioner.h"
+#include "core/sweep_kernel.h"
 #include "storage/tuple.h"
 
 namespace pbsm {
@@ -88,20 +89,29 @@ Status ScanRangeIntoBuffers(const HeapFile& heap, uint32_t first,
 void SweepPartitionPair(std::vector<KeyPointer>* r,
                         std::vector<KeyPointer>* s, const Rect& universe,
                         const JoinOptions& opts, uint32_t depth,
-                        std::vector<OidPair>* out, uint64_t* candidates,
-                        uint64_t* repartitioned) {
+                        InputOrder order, std::vector<OidPair>* out,
+                        uint64_t* candidates, uint64_t* repartitioned) {
   if (r->empty() || s->empty()) return;
   const uint64_t pair_bytes = (r->size() + s->size()) * sizeof(KeyPointer);
   if (pair_bytes <= opts.memory_budget_bytes || !opts.dynamic_repartition ||
       depth >= opts.max_repartition_depth) {
-    *candidates += PlaneSweepJoin(
-        r, s,
-        [out](uint64_t ro, uint64_t so) { out->push_back(OidPair{ro, so}); },
-        opts.sweep);
+    *candidates += PlaneSweepJoinBatch(r, s, VectorBatchSink{out}, opts.sweep,
+                                       opts.simd, order);
     return;
   }
 
   ++*repartitioned;
+  if (opts.sweep == SweepAlgorithm::kForwardSweep &&
+      order != InputOrder::kSortedByXlo) {
+    // Sort once at the overflowing parent: routing below preserves order,
+    // so every recursive sub-sweep can skip its own std::sort.
+    auto by_xlo = [](const KeyPointer& a, const KeyPointer& b) {
+      return a.mbr.xlo < b.mbr.xlo;
+    };
+    std::sort(r->begin(), r->end(), by_xlo);
+    std::sort(s->begin(), s->end(), by_xlo);
+    order = InputOrder::kSortedByXlo;
+  }
   uint32_t sub_parts = SpatialPartitioner::EstimatePartitionCount(
       r->size(), s->size(), opts.memory_budget_bytes);
   if (sub_parts < 2) sub_parts = 2;
@@ -125,7 +135,7 @@ void SweepPartitionPair(std::vector<KeyPointer>* r,
   route(s, &s_subs);
   for (uint32_t p = 0; p < sub_parts; ++p) {
     SweepPartitionPair(&r_subs[p], &s_subs[p], universe, opts, depth + 1,
-                       out, candidates, repartitioned);
+                       order, out, candidates, repartitioned);
     r_subs[p] = {};
     s_subs[p] = {};
   }
@@ -331,8 +341,8 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
           sb = {};
         }
         SweepPartitionPair(&r_kps, &s_kps, universe, opts, /*depth=*/0,
-                           &partition_candidates[p], &task_candidates[p],
-                           &task_repartitioned[p]);
+                           InputOrder::kUnsorted, &partition_candidates[p],
+                           &task_candidates[p], &task_repartitioned[p]);
         std::sort(partition_candidates[p].begin(),
                   partition_candidates[p].end(), OidPairLess{});
       });

@@ -7,6 +7,7 @@
 #include "common/metrics.h"
 #include "core/plane_sweep_join.h"
 #include "core/refinement.h"
+#include "core/sweep_kernel.h"
 #include "core/spatial_partitioner.h"
 #include "storage/spool_file.h"
 #include "storage/tuple.h"
@@ -48,18 +49,15 @@ Result<std::vector<KeyPointer>> ReadSpool(const SpoolFile& spool) {
   return out;
 }
 
-/// Sweeps two in-memory partition halves into the candidate sorter.
+/// Sweeps two in-memory partition halves into the candidate sorter,
+/// flushing batched pair blocks straight into the sorter buffer.
 Status SweepInto(std::vector<KeyPointer>* r, std::vector<KeyPointer>* s,
                  const JoinOptions& opts, CandidateSorter* sorter,
                  JoinCostBreakdown* breakdown) {
   Status append_status;
-  breakdown->candidates +=
-      PlaneSweepJoin(r, s,
-                     [&](uint64_t r_oid, uint64_t s_oid) {
-                       if (!append_status.ok()) return;
-                       append_status = sorter->Add(OidPair{r_oid, s_oid});
-                     },
-                     opts.sweep);
+  breakdown->candidates += PlaneSweepJoinBatch(
+      r, s, SorterBatchSink<CandidateSorter>{sorter, &append_status},
+      opts.sweep, opts.simd);
   return append_status;
 }
 

@@ -1,136 +1,15 @@
 #include "core/plane_sweep_join.h"
 
-#include <algorithm>
-#include <unordered_map>
-
-#include "core/interval_tree.h"
+#include "core/sweep_kernel.h"
 
 namespace pbsm {
 
-namespace {
-
-bool ByXlo(const KeyPointer& a, const KeyPointer& b) {
-  return a.mbr.xlo < b.mbr.xlo;
-}
-
-uint64_t ForwardSweep(std::vector<KeyPointer>* r, std::vector<KeyPointer>* s,
-                      const PairEmitter& emit) {
-  std::sort(r->begin(), r->end(), ByXlo);
-  std::sort(s->begin(), s->end(), ByXlo);
-  uint64_t count = 0;
-
-  // Scans `other` from `from` while x-extents overlap `head`, testing the
-  // y-axis per element (§3.1). `head_is_r` keeps emitted pairs (R, S).
-  auto scan = [&](const KeyPointer& head, const std::vector<KeyPointer>& other,
-                  size_t from, bool head_is_r) {
-    for (size_t k = from;
-         k < other.size() && other[k].mbr.xlo <= head.mbr.xhi; ++k) {
-      if (head.mbr.ylo <= other[k].mbr.yhi &&
-          other[k].mbr.ylo <= head.mbr.yhi) {
-        if (head_is_r) {
-          emit(head.oid, other[k].oid);
-        } else {
-          emit(other[k].oid, head.oid);
-        }
-        ++count;
-      }
-    }
-  };
-
-  size_t i = 0, j = 0;
-  while (i < r->size() && j < s->size()) {
-    if ((*r)[i].mbr.xlo <= (*s)[j].mbr.xlo) {
-      scan((*r)[i], *s, j, /*head_is_r=*/true);
-      ++i;
-    } else {
-      scan((*s)[j], *r, i, /*head_is_r=*/false);
-      ++j;
-    }
-  }
-  return count;
-}
-
-uint64_t IntervalTreeSweep(std::vector<KeyPointer>* r,
-                           std::vector<KeyPointer>* s,
-                           const PairEmitter& emit) {
-  // Event-driven sweep along x. Starts are processed before ends at equal
-  // x so touching rectangles count as overlapping (closed semantics).
-  struct Event {
-    double x;
-    bool is_start;
-    bool is_r;
-    const KeyPointer* kp;
-  };
-  std::vector<Event> events;
-  events.reserve(2 * (r->size() + s->size()));
-  for (const KeyPointer& kp : *r) {
-    events.push_back({kp.mbr.xlo, true, true, &kp});
-    events.push_back({kp.mbr.xhi, false, true, &kp});
-  }
-  for (const KeyPointer& kp : *s) {
-    events.push_back({kp.mbr.xlo, true, false, &kp});
-    events.push_back({kp.mbr.xhi, false, false, &kp});
-  }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.x != b.x) return a.x < b.x;
-    return a.is_start > b.is_start;  // Starts first.
-  });
-
-  IntervalTree active_r, active_s;
-  std::unordered_map<const KeyPointer*, uint64_t> handles;
-  handles.reserve(r->size() + s->size());
-  uint64_t count = 0;
-
-  for (const Event& ev : events) {
-    IntervalTree& own = ev.is_r ? active_r : active_s;
-    if (!ev.is_start) {
-      own.Remove(handles[ev.kp]);
-      continue;
-    }
-    const IntervalTree& other = ev.is_r ? active_s : active_r;
-    other.QueryOverlaps(ev.kp->mbr.ylo, ev.kp->mbr.yhi,
-                        [&](uint64_t other_oid) {
-                          if (ev.is_r) {
-                            emit(ev.kp->oid, other_oid);
-                          } else {
-                            emit(other_oid, ev.kp->oid);
-                          }
-                          ++count;
-                        });
-    handles[ev.kp] = own.Insert(ev.kp->mbr.ylo, ev.kp->mbr.yhi, ev.kp->oid);
-  }
-  return count;
-}
-
-uint64_t NestedLoops(const std::vector<KeyPointer>& r,
-                     const std::vector<KeyPointer>& s,
-                     const PairEmitter& emit) {
-  uint64_t count = 0;
-  for (const KeyPointer& a : r) {
-    for (const KeyPointer& b : s) {
-      if (a.mbr.Intersects(b.mbr)) {
-        emit(a.oid, b.oid);
-        ++count;
-      }
-    }
-  }
-  return count;
-}
-
-}  // namespace
-
 uint64_t PlaneSweepJoin(std::vector<KeyPointer>* r,
                         std::vector<KeyPointer>* s, const PairEmitter& emit,
-                        SweepAlgorithm algorithm) {
-  switch (algorithm) {
-    case SweepAlgorithm::kForwardSweep:
-      return ForwardSweep(r, s, emit);
-    case SweepAlgorithm::kIntervalTreeSweep:
-      return IntervalTreeSweep(r, s, emit);
-    case SweepAlgorithm::kNestedLoops:
-      return NestedLoops(*r, *s, emit);
-  }
-  return 0;
+                        SweepAlgorithm algorithm, SimdMode simd,
+                        InputOrder order) {
+  return PlaneSweepJoinBatch(r, s, EmitterBatchSink{emit}, algorithm, simd,
+                             order);
 }
 
 }  // namespace pbsm

@@ -23,16 +23,33 @@ enum class SweepAlgorithm {
   kNestedLoops,
 };
 
+/// Which data-parallel kernel the forward sweep and node scans run on.
+/// kAuto consults the PBSM_SIMD environment variable (`auto|avx2|scalar`),
+/// then CPUID; see core/sweep_kernel.h for the resolution rules.
+enum class SimdMode { kAuto, kScalar, kAvx2 };
+
+/// Whether a partition pair is already sorted on mbr.xlo. The §3.5
+/// repartition path routes an already-sorted parent into sub-partitions in
+/// order, so the recursive sweeps can skip the std::sort.
+enum class InputOrder { kUnsorted, kSortedByXlo };
+
 /// Emits every (r.oid, s.oid) pair whose MBRs overlap.
 using PairEmitter = std::function<void(uint64_t r_oid, uint64_t s_oid)>;
 
 /// In-memory rectangle join between two key-pointer sets (one partition
-/// pair). Sorts `r` and `s` in place as a side effect. Returns the number
-/// of emitted pairs.
+/// pair). Sorts `r` and `s` in place as a side effect (skipped when
+/// `order` promises they are sorted on mbr.xlo already). Returns the
+/// number of emitted pairs.
+///
+/// This is the legacy per-pair-emitter wrapper; hot paths use the batch
+/// API in core/sweep_kernel.h (PlaneSweepJoinBatch) which flushes
+/// OidPair blocks without a std::function call per pair.
 uint64_t PlaneSweepJoin(std::vector<KeyPointer>* r,
                         std::vector<KeyPointer>* s, const PairEmitter& emit,
                         SweepAlgorithm algorithm =
-                            SweepAlgorithm::kForwardSweep);
+                            SweepAlgorithm::kForwardSweep,
+                        SimdMode simd = SimdMode::kAuto,
+                        InputOrder order = InputOrder::kUnsorted);
 
 }  // namespace pbsm
 

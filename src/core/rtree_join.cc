@@ -7,6 +7,7 @@
 #include "core/index_build.h"
 #include "core/plane_sweep_join.h"
 #include "core/refinement.h"
+#include "core/sweep_kernel.h"
 
 namespace pbsm {
 
@@ -36,24 +37,26 @@ Status JoinNodes(const RStarTree& r_tree, uint32_t r_page,
   // the levels line up, restricting to children overlapping the other
   // node's MBR.
   if (r_level != s_level) {
+    const KernelKind kind = ResolveKernel(opts.simd);
+    std::vector<uint32_t> hits;
     if (r_level > s_level) {
       Rect s_mbr;
       for (const auto& e : s_entries) s_mbr.Expand(e.mbr);
-      for (const RTreeEntry& e : r_entries) {
-        if (!e.mbr.Intersects(s_mbr)) continue;
-        PBSM_RETURN_IF_ERROR(JoinNodes(r_tree,
-                                       static_cast<uint32_t>(e.handle),
-                                       s_tree, s_page, opts, sorter,
-                                       breakdown));
+      OverlapScan(r_entries.data(), r_entries.size(), s_mbr, kind, &hits);
+      for (const uint32_t i : hits) {
+        PBSM_RETURN_IF_ERROR(
+            JoinNodes(r_tree, static_cast<uint32_t>(r_entries[i].handle),
+                      s_tree, s_page, opts, sorter, breakdown));
       }
     } else {
       Rect r_mbr;
       for (const auto& e : r_entries) r_mbr.Expand(e.mbr);
-      for (const RTreeEntry& e : s_entries) {
-        if (!e.mbr.Intersects(r_mbr)) continue;
-        PBSM_RETURN_IF_ERROR(JoinNodes(r_tree, r_page, s_tree,
-                                       static_cast<uint32_t>(e.handle),
-                                       opts, sorter, breakdown));
+      OverlapScan(s_entries.data(), s_entries.size(), r_mbr, kind, &hits);
+      for (const uint32_t i : hits) {
+        PBSM_RETURN_IF_ERROR(
+            JoinNodes(r_tree, r_page, s_tree,
+                      static_cast<uint32_t>(s_entries[i].handle), opts,
+                      sorter, breakdown));
       }
     }
     return Status::OK();
@@ -66,24 +69,23 @@ Status JoinNodes(const RStarTree& r_tree, uint32_t r_page,
 
   if (r_level == 0) {
     Status append_status;
-    breakdown->candidates += PlaneSweepJoin(
+    breakdown->candidates += PlaneSweepJoinBatch(
         &r_kps, &s_kps,
-        [&](uint64_t r_oid, uint64_t s_oid) {
-          if (!append_status.ok()) return;
-          append_status = sorter->Add(OidPair{r_oid, s_oid});
-        },
-        opts.sweep);
+        SorterBatchSink<CandidateSorter>{sorter, &append_status}, opts.sweep,
+        opts.simd);
     return append_status;
   }
 
   std::vector<std::pair<uint32_t, uint32_t>> child_pairs;
-  PlaneSweepJoin(&r_kps, &s_kps,
-                 [&](uint64_t r_child, uint64_t s_child) {
-                   child_pairs.emplace_back(
-                       static_cast<uint32_t>(r_child),
-                       static_cast<uint32_t>(s_child));
-                 },
-                 opts.sweep);
+  PlaneSweepJoinBatch(
+      &r_kps, &s_kps,
+      [&child_pairs](const OidPair* pairs, size_t n) {
+        for (size_t i = 0; i < n; ++i) {
+          child_pairs.emplace_back(static_cast<uint32_t>(pairs[i].r),
+                                   static_cast<uint32_t>(pairs[i].s));
+        }
+      },
+      opts.sweep, opts.simd);
   for (const auto& [rc, sc] : child_pairs) {
     PBSM_RETURN_IF_ERROR(
         JoinNodes(r_tree, rc, s_tree, sc, opts, sorter, breakdown));

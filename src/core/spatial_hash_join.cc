@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "core/plane_sweep_join.h"
 #include "core/refinement.h"
+#include "core/sweep_kernel.h"
 #include "core/spatial_partitioner.h"
 #include "geom/hilbert.h"
 #include "storage/spool_file.h"
@@ -160,10 +161,10 @@ Result<JoinCostBreakdown> SpatialHashJoin(
     for (uint32_t b = 0; b < num_buckets; ++b) {
       if (r_spools[b].num_records() > 0 && s_spools[b].num_records() > 0) {
         Status append_status;
-        auto emit = [&](uint64_t ro, uint64_t so) {
+        auto batch_sink = [&](const OidPair* pairs, size_t n) {
           if (!append_status.ok()) return;
-          append_status = sorter.Add(OidPair{ro, so});
-          ++breakdown.candidates;
+          append_status = sorter.AddBatch(pairs, n);
+          breakdown.candidates += n;
         };
         // Chunked sweep: R side in memory-bounded chunks against S chunks
         // (buckets normally fit; overflow degrades gracefully).
@@ -186,7 +187,8 @@ Result<JoinCostBreakdown> SpatialHashJoin(
               s_chunk.push_back(kp);
             }
             if (s_chunk.empty()) break;
-            PlaneSweepJoin(&r_chunk, &s_chunk, emit, options.join.sweep);
+            PlaneSweepJoinBatch(&r_chunk, &s_chunk, batch_sink,
+                                options.join.sweep, options.join.simd);
           }
         }
         PBSM_RETURN_IF_ERROR(append_status);

@@ -1,0 +1,114 @@
+// AVX2 implementations of the filter kernels. This is the only TU built
+// with -mavx2 (see src/core/CMakeLists.txt); the rest of the library stays
+// at the base ISA and reaches these through the function-pointer table in
+// sweep_kernel.cc, resolved at runtime from CPUID.
+
+#include "core/sweep_kernel.h"
+
+#if PBSM_HAVE_AVX2_KERNEL
+
+#include <immintrin.h>
+
+namespace pbsm {
+namespace sweep_internal {
+
+namespace {
+
+/// 4 y-overlap (and x-termination) tests per iteration. The inputs are
+/// sorted on xlo, so the lanes passing `xlo <= head_xhi` always form a
+/// prefix: the first failing lane is where the §3.1 scan ends. Loads may
+/// read up to 3 elements past `lim` at the end of the array; the SoA pad
+/// holds inverted-bound sentinels there, which fail every compare.
+ScanResult ScanPairsAvx2(const SoaView& other, size_t from, size_t lim,
+                         double head_xhi, double head_ylo, double head_yhi,
+                         uint64_t head_oid, bool head_is_r, OidPair* out,
+                         uint64_t* simd_lanes) {
+  const __m256d vhead_xhi = _mm256_set1_pd(head_xhi);
+  const __m256d vhead_ylo = _mm256_set1_pd(head_ylo);
+  const __m256d vhead_yhi = _mm256_set1_pd(head_yhi);
+  ScanResult res;
+  uint64_t lanes = 0;
+  size_t k = from;
+  while (k < lim) {
+    const __m256d xlo = _mm256_loadu_pd(other.xlo + k);
+    const __m256d ylo = _mm256_loadu_pd(other.ylo + k);
+    const __m256d yhi = _mm256_loadu_pd(other.yhi + k);
+    const __m256d x_ok = _mm256_cmp_pd(xlo, vhead_xhi, _CMP_LE_OQ);
+    const __m256d y_ok =
+        _mm256_and_pd(_mm256_cmp_pd(vhead_ylo, yhi, _CMP_LE_OQ),
+                      _mm256_cmp_pd(ylo, vhead_yhi, _CMP_LE_OQ));
+    const unsigned xm =
+        static_cast<unsigned>(_mm256_movemask_pd(x_ok));
+    unsigned m = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_and_pd(x_ok, y_ok)));
+    if (xm != 0xFu) {
+      // Keep only the lanes before the first x failure: sortedness makes
+      // x_ok a prefix over real elements, but lanes read past the sentinel
+      // pad must never contribute matches.
+      m &= (1u << __builtin_ctz(~xm)) - 1u;
+    }
+    lanes += 4;
+    while (m != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(m));
+      m &= m - 1;
+      const uint64_t other_oid = other.oid[k + b];
+      out[res.matched++] = head_is_r ? OidPair{head_oid, other_oid}
+                                     : OidPair{other_oid, head_oid};
+    }
+    if (xm != 0xFu) {
+      // The x-pass prefix ended inside this chunk.
+      k += static_cast<size_t>(__builtin_ctz(~xm));
+      res.hit_x_end = true;
+      break;
+    }
+    k += 4;
+  }
+  if (k > lim) k = lim;  // Overshoot lands in the sentinel pad only.
+  res.consumed = static_cast<uint32_t>(k - from);
+  *simd_lanes += lanes;
+  return res;
+}
+
+/// Full closed-interval intersection of every element against one window,
+/// 4 rectangles per iteration over the padded columns (no scalar tail).
+size_t ScanWindowAvx2(const SoaView& rects, double qxlo, double qylo,
+                      double qxhi, double qyhi, uint32_t* out_idx,
+                      uint64_t* simd_lanes) {
+  const __m256d vqxlo = _mm256_set1_pd(qxlo);
+  const __m256d vqylo = _mm256_set1_pd(qylo);
+  const __m256d vqxhi = _mm256_set1_pd(qxhi);
+  const __m256d vqyhi = _mm256_set1_pd(qyhi);
+  const size_t padded = (rects.size + 3) / 4 * 4;
+  size_t hits = 0;
+  for (size_t k = 0; k < padded; k += 4) {
+    const __m256d xlo = _mm256_loadu_pd(rects.xlo + k);
+    const __m256d xhi = _mm256_loadu_pd(rects.xhi + k);
+    const __m256d ylo = _mm256_loadu_pd(rects.ylo + k);
+    const __m256d yhi = _mm256_loadu_pd(rects.yhi + k);
+    const __m256d x_ok =
+        _mm256_and_pd(_mm256_cmp_pd(xlo, vqxhi, _CMP_LE_OQ),
+                      _mm256_cmp_pd(vqxlo, xhi, _CMP_LE_OQ));
+    const __m256d y_ok =
+        _mm256_and_pd(_mm256_cmp_pd(ylo, vqyhi, _CMP_LE_OQ),
+                      _mm256_cmp_pd(vqylo, yhi, _CMP_LE_OQ));
+    unsigned m = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_and_pd(x_ok, y_ok)));
+    while (m != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(m));
+      m &= m - 1;
+      out_idx[hits++] = static_cast<uint32_t>(k + b);
+    }
+  }
+  *simd_lanes += padded;
+  return hits;
+}
+
+}  // namespace
+
+extern const SweepKernelOps kAvx2Ops;
+const SweepKernelOps kAvx2Ops = {&ScanPairsAvx2, &ScanWindowAvx2};
+
+}  // namespace sweep_internal
+}  // namespace pbsm
+
+#endif  // PBSM_HAVE_AVX2_KERNEL

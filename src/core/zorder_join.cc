@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/refinement.h"
+#include "core/sweep_kernel.h"
 #include "geom/hilbert.h"
 #include "storage/external_sort.h"
 #include "storage/tuple.h"
@@ -167,11 +168,22 @@ Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
     PBSM_ASSIGN_OR_RETURN(s_has, s_sorter.Next(&s_head));
     const ZElementLess less;
 
+    // Buffered emission: pairs are staged in an OidPair block and handed to
+    // the sorter in batches, like the sweep kernels' pair buffer.
+    std::vector<OidPair> pair_buf;
+    pair_buf.reserve(kPairBufferCap);
     Status append_status;
+    auto flush = [&] {
+      if (pair_buf.empty()) return;
+      if (append_status.ok()) {
+        append_status = candidates.AddBatch(pair_buf.data(), pair_buf.size());
+      }
+      pair_buf.clear();
+    };
     auto emit = [&](uint64_t r_oid, uint64_t s_oid) {
-      if (!append_status.ok()) return;
-      append_status = candidates.Add(OidPair{r_oid, s_oid});
+      pair_buf.push_back(OidPair{r_oid, s_oid});
       ++breakdown.candidates;
+      if (pair_buf.size() == kPairBufferCap) flush();
     };
 
     while (r_has || s_has) {
@@ -195,6 +207,7 @@ Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
         PBSM_ASSIGN_OR_RETURN(s_has, s_sorter.Next(&s_head));
       }
     }
+    flush();
     PBSM_RETURN_IF_ERROR(append_status);
   }
 

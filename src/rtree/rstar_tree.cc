@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "core/sweep_kernel.h"
 #include "geom/hilbert.h"
 
 namespace pbsm {
@@ -432,19 +433,23 @@ Status RStarTree::Delete(const Rect& mbr, uint64_t oid, bool* found) {
   return Status::OK();
 }
 
-Status RStarTree::WindowQuery(const Rect& window,
-                              std::vector<uint64_t>* out) const {
+Status RStarTree::WindowQuery(const Rect& window, std::vector<uint64_t>* out,
+                              SimdMode simd) const {
+  const KernelKind kind = ResolveKernel(simd);
   std::vector<uint32_t> stack = {root_page_};
+  std::vector<uint32_t> hits;
   while (!stack.empty()) {
     const uint32_t page_no = stack.back();
     stack.pop_back();
     PBSM_ASSIGN_OR_RETURN(const Node node, LoadNode(page_no));
-    for (const RTreeEntry& e : node.entries) {
-      if (!e.mbr.Intersects(window)) continue;
+    hits.clear();
+    OverlapScan(node.entries.data(), node.entries.size(), window, kind,
+                &hits);
+    for (const uint32_t i : hits) {
       if (node.level == 0) {
-        out->push_back(e.handle);
+        out->push_back(node.entries[i].handle);
       } else {
-        stack.push_back(static_cast<uint32_t>(e.handle));
+        stack.push_back(static_cast<uint32_t>(node.entries[i].handle));
       }
     }
   }

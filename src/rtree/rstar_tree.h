@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/plane_sweep_join.h"
 #include "geom/rect.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
@@ -82,7 +83,10 @@ class RStarTree {
 
   /// Appends to `out` the handle of every leaf entry whose MBR intersects
   /// `window`. This is the filter-step probe used by indexed nested loops.
-  Status WindowQuery(const Rect& window, std::vector<uint64_t>* out) const;
+  /// Node scans run on the batch filter kernel selected by `simd` (see
+  /// core/sweep_kernel.h).
+  Status WindowQuery(const Rect& window, std::vector<uint64_t>* out,
+                     SimdMode simd = SimdMode::kAuto) const;
 
   /// Reads node `page_no` into `level` (0 = leaf) and `entries`.
   /// Exposed for the BKS93 synchronized tree join.

@@ -55,6 +55,29 @@ class ExternalSorter {
     return Status::OK();
   }
 
+  /// Adds a block of records (the batch-sink flush path of the filter
+  /// kernels). Bumps the records counter once per block instead of once per
+  /// record.
+  Status AddBatch(const T* recs, size_t n) {
+    PBSM_CHECK(!finished_) << "AddBatch after Finish";
+    if (n == 0) return Status::OK();
+    static Counter* const records =
+        MetricsRegistry::Global().GetCounter("storage.extsort.records");
+    records->Add(static_cast<uint64_t>(n));
+    num_records_ += n;
+    size_t i = 0;
+    while (i < n) {
+      const size_t room = max_buffered_ - buffer_.size();
+      const size_t take = std::min(room, n - i);
+      buffer_.insert(buffer_.end(), recs + i, recs + i + take);
+      i += take;
+      if (buffer_.size() >= max_buffered_) {
+        PBSM_RETURN_IF_ERROR(SpillRun());
+      }
+    }
+    return Status::OK();
+  }
+
   /// Seals the input and prepares the sorted stream.
   Status Finish() {
     PBSM_CHECK(!finished_);

@@ -259,12 +259,14 @@ class JoinFaultTest : public ::testing::Test {
     ASSERT_GT(expected_.size(), 0u);
   }
 
-  JoinSpec Spec(JoinMethod method, uint32_t threads) const {
+  JoinSpec Spec(JoinMethod method, uint32_t threads,
+                SimdMode simd = SimdMode::kAuto) const {
     JoinSpec spec;
     spec.method = method;
     spec.options.memory_budget_bytes = 1 << 20;
     spec.options.num_tiles = 64;
     spec.options.num_threads = threads;
+    spec.options.simd = simd;
     return spec;
   }
 
@@ -282,33 +284,39 @@ TEST_F(JoinFaultTest, TransientReadFaultsPreserveResultsOnEveryMethod) {
   IoRetryPolicy retry;
   retry.max_attempts = 8;
   retry.backoff_us = 1;
-  for (const JoinMethod method : AllJoinMethods()) {
-    SCOPED_TRACE(JoinMethodName(method));
-    // A tiny pool forces real disk reads (and hence injector hits) instead
-    // of serving the whole join from cache.
-    StorageEnv env(/*pool_bytes=*/8 * kPageSize, DiskModel(), retry);
-    PBSM_ASSERT_OK_AND_ASSIGN(
-        const StoredRelation r,
-        LoadRelation(env.pool(), nullptr, "road", roads_));
-    PBSM_ASSERT_OK_AND_ASSIGN(
-        const StoredRelation s,
-        LoadRelation(env.pool(), nullptr, "hydro", hydro_));
-    PBSM_ASSERT_OK_AND_ASSIGN(const auto r_ids, OidToIdMap(r.heap));
-    PBSM_ASSERT_OK_AND_ASSIGN(const auto s_ids, OidToIdMap(s.heap));
+  // Both filter kernels must stay bit-identical with faults armed (kAvx2
+  // resolves to scalar on hosts without AVX2).
+  for (const SimdMode simd : {SimdMode::kScalar, SimdMode::kAvx2}) {
+    SCOPED_TRACE(simd == SimdMode::kScalar ? "simd=scalar" : "simd=avx2");
+    for (const JoinMethod method : AllJoinMethods()) {
+      SCOPED_TRACE(JoinMethodName(method));
+      // A tiny pool forces real disk reads (and hence injector hits) instead
+      // of serving the whole join from cache.
+      StorageEnv env(/*pool_bytes=*/8 * kPageSize, DiskModel(), retry);
+      PBSM_ASSERT_OK_AND_ASSIGN(
+          const StoredRelation r,
+          LoadRelation(env.pool(), nullptr, "road", roads_));
+      PBSM_ASSERT_OK_AND_ASSIGN(
+          const StoredRelation s,
+          LoadRelation(env.pool(), nullptr, "hydro", hydro_));
+      PBSM_ASSERT_OK_AND_ASSIGN(const auto r_ids, OidToIdMap(r.heap));
+      PBSM_ASSERT_OK_AND_ASSIGN(const auto s_ids, OidToIdMap(s.heap));
 
-    PBSM_ASSERT_OK_AND_ASSIGN(auto injector,
-                              FaultInjector::Parse("seed=11;read=0.05"));
-    env.disk()->set_fault_injector(injector);
+      PBSM_ASSERT_OK_AND_ASSIGN(auto injector,
+                                FaultInjector::Parse("seed=11;read=0.05"));
+      env.disk()->set_fault_injector(injector);
 
-    const uint64_t faults_before = GlobalCounter("io.injected_faults");
-    PBSM_ASSERT_OK_AND_ASSIGN(
-        const IdPairSet got,
-        RunJoinToIdPairs(env.pool(), r, s, Spec(method, /*threads=*/3),
-                         &r_ids, &s_ids));
-    EXPECT_EQ(got, expected_);
-    // The scenario must actually have exercised the fault path.
-    EXPECT_GT(GlobalCounter("io.injected_faults"), faults_before);
-    EXPECT_EQ(env.pool()->pinned_frames(), 0u);
+      const uint64_t faults_before = GlobalCounter("io.injected_faults");
+      PBSM_ASSERT_OK_AND_ASSIGN(
+          const IdPairSet got,
+          RunJoinToIdPairs(env.pool(), r, s,
+                           Spec(method, /*threads=*/3, simd), &r_ids,
+                           &s_ids));
+      EXPECT_EQ(got, expected_);
+      // The scenario must actually have exercised the fault path.
+      EXPECT_GT(GlobalCounter("io.injected_faults"), faults_before);
+      EXPECT_EQ(env.pool()->pinned_frames(), 0u);
+    }
   }
 }
 

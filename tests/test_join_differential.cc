@@ -81,25 +81,32 @@ TEST_F(JoinDifferentialTest, AllMethodsMatchBruteForceOracleAcrossSweep) {
 
     const IdPairSet expected = BruteForceJoin(roads, hydro, c.pred);
 
-    for (const JoinMethod method : AllJoinMethods()) {
-      SCOPED_TRACE(JoinMethodName(method));
-      StorageEnv env(512 * kPageSize);
-      PBSM_ASSERT_OK_AND_ASSIGN(
-          const StoredRelation r,
-          LoadRelation(env.pool(), nullptr, "road", roads, c.clustered));
-      PBSM_ASSERT_OK_AND_ASSIGN(
-          const StoredRelation s,
-          LoadRelation(env.pool(), nullptr, "hydro", hydro, c.clustered));
+    // Every method must match the oracle under the scalar filter kernel AND
+    // the vector kernel (kAvx2 resolves to scalar on hosts without AVX2, so
+    // the second pass is never vacuous — just redundant there).
+    for (const SimdMode simd : {SimdMode::kScalar, SimdMode::kAvx2}) {
+      SCOPED_TRACE(simd == SimdMode::kScalar ? "simd=scalar" : "simd=avx2");
+      for (const JoinMethod method : AllJoinMethods()) {
+        SCOPED_TRACE(JoinMethodName(method));
+        StorageEnv env(512 * kPageSize);
+        PBSM_ASSERT_OK_AND_ASSIGN(
+            const StoredRelation r,
+            LoadRelation(env.pool(), nullptr, "road", roads, c.clustered));
+        PBSM_ASSERT_OK_AND_ASSIGN(
+            const StoredRelation s,
+            LoadRelation(env.pool(), nullptr, "hydro", hydro, c.clustered));
 
-      JoinSpec spec;
-      spec.method = method;
-      spec.predicate = c.pred;
-      spec.options.memory_budget_bytes = 1 << 20;
-      spec.options.num_tiles = c.num_tiles;
-      spec.options.num_threads = c.num_threads;
-      PBSM_ASSERT_OK_AND_ASSIGN(const IdPairSet got,
-                                RunJoinToIdPairs(env.pool(), r, s, spec));
-      EXPECT_EQ(got, expected);
+        JoinSpec spec;
+        spec.method = method;
+        spec.predicate = c.pred;
+        spec.options.memory_budget_bytes = 1 << 20;
+        spec.options.num_tiles = c.num_tiles;
+        spec.options.num_threads = c.num_threads;
+        spec.options.simd = simd;
+        PBSM_ASSERT_OK_AND_ASSIGN(const IdPairSet got,
+                                  RunJoinToIdPairs(env.pool(), r, s, spec));
+        EXPECT_EQ(got, expected);
+      }
     }
   }
 }
