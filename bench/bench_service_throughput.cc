@@ -1,0 +1,272 @@
+// Closed-loop throughput/latency driver for the join service (see
+// DESIGN.md "Service layer"). Three experiments:
+//
+//   1. Planner validation: on the Figure 7 (road x hydrography) and
+//      Figure 8 (road x rail) pairs, measure every method cold through the
+//      service, then let the planner choose — it must land within 20% of
+//      the fastest measured method (the PR's acceptance bar).
+//   2. Index-cache speedup: a repeated rtree-method query must run in
+//      under 0.5x its cold time once the service's index cache is warm.
+//   3. Closed-loop throughput: 1/4/8 client threads issue a mixed
+//      workload (alternating dataset pairs, priorities, planner-routed and
+//      forced-method queries) back-to-back; reports queries/sec and
+//      p50/p95/p99 latency, cold vs warm cache.
+//
+// Emits one SERVICE_THROUGHPUT_JSON line (the recorded baseline lives in
+// bench/results/service_throughput_baseline.json) plus the standard
+// METRICS_JSON exit blob. Violating experiment 1 or 2 marks the bench
+// failed (non-zero exit, METRICS_JSON status "failed").
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "service/join_service.h"
+
+namespace pbsm {
+namespace bench {
+namespace {
+
+struct Latencies {
+  std::vector<double> seconds;
+
+  void Add(double s) { seconds.push_back(s); }
+  double Percentile(double q) {
+    if (seconds.empty()) return 0.0;
+    std::sort(seconds.begin(), seconds.end());
+    const size_t idx = static_cast<size_t>(
+        q * static_cast<double>(seconds.size() - 1) + 0.5);
+    return seconds[std::min(idx, seconds.size() - 1)];
+  }
+};
+
+constexpr JoinMethod kAllMethods[] = {
+    JoinMethod::kPbsm,   JoinMethod::kParallelPbsm, JoinMethod::kInl,
+    JoinMethod::kRtree,  JoinMethod::kSpatialHash,  JoinMethod::kZOrder,
+};
+
+/// One synchronous query through the service; aborts the bench on error
+/// (this driver's queries must all succeed).
+JoinResponse MustExecute(JoinService* service, JoinRequest request) {
+  auto response = service->Execute(std::move(request));
+  PBSM_CHECK(response.ok()) << response.status().ToString();
+  return std::move(response).value();
+}
+
+int Run() {
+  const double scale = ScaleFromEnv();
+  PrintTitle("Service throughput: scheduler + planner + index cache");
+  PrintScaleBanner(scale);
+
+  const TigerData data = GenTiger(scale);
+  Workspace ws(/*pool_bytes=*/96ull << 20);
+  Catalog catalog;
+  auto road = LoadRelation(ws.pool(), &catalog, "road", data.roads);
+  auto hydro = LoadRelation(ws.pool(), &catalog, "hydro", data.hydro);
+  auto rail = LoadRelation(ws.pool(), &catalog, "rail", data.rail);
+  PBSM_CHECK(road.ok() && hydro.ok() && rail.ok());
+
+  JoinServiceConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 128;
+  config.join_defaults.memory_budget_bytes = 8ull << 20;
+  JoinService service(ws.pool(), config);
+  PBSM_CHECK(service.RegisterDataset("road", &road->heap, road->info).ok());
+  PBSM_CHECK(
+      service.RegisterDataset("hydro", &hydro->heap, hydro->info).ok());
+  PBSM_CHECK(service.RegisterDataset("rail", &rail->heap, rail->info).ok());
+
+  std::string json = "{\"schema\":\"pbsm.service_throughput.v1\",";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "\"scale\":%.3f,\"workers\":%u,", scale,
+                config.num_workers);
+  json += buf;
+  bool ok = true;
+
+  // -------------------------------------------------------------------
+  // 1. Planner validation on the paper's two TIGER join pairs.
+  // -------------------------------------------------------------------
+  json += "\"planner\":{";
+  const struct {
+    const char* label;
+    const char* r;
+    const char* s;
+  } kPairs[] = {{"fig07_road_hydro", "road", "hydro"},
+                {"fig08_road_rail", "road", "rail"}};
+  for (size_t p = 0; p < 2; ++p) {
+    PrintTitle(std::string("planner validation: ") + kPairs[p].label);
+    double best = 1e30;
+    std::string_view best_name;
+    std::string methods_json = "{";
+    for (const JoinMethod method : kAllMethods) {
+      service.cache().Clear();  // Every method measured cold.
+      JoinRequest request;
+      request.r_dataset = kPairs[p].r;
+      request.s_dataset = kPairs[p].s;
+      request.method = method;
+      Stopwatch watch;
+      const JoinResponse response = MustExecute(&service, request);
+      const double sec = watch.ElapsedSeconds();
+      std::printf("  %-14.*s %.3fs  (%llu results)\n",
+                  (int)JoinMethodName(method).size(),
+                  JoinMethodName(method).data(), sec,
+                  (unsigned long long)response.num_results);
+      std::snprintf(buf, sizeof(buf), "%s\"%.*s\":%.4f",
+                    methods_json.size() > 1 ? "," : "",
+                    (int)JoinMethodName(method).size(),
+                    JoinMethodName(method).data(), sec);
+      methods_json += buf;
+      if (sec < best) {
+        best = sec;
+        best_name = JoinMethodName(method);
+      }
+    }
+    service.cache().Clear();
+    JoinRequest request;
+    request.r_dataset = kPairs[p].r;
+    request.s_dataset = kPairs[p].s;  // No method: planner chooses.
+    Stopwatch watch;
+    const JoinResponse planned = MustExecute(&service, request);
+    const double planned_sec = watch.ElapsedSeconds();
+    const bool within =
+        planned_sec <= best * 1.20 + 0.005;  // +5ms noise floor on tiny runs.
+    std::printf("  planner chose %.*s: %.3fs vs best %.*s %.3fs -> %s\n",
+                (int)JoinMethodName(planned.method).size(),
+                JoinMethodName(planned.method).data(), planned_sec,
+                (int)best_name.size(), best_name.data(), best,
+                within ? "within 20%" : "VIOLATION (>20% off best)");
+    std::printf("  plan: %s\n", planned.plan.c_str());
+    if (!within) ok = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\"%s\":{\"methods\":%s},\"chosen\":\"%.*s\",\"chosen_seconds\""
+        ":%.4f,\"best_seconds\":%.4f,\"within_20pct\":%s}",
+        p > 0 ? "," : "", kPairs[p].label, methods_json.c_str(),
+        (int)JoinMethodName(planned.method).size(),
+        JoinMethodName(planned.method).data(), planned_sec, best,
+        within ? "true" : "false");
+    json += buf;
+  }
+  json += "},";
+
+  // -------------------------------------------------------------------
+  // 2. Cold vs warm rtree queries through the index cache.
+  // -------------------------------------------------------------------
+  json += "\"cache\":{";
+  PrintTitle("index cache: cold vs warm rtree queries");
+  for (size_t p = 0; p < 2; ++p) {
+    service.cache().Clear();
+    JoinRequest request;
+    request.r_dataset = kPairs[p].r;
+    request.s_dataset = kPairs[p].s;
+    request.method = JoinMethod::kRtree;
+    Stopwatch cold_watch;
+    (void)MustExecute(&service, request);
+    const double cold = cold_watch.ElapsedSeconds();
+    constexpr int kWarmRuns = 3;
+    double warm_total = 0;
+    for (int i = 0; i < kWarmRuns; ++i) {
+      Stopwatch warm_watch;
+      (void)MustExecute(&service, request);
+      warm_total += warm_watch.ElapsedSeconds();
+    }
+    const double warm = warm_total / kWarmRuns;
+    const bool fast_enough = warm < 0.5 * cold;
+    std::printf("  %s: cold %.3fs, warm %.3fs (%.2fx) -> %s\n",
+                kPairs[p].label, cold, warm, warm / cold,
+                fast_enough ? "under 0.5x" : "VIOLATION (>= 0.5x cold)");
+    if (!fast_enough) ok = false;
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"cold_seconds\":%.4f,\"warm_seconds\":%.4f,"
+                  "\"ratio\":%.3f,\"under_half\":%s}",
+                  p > 0 ? "," : "", kPairs[p].label, cold, warm, warm / cold,
+                  fast_enough ? "true" : "false");
+    json += buf;
+  }
+  json += "},";
+
+  // -------------------------------------------------------------------
+  // 3. Closed-loop mixed workload at 1/4/8 client threads.
+  // -------------------------------------------------------------------
+  json += "\"closed_loop\":[";
+  PrintTitle("closed-loop mixed workload");
+  constexpr int kQueriesPerClient = 4;
+  bool first_config = true;
+  for (const int clients : {1, 4, 8}) {
+    for (const bool warm : {false, true}) {
+      if (!warm) service.cache().Clear();
+      std::vector<Latencies> per_client(clients);
+      Stopwatch wall;
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          for (int q = 0; q < kQueriesPerClient; ++q) {
+            // Mixed workload: alternate the small pairs, priorities, and
+            // planner-vs-forced routing so every scheduler path is hot.
+            JoinRequest request;
+            const int kind = (c + q) % 3;
+            request.r_dataset = kind == 0 ? "hydro" : "road";
+            request.s_dataset = "rail";
+            if (kind == 1) request.method = JoinMethod::kRtree;
+            request.priority = (c + q) % 2 == 0 ? QueryPriority::kInteractive
+                                                : QueryPriority::kBatch;
+            Stopwatch watch;
+            (void)MustExecute(&service, request);
+            per_client[c].Add(watch.ElapsedSeconds());
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double elapsed = wall.ElapsedSeconds();
+
+      Latencies all;
+      for (Latencies& l : per_client) {
+        for (double s : l.seconds) all.Add(s);
+      }
+      const double qps =
+          static_cast<double>(clients * kQueriesPerClient) / elapsed;
+      const double p50 = all.Percentile(0.50);
+      const double p95 = all.Percentile(0.95);
+      const double p99 = all.Percentile(0.99);
+      std::printf("  %d client(s), %s cache: %5.2f q/s  p50=%.3fs "
+                  "p95=%.3fs p99=%.3fs\n",
+                  clients, warm ? "warm" : "cold", qps, p50, p95, p99);
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"clients\":%d,\"warm\":%s,\"queries\":%d,"
+                    "\"throughput_qps\":%.3f,\"p50_s\":%.4f,\"p95_s\":%.4f,"
+                    "\"p99_s\":%.4f}",
+                    first_config ? "" : ",", clients,
+                    warm ? "true" : "false", clients * kQueriesPerClient,
+                    qps, p50, p95, p99);
+      json += buf;
+      first_config = false;
+    }
+  }
+  json += "],";
+  std::snprintf(buf, sizeof(buf),
+                "\"cache_hits\":%llu,\"cache_misses\":%llu,\"status\":"
+                "\"%s\"}",
+                (unsigned long long)service.cache().hits(),
+                (unsigned long long)service.cache().misses(),
+                ok ? "ok" : "failed");
+  json += buf;
+
+  std::printf("\nSERVICE_THROUGHPUT_JSON %s\n", json.c_str());
+  service.Shutdown(/*drain=*/true);
+  if (!ok) MarkBenchFailed();
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pbsm
+
+int main(int argc, char** argv) {
+  pbsm::bench::ParseBenchArgs(argc, argv);
+  return pbsm::bench::Run();
+}

@@ -1,6 +1,8 @@
 #ifndef PBSM_BENCH_BENCH_UTIL_H_
 #define PBSM_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -307,6 +309,13 @@ inline void RunReplicationBench(const char* title,
 // `derived` holds ready-made ratios (buffer-pool hit rate, refinement
 // filter efficiency), `spans` is the nested phase-span tree. Disable with
 // PBSM_NO_METRICS_JSON=1.
+//
+// The blob carries a "status" field ("ok" / "failed") and is emitted even
+// when the bench dies on a PBSM_CHECK (SIGABRT): the abort handler below
+// prints the blob tagged failed before re-raising, so harnesses that
+// collect METRICS_JSON lines still get the partial run's counters instead
+// of nothing. A bench that detects failure itself but wants a normal exit
+// calls MarkBenchFailed() before returning non-zero.
 // ---------------------------------------------------------------------------
 
 /// Filter-kernel provenance for the METRICS_JSON blob: which kernel the
@@ -327,6 +336,15 @@ inline std::string HostInfoJson() {
   return buf;
 }
 
+/// The status the exit-hook blob reports. Sticky: once failed, stays
+/// failed (a bench may hit several assertion paths before exiting).
+inline const char*& BenchStatusRef() {
+  static const char* status = "ok";
+  return status;
+}
+
+inline void MarkBenchFailed() { BenchStatusRef() = "failed"; }
+
 inline std::string MetricsJsonBlob() {
   const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
   const uint64_t hits = snap.counter("storage.bufferpool.hits");
@@ -342,7 +360,9 @@ inline std::string MetricsJsonBlob() {
                 "{\"bufferpool_hit_rate\":%.6f,"
                 "\"refine_true_positive_rate\":%.6f}",
                 rate(hits, hits + misses), rate(tp, tp + fp));
-  std::string out = "{\"schema\":\"pbsm.metrics.v1\",\"host\":";
+  std::string out = "{\"schema\":\"pbsm.metrics.v1\",\"status\":\"";
+  out += BenchStatusRef();
+  out += "\",\"host\":";
   out += HostInfoJson();
   out += ",\"metrics\":";
   out += snap.ToJson();
@@ -358,15 +378,42 @@ inline void EmitMetricsJson() {
   const char* off = std::getenv("PBSM_NO_METRICS_JSON");
   if (off != nullptr && off[0] == '1') return;
   std::printf("METRICS_JSON %s\n", MetricsJsonBlob().c_str());
+  std::fflush(stdout);
 }
 
 namespace bench_internal {
-/// One instance per bench binary; its destructor runs after main() returns,
-/// when all workspaces are torn down and the metric writers have quiesced.
+
+/// Single-shot guard: the blob must appear exactly once whether the bench
+/// exits normally (static destructor) or aborts (signal handler).
+inline bool EmitMetricsJsonOnce() {
+  static std::atomic<bool> emitted{false};
+  if (emitted.exchange(true)) return false;
+  EmitMetricsJson();
+  return true;
+}
+
+/// SIGABRT path: a PBSM_CHECK failure calls abort(), which skips static
+/// destructors — without this handler a crashed bench emits nothing and
+/// the harness cannot tell "crashed" from "never ran". Building the JSON
+/// here is not async-signal-safe in the letter of POSIX, but SIGABRT is
+/// raised synchronously by the failing thread and the process is dying
+/// regardless; a garbled line is strictly better than a missing one.
+inline void AbortEmitHandler(int) {
+  MarkBenchFailed();
+  (void)EmitMetricsJsonOnce();
+  std::signal(SIGABRT, SIG_DFL);
+  std::abort();
+}
+
+/// One instance per bench binary: the constructor arms the abort handler,
+/// the destructor runs after main() returns, when all workspaces are torn
+/// down and the metric writers have quiesced.
 struct MetricsJsonAtExit {
-  ~MetricsJsonAtExit() { EmitMetricsJson(); }
+  MetricsJsonAtExit() { std::signal(SIGABRT, AbortEmitHandler); }
+  ~MetricsJsonAtExit() { (void)EmitMetricsJsonOnce(); }
 };
 inline MetricsJsonAtExit g_metrics_json_at_exit;
+
 }  // namespace bench_internal
 
 }  // namespace bench

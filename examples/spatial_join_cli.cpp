@@ -1,36 +1,111 @@
 // Command-line spatial join over WKT files — the "downstream user" entry
 // point: bring your own data, no generators involved.
 //
+// One-shot join:
 //   ./examples/spatial_join_cli R.wkt S.wkt [intersects|contains]
 //                               [pbsm|parallel_pbsm|rtree|inl|spatial_hash|zorder]
 //                               [--fault-profile=SPEC]
 //
+// Service mode (long-running, planner + index cache; see DESIGN.md
+// "Service layer"):
+//   ./examples/spatial_join_cli serve R.wkt S.wkt [--workers=N] [--queue=N]
+// then issue commands on stdin, one per line:
+//   join <intersects|contains> [auto|pbsm|...] [timeout_seconds]
+//   stats
+//   quit
+//
 // Each input file holds one WKT geometry per line (POINT / LINESTRING /
-// POLYGON; '#' lines are comments). The join result is printed as
+// POLYGON; '#' lines are comments). One-shot mode prints the result as
 // "<r_line> <s_line>" pairs of 1-based input line numbers, followed by the
 // cost breakdown. With no arguments, a small built-in demo runs.
 //
 // --fault-profile arms a deterministic storage fault injector (see
 // FaultInjector::Parse for the spec syntax, e.g. "seed=42;read=0.01"):
 // transient faults are retried transparently by the buffer pool; permanent
-// ones make the join fail with a clean non-OK status (exit code 1).
+// ones make the join fail with a clean non-OK status.
+//
+// Exit codes: 0 success, 1 runtime failure (I/O, bad input data, join
+// error), 2 usage error (unknown flag/predicate/method, missing operand).
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "geom/wkt.h"
+#include "service/join_service.h"
 
 int RunCli(int argc, const char** argv);
 
 namespace {
 
 using namespace pbsm;
+
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: spatial_join_cli R.wkt S.wkt [intersects|contains]\n"
+      "                        [pbsm|parallel_pbsm|rtree|inl|spatial_hash|"
+      "zorder]\n"
+      "                        [--fault-profile=SPEC]\n"
+      "       spatial_join_cli serve R.wkt S.wkt [--workers=N] [--queue=N]\n"
+      "                        [--fault-profile=SPEC]\n");
+}
+
+/// Flags shared by both modes, parsed strictly: any unrecognised --flag is
+/// a usage error (exit 2) instead of being silently treated as a file name.
+struct CliFlags {
+  std::string fault_profile;
+  uint32_t workers = 2;
+  size_t queue_capacity = 64;
+};
+
+/// Splits argv into flags and positionals; false (usage error) on any
+/// unknown flag or malformed value.
+bool ParseArgs(int argc, const char** argv, CliFlags* flags,
+               std::vector<const char*>* positional) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional->push_back(argv[i]);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (name == "--fault-profile") {
+      flags->fault_profile = value;
+    } else if (name == "--workers" || name == "--queue") {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "bad value for %s: '%s'\n", name.c_str(),
+                     value.c_str());
+        return false;
+      }
+      if (name == "--workers") {
+        flags->workers = static_cast<uint32_t>(n);
+      } else {
+        flags->queue_capacity = static_cast<size_t>(n);
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
 
 /// Reads one-geometry-per-line WKT into tuples (id = 1-based line number).
 Result<std::vector<Tuple>> ReadWktFile(const std::string& path) {
@@ -59,10 +134,8 @@ Result<std::vector<Tuple>> ReadWktFile(const std::string& path) {
 }
 
 int RunDemo() {
-  std::printf(
-      "usage: spatial_join_cli R.wkt S.wkt [intersects|contains] "
-      "[pbsm|parallel_pbsm|rtree|inl|spatial_hash|zorder]\n\n"
-      "running built-in demo instead:\n");
+  PrintUsage(stdout);
+  std::printf("\nrunning built-in demo instead:\n");
   const std::string dir = "/tmp/pbsm_cli_demo";
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
@@ -81,23 +154,159 @@ int RunDemo() {
   return RunCli(5, argv);
 }
 
+/// `serve` mode: loads both relations once, then answers join commands
+/// from stdin through a JoinService — repeated index-method joins hit the
+/// service's index cache, and `auto` routes through the cost-based planner.
+int RunServe(const CliFlags& flags, const std::string& r_path,
+             const std::string& s_path) {
+  auto r_tuples = ReadWktFile(r_path);
+  auto s_tuples = ReadWktFile(s_path);
+  if (!r_tuples.ok() || !s_tuples.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!r_tuples.ok() ? r_tuples.status() : s_tuples.status())
+                     .ToString()
+                     .c_str());
+    return kExitRuntime;
+  }
+
+  const std::string dir = "/tmp/pbsm_cli_serve";
+  std::filesystem::remove_all(dir);
+  DiskManager disk(dir);
+  if (!flags.fault_profile.empty()) {
+    auto injector = FaultInjector::Parse(flags.fault_profile);
+    if (!injector.ok()) {
+      std::fprintf(stderr, "bad --fault-profile: %s\n",
+                   injector.status().ToString().c_str());
+      return kExitUsage;
+    }
+    disk.set_fault_injector(std::move(*injector));
+  }
+  BufferPool pool(&disk, 64 << 20);
+  Catalog catalog;
+  auto r = LoadRelation(&pool, &catalog, "R", std::move(r_tuples).value());
+  auto s = LoadRelation(&pool, &catalog, "S", std::move(s_tuples).value());
+  if (!r.ok() || !s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 (!r.ok() ? r.status() : s.status()).ToString().c_str());
+    return kExitRuntime;
+  }
+
+  JoinServiceConfig config;
+  config.num_workers = flags.workers;
+  config.queue_capacity = flags.queue_capacity;
+  JoinService service(&pool, config);
+  Status reg = service.RegisterDataset("R", &r->heap, r->info);
+  if (reg.ok()) reg = service.RegisterDataset("S", &s->heap, s->info);
+  if (!reg.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", reg.ToString().c_str());
+    return kExitRuntime;
+  }
+
+  std::printf("serving R=%s (%llu) S=%s (%llu); commands: "
+              "join <pred> [method|auto] [timeout_s] | stats | quit\n",
+              r_path.c_str(), (unsigned long long)r->info.cardinality,
+              s_path.c_str(), (unsigned long long)s->info.cardinality);
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream iss(line);
+    std::string cmd;
+    iss >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "stats") {
+      std::printf("cache: %zu entries, %llu hits, %llu misses, %llu "
+                  "evictions; queue depth %zu\n",
+                  service.cache().size(),
+                  (unsigned long long)service.cache().hits(),
+                  (unsigned long long)service.cache().misses(),
+                  (unsigned long long)service.cache().evictions(),
+                  service.queue_depth());
+      std::fflush(stdout);
+      continue;
+    }
+
+    if (cmd != "join") {
+      std::printf("ERR unknown command '%s'\n", cmd.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+
+    std::string pred_name = "intersects", method_name = "auto";
+    double timeout = 0.0;
+    iss >> pred_name >> method_name >> timeout;
+
+    JoinRequest request;
+    request.r_dataset = "R";
+    request.s_dataset = "S";
+    request.timeout_seconds = timeout;
+    if (pred_name == "intersects") {
+      request.predicate = SpatialPredicate::kIntersects;
+    } else if (pred_name == "contains") {
+      request.predicate = SpatialPredicate::kContains;
+    } else {
+      std::printf("ERR unknown predicate '%s'\n", pred_name.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (method_name != "auto") {
+      const auto method = ParseJoinMethod(method_name);
+      if (!method.has_value()) {
+        std::printf("ERR unknown method '%s'\n", method_name.c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      request.method = *method;
+    }
+
+    auto response = service.Execute(std::move(request));
+    if (!response.ok()) {
+      std::printf("ERR %s\n", response.status().ToString().c_str());
+    } else {
+      std::printf("OK %llu results method=%.*s%s exec=%.4fs queue=%.4fs\n",
+                  (unsigned long long)response->num_results,
+                  (int)JoinMethodName(response->method).size(),
+                  JoinMethodName(response->method).data(),
+                  response->planner_chosen ? " (planned)" : "",
+                  response->exec_seconds, response->queue_seconds);
+      if (response->planner_chosen) {
+        std::printf("plan: %s\n", response->plan.c_str());
+      }
+    }
+    std::fflush(stdout);
+  }
+
+  service.Shutdown(/*drain=*/true);
+  std::filesystem::remove_all(dir);
+  return kExitOk;
+}
+
 }  // namespace
 
 int RunCli(int argc, const char** argv) {
-  // Strip flag arguments; the rest are positional.
-  std::string fault_profile;
+  CliFlags flags;
   std::vector<const char*> positional;
-  const std::string fault_prefix = "--fault-profile=";
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind(fault_prefix, 0) == 0) {
-      fault_profile = arg.substr(fault_prefix.size());
-    } else {
-      positional.push_back(argv[i]);
-    }
+  if (!ParseArgs(argc, argv, &flags, &positional)) {
+    PrintUsage(stderr);
+    return kExitUsage;
   }
   argc = static_cast<int>(positional.size());
   argv = positional.data();
+
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    if (argc != 4) {
+      std::fprintf(stderr, "serve needs exactly two WKT files\n");
+      PrintUsage(stderr);
+      return kExitUsage;
+    }
+    return RunServe(flags, argv[2], argv[3]);
+  }
+  if (argc < 3 || argc > 5) {
+    PrintUsage(stderr);
+    return kExitUsage;
+  }
 
   const std::string r_path = argv[1];
   const std::string s_path = argv[2];
@@ -111,7 +320,12 @@ int RunCli(int argc, const char** argv) {
     pred = SpatialPredicate::kContains;
   } else {
     std::fprintf(stderr, "unknown predicate '%s'\n", pred_name.c_str());
-    return 2;
+    return kExitUsage;
+  }
+  const auto method = ParseJoinMethod(algo);
+  if (!method.has_value()) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+    return kExitUsage;
   }
 
   auto r_tuples = ReadWktFile(r_path);
@@ -121,18 +335,18 @@ int RunCli(int argc, const char** argv) {
                  (!r_tuples.ok() ? r_tuples.status() : s_tuples.status())
                      .ToString()
                      .c_str());
-    return 2;
+    return kExitRuntime;
   }
 
   const std::string dir = "/tmp/pbsm_cli_work";
   std::filesystem::remove_all(dir);
   DiskManager disk(dir);
-  if (!fault_profile.empty()) {
-    auto injector = FaultInjector::Parse(fault_profile);
+  if (!flags.fault_profile.empty()) {
+    auto injector = FaultInjector::Parse(flags.fault_profile);
     if (!injector.ok()) {
       std::fprintf(stderr, "bad --fault-profile: %s\n",
                    injector.status().ToString().c_str());
-      return 2;
+      return kExitUsage;
     }
     disk.set_fault_injector(std::move(*injector));
   }
@@ -142,8 +356,9 @@ int RunCli(int argc, const char** argv) {
                         false, pred == SpatialPredicate::kContains);
   auto s = LoadRelation(&pool, &catalog, "S", std::move(s_tuples).value());
   if (!r.ok() || !s.ok()) {
-    std::fprintf(stderr, "load failed\n");
-    return 2;
+    std::fprintf(stderr, "load failed: %s\n",
+                 (!r.ok() ? r.status() : s.status()).ToString().c_str());
+    return kExitRuntime;
   }
 
   // Result pairs are reported as input line numbers (tuple ids).
@@ -163,11 +378,6 @@ int RunCli(int argc, const char** argv) {
   };
 
   JoinSpec spec;
-  const auto method = ParseJoinMethod(algo);
-  if (!method.has_value()) {
-    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
-    return 2;
-  }
   spec.method = *method;
   spec.predicate = pred;
   spec.options.memory_budget_bytes = 8 << 20;
@@ -177,7 +387,7 @@ int RunCli(int argc, const char** argv) {
   if (!result.ok()) {
     std::fprintf(stderr, "join failed: %s\n",
                  result.status().ToString().c_str());
-    return 1;
+    return kExitRuntime;
   }
   std::fprintf(stderr, "# %s %s: %llu results from %llu candidates\n",
                algo.c_str(), pred_name.c_str(),
@@ -199,10 +409,10 @@ int RunCli(int argc, const char** argv) {
       (unsigned long long)result->metrics.counter(
           "join.refine.false_positives"));
   std::filesystem::remove_all(dir);
-  return 0;
+  return kExitOk;
 }
 
 int main(int argc, char** argv) {
-  if (argc < 3) return RunDemo();
+  if (argc < 2) return RunDemo();
   return RunCli(argc, const_cast<const char**>(argv));
 }

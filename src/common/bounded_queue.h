@@ -1,0 +1,128 @@
+#ifndef PBSM_COMMON_BOUNDED_QUEUE_H_
+#define PBSM_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace pbsm {
+
+/// Bounded multi-producer / multi-consumer queue with a small number of
+/// strict priority levels — the admission queue of the join service.
+///
+/// Design points, driven by the service's backpressure contract:
+///  * TryPush never blocks: when the queue holds `capacity` items the push
+///    is refused and the caller maps that to kResourceExhausted. A blocking
+///    push would hide overload from clients instead of surfacing it.
+///  * Pop blocks until an item, draining higher-priority levels first
+///    (strict priority; FIFO within a level). Bounded capacity keeps strict
+///    priority safe: a full queue rejects instead of starving producers.
+///  * Close() wakes every blocked consumer. Pop then drains what is queued
+///    and returns nullopt afterwards — the graceful-shutdown path. Drain()
+///    instead empties the queue immediately, returning the items so the
+///    caller can complete them as cancelled — the fast-shutdown path.
+///
+/// All operations take the one queue mutex; the queue is a scheduling
+/// point, not a hot path (items are whole join queries).
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` bounds the total item count across all priority levels.
+  explicit BoundedQueue(size_t capacity, size_t num_priorities = 2)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        levels_(num_priorities == 0 ? 1 : num_priorities) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues at `priority` (0 = most urgent; clamped to the last level).
+  /// Returns false — without blocking — when the queue is full or closed.
+  bool TryPush(T item, size_t priority = 0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_ || size_ >= capacity_) return false;
+    if (priority >= levels_.size()) priority = levels_.size() - 1;
+    levels_[priority].push_back(std::move(item));
+    ++size_;
+    lock.unlock();
+    ready_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (highest priority first) or the
+  /// queue is closed and empty (returns nullopt).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_cv_.wait(lock, [this] { return size_ > 0 || closed_; });
+    return PopLocked();
+  }
+
+  /// Non-blocking Pop: nullopt when nothing is queued.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return PopLocked();
+  }
+
+  /// Refuses further pushes and wakes all blocked consumers. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_cv_.notify_all();
+  }
+
+  /// Empties the queue, returning the removed items in pop order. Usually
+  /// preceded by Close(); the caller completes the items as cancelled.
+  std::vector<T> Drain() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<T> out;
+    out.reserve(size_);
+    for (auto& level : levels_) {
+      while (!level.empty()) {
+        out.push_back(std::move(level.front()));
+        level.pop_front();
+      }
+    }
+    size_ = 0;
+    return out;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  std::optional<T> PopLocked() {
+    for (auto& level : levels_) {
+      if (level.empty()) continue;
+      T item = std::move(level.front());
+      level.pop_front();
+      --size_;
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::vector<std::deque<T>> levels_;
+  size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_COMMON_BOUNDED_QUEUE_H_

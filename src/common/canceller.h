@@ -1,0 +1,106 @@
+#ifndef PBSM_COMMON_CANCELLER_H_
+#define PBSM_COMMON_CANCELLER_H_
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pbsm {
+
+/// Shared cancellation state of one unit of work (a join, a service query).
+///
+/// Two things trip it:
+///  * an internal error — the first worker to hit a real error records it
+///    with Report() and siblings bail out with kCancelled, which carries no
+///    information and is filtered in favour of the recorded first error
+///    (this is what turns one failed partition worker into a prompt, clean
+///    join abort instead of N workers independently grinding through doomed
+///    I/O);
+///  * an external Cancel() — a timeout watchdog or a client abandoning the
+///    query. The supplied status (kCancelled) becomes the work's result.
+///
+/// A Canceller may have a parent (the service's per-query canceller chains
+/// above the executor's internal one): is_cancelled() observes the parent,
+/// and the parent's reason wins when both are set, so a service timeout
+/// surfaces as "query timeout" and not as a sibling-task artefact.
+///
+/// Thread-safe; is_cancelled() is one relaxed-acquire load per level and is
+/// meant to be polled from inner loops.
+class Canceller {
+ public:
+  Canceller() = default;
+  explicit Canceller(const Canceller* parent) : parent_(parent) {}
+
+  Canceller(const Canceller&) = delete;
+  Canceller& operator=(const Canceller&) = delete;
+
+  bool is_cancelled() const {
+    return cancelled_.load(std::memory_order_acquire) ||
+           (parent_ != nullptr && parent_->is_cancelled());
+  }
+
+  /// Records `s` as the work's error if it is the first real one (OK and
+  /// kCancelled are ignored) and cancels all siblings.
+  void Report(const Status& s) {
+    if (s.ok() || s.code() == StatusCode::kCancelled) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_.ok()) first_error_ = s;
+    }
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// External cancellation (timeout, client disconnect). The first call's
+  /// reason sticks; later calls and calls after Report() are no-ops. The
+  /// reason must be a kCancelled status so error filtering keeps treating
+  /// it as "no information" relative to real errors.
+  void Cancel(Status reason = Status::Cancelled("cancelled")) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (cancel_reason_.ok()) cancel_reason_ = std::move(reason);
+    }
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// The first real error reported, or OK.
+  Status FirstError() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return first_error_;
+  }
+
+  /// What a worker that observed is_cancelled() should return, in priority
+  /// order: the chain's first real error, else the external cancel reason
+  /// (parent's first — the outermost actor decided), else a generic
+  /// kCancelled.
+  Status CancellationStatus() const {
+    if (parent_ != nullptr) {
+      const Status parent_status = parent_->CancellationStatus();
+      if (!parent_status.ok() &&
+          parent_status.code() != StatusCode::kCancelled) {
+        return parent_status;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_.ok()) return first_error_;
+      if (!parent_status.ok()) return parent_status;
+      if (!cancel_reason_.ok()) return cancel_reason_;
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_.ok()) return first_error_;
+      if (!cancel_reason_.ok()) return cancel_reason_;
+    }
+    return Status::Cancelled("cancelled");
+  }
+
+ private:
+  const Canceller* parent_ = nullptr;
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mutex_;
+  Status first_error_;   // Real errors only (never kCancelled).
+  Status cancel_reason_; // kCancelled with the external caller's message.
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_COMMON_CANCELLER_H_

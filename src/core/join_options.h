@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/canceller.h"
 #include "common/logging.h"
 #include "core/plane_sweep_join.h"
 #include "core/spatial_partitioner.h"
@@ -60,6 +61,13 @@ struct JoinOptions {
   // --- Parallel execution (ParallelPbsmJoin; serial joins ignore it) ---
   /// Worker threads for the parallel executor. 0 = hardware concurrency.
   uint32_t num_threads = 0;
+
+  // --- Cooperative cancellation (service timeouts, client aborts) ---
+  /// Observed-only: the join polls it at phase and block boundaries and
+  /// returns its CancellationStatus() when tripped. The executors chain
+  /// their internal error-propagation canceller below it, so one flag stops
+  /// both serial loops and parallel sibling tasks. Must outlive the join.
+  Canceller* cancel = nullptr;
 };
 
 /// Evaluates the exact predicate on two geometries. The switch is

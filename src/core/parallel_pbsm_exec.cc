@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/canceller.h"
 #include "common/metrics.h"
 #include "common/stats.h"
 #include "common/stopwatch.h"
@@ -23,41 +24,6 @@ namespace {
 
 /// Key-pointer buffers one scan task routed into: one vector per partition.
 using PartitionBuffers = std::vector<std::vector<KeyPointer>>;
-
-/// Shared cancellation state of one parallel join: the first worker to hit
-/// a real error records it and trips the flag; siblings poll the flag and
-/// bail with kCancelled (which carries no information and is filtered in
-/// favour of the recorded first error). This is what turns one failed
-/// partition worker into a prompt, clean join abort instead of N workers
-/// independently grinding through doomed I/O.
-class Canceller {
- public:
-  bool is_cancelled() const {
-    return cancelled_.load(std::memory_order_acquire);
-  }
-
-  /// Records `s` as the join's error if it is the first real one (OK and
-  /// kCancelled are ignored) and cancels all siblings.
-  void Report(const Status& s) {
-    if (s.ok() || s.code() == StatusCode::kCancelled) return;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (first_error_.ok()) first_error_ = s;
-    }
-    cancelled_.store(true, std::memory_order_release);
-  }
-
-  /// The first real error reported, or OK.
-  Status FirstError() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return first_error_;
-  }
-
- private:
-  std::atomic<bool> cancelled_{false};
-  mutable std::mutex mutex_;
-  Status first_error_;
-};
 
 /// Scans pages [first, end) of `heap`, routing each tuple's key-pointer
 /// into `bufs` (one bucket per partition).
@@ -253,7 +219,11 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
 
   Stopwatch total_watch;
   ThreadPool tp(threads);
-  Canceller cancel;
+  // Error propagation between sibling tasks, chained below the caller's
+  // cancel flag (service timeout / client abort) when one is supplied: a
+  // tripped parent stops every task at its next poll, exactly like a
+  // sibling failure, but the parent's reason wins in the returned status.
+  Canceller cancel(opts.cancel);
   static Counter* const cancelled_tasks =
       MetricsRegistry::Global().GetCounter("join.parallel.cancelled_tasks");
 
@@ -304,8 +274,10 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
     tp.Wait();
     st.partition_wall_seconds = wall.ElapsedSeconds();
   }
-  // The first real error wins; sibling kCancelled statuses are noise.
+  // The first real error wins; sibling kCancelled statuses are noise, and
+  // an external cancellation surfaces with the canceller's own reason.
   PBSM_RETURN_IF_ERROR(cancel.FirstError());
+  if (cancel.is_cancelled()) return cancel.CancellationStatus();
   for (const Status& ts : task_status) PBSM_RETURN_IF_ERROR(ts);
   for (const uint64_t rep : task_replicated) breakdown.replicated += rep;
 
@@ -323,6 +295,13 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
     for (uint32_t p = 0; p < num_partitions; ++p) {
       tp.Submit([&, p] {
         TaskTimer tt(&st.sweep_task_seconds[p], &st.worker_busy_seconds);
+        // Pure-CPU phase: no per-task status, but an external cancellation
+        // (timeout) should not grind through the remaining partitions. The
+        // post-phase is_cancelled() check below reports it.
+        if (cancel.is_cancelled()) {
+          cancelled_tasks->Add();
+          return;
+        }
         size_t r_total = 0, s_total = 0;
         for (uint32_t t = 0; t < threads; ++t) {
           r_total += r_bufs[t][p].size();
@@ -350,6 +329,7 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
     tp.Wait();
     st.sweep_wall_seconds = wall.ElapsedSeconds();
   }
+  if (cancel.is_cancelled()) return cancel.CancellationStatus();
   for (uint32_t p = 0; p < num_partitions; ++p) {
     breakdown.candidates += task_candidates[p];
     breakdown.repartitioned_pairs += task_repartitioned[p];
@@ -461,6 +441,7 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
     tp.Wait();
     st.refine_wall_seconds = wall.ElapsedSeconds();
     PBSM_RETURN_IF_ERROR(cancel.FirstError());
+    if (cancel.is_cancelled()) return cancel.CancellationStatus();
     for (const Status& ss : shard_status) PBSM_RETURN_IF_ERROR(ss);
     for (const JoinCostBreakdown& sb : shard_breakdowns) {
       breakdown.results += sb.results;

@@ -224,6 +224,9 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
     PhaseCost& cost = breakdown.AddPhase("merge partitions");
     PhaseTimer timer(disk, &cost, "merge partitions");
     for (uint32_t p = 0; p < num_partitions; ++p) {
+      if (opts.cancel != nullptr && opts.cancel->is_cancelled()) {
+        return opts.cancel->CancellationStatus();
+      }
       PBSM_RETURN_IF_ERROR(MergePair(pool, &r_spools[p], &s_spools[p],
                                      universe, opts, /*depth=*/0, &sorter,
                                      &breakdown));

@@ -57,6 +57,11 @@ Status RefinePairStream(const SortedPairStream& next, const HeapFile& r_heap,
   };
 
   while (true) {
+    // Block boundary: the natural granularity to honour an external
+    // cancellation (service timeout) without polling per pair.
+    if (opts.cancel != nullptr && opts.cancel->is_cancelled()) {
+      return opts.cancel->CancellationStatus();
+    }
     // ---- Build one block of R tuples + their candidate pairs. ----
     std::vector<BlockTuple> r_tuples;
     std::vector<BlockPair> pairs;
@@ -110,6 +115,12 @@ Status RefinePairStream(const SortedPairStream& next, const HeapFile& r_heap,
     uint64_t cached_s_oid = ~0ull;
     Geometry cached_s_geometry;
     for (const BlockPair& bp : pairs) {
+      // Small blocks make the boundary check above too coarse: a timeout
+      // arriving while results stream to a slow sink must still cancel the
+      // query before the block finishes.
+      if (opts.cancel != nullptr && opts.cancel->is_cancelled()) {
+        return opts.cancel->CancellationStatus();
+      }
       if (bp.s_oid != cached_s_oid) {
         PBSM_RETURN_IF_ERROR(s_heap.Fetch(Oid::Decode(bp.s_oid), &record));
         PBSM_ASSIGN_OR_RETURN(Tuple tuple,

@@ -7,6 +7,20 @@
 
 namespace pbsm {
 
+double EstimateCandidatePairs(const RelationInfo& r, const RelationInfo& s) {
+  if (r.cardinality == 0 || s.cardinality == 0) return 0.0;
+  Rect universe = r.universe;
+  universe.Expand(s.universe);
+  const double n_pairs = static_cast<double>(r.cardinality) *
+                         static_cast<double>(s.cardinality);
+  const double area = universe.Area();
+  if (area <= 0.0) return n_pairs;  // Degenerate universe: no pruning power.
+  const double overlap_window =
+      (r.avg_mbr_width() + s.avg_mbr_width()) *
+      (r.avg_mbr_height() + s.avg_mbr_height());
+  return n_pairs * std::min(1.0, overlap_window / area);
+}
+
 SpatialHistogram::SpatialHistogram(const Rect& universe, uint32_t nx,
                                    uint32_t ny)
     : universe_(universe), nx_(nx), ny_(ny) {

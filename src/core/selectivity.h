@@ -6,9 +6,23 @@
 
 #include "common/status.h"
 #include "geom/rect.h"
+#include "storage/catalog.h"
 #include "storage/heap_file.h"
 
 namespace pbsm {
+
+/// Catalog-only estimate of the filter-step candidate pairs of R JOIN S —
+/// the uniform-universe special case of the histogram estimate below, using
+/// just the statistics the loader puts in every RelationInfo (cardinality,
+/// universe, average MBR extents). This is what the service planner falls
+/// back to before a SpatialHistogram has been built for a dataset:
+///
+///   E[pairs] = nR * nS * min(1, (wR+wS)(hR+hS) / area(universe))
+///
+/// with the universe the minimum cover of both inputs' universes. Returns 0
+/// when either input is empty; degenerate (zero-area) universes fall back
+/// to treating every pair as a candidate of the overlapping span.
+double EstimateCandidatePairs(const RelationInfo& r, const RelationInfo& s);
 
 /// Grid histogram of a spatial relation for join-selectivity estimation —
 /// an extension of the paper's catalog (§3.1 uses only the universe MBR).

@@ -122,10 +122,24 @@ Result<JoinResult> SpatialJoin(BufferPool* pool, const JoinInput& r,
   result.method = spec.method;
   {
     TraceSpan span(span_name);
+    // A query cancelled while queued (service timeout before dispatch)
+    // never starts executing.
+    if (spec.options.cancel != nullptr &&
+        spec.options.cancel->is_cancelled()) {
+      metrics
+          .GetCounter("join.cancelled." +
+                      std::string(JoinMethodName(spec.method)))
+          ->Add();
+      return spec.options.cancel->CancellationStatus();
+    }
     Result<JoinCostBreakdown> dispatched = Dispatch(pool, r, s, spec);
     if (!dispatched.ok()) {
+      // Cancellations are not failures: they are the service tearing down
+      // work on purpose, and alerting on them as errors would be noise.
+      const bool cancelled =
+          dispatched.status().code() == StatusCode::kCancelled;
       metrics
-          .GetCounter("join.failures." +
+          .GetCounter((cancelled ? "join.cancelled." : "join.failures.") +
                       std::string(JoinMethodName(spec.method)))
           ->Add();
       return dispatched.status();

@@ -16,8 +16,11 @@ Result<StoredRelation> LoadRelation(BufferPool* pool, Catalog* catalog,
   info.name = name;
   info.cardinality = tuples.size();
   for (const Tuple& t : tuples) {
-    info.universe.Expand(t.geometry.Mbr());
+    const Rect mbr = t.geometry.Mbr();
+    info.universe.Expand(mbr);
     info.total_points += t.geometry.num_points();
+    info.sum_mbr_width += mbr.xhi - mbr.xlo;
+    info.sum_mbr_height += mbr.yhi - mbr.ylo;
   }
 
   if (clustered && !tuples.empty() && !info.universe.empty()) {

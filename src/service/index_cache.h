@@ -1,0 +1,135 @@
+#ifndef PBSM_SERVICE_INDEX_CACHE_H_
+#define PBSM_SERVICE_INDEX_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/join_options.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+
+namespace pbsm {
+
+/// Sharded LRU cache of bulk-loaded R*-trees, keyed by (dataset name, heap
+/// file id, fill factor) — the piece that lets repeat service traffic stop
+/// paying index-rebuild cost on every query (the dominant term of a cold
+/// R-tree join; see DESIGN.md "Service layer").
+///
+/// Entries are handed out as shared_ptrs: an evicted or invalidated tree
+/// stays alive until the last running query releases it, and only then is
+/// its index file dropped from the buffer pool (the shared_ptr deleter).
+/// The cache never destroys a tree a query is probing — that is the cache's
+/// "pinning" contract. Corollary: every TreeRef must be released before the
+/// BufferPool is destroyed.
+///
+/// Invalidation: the cache registers a BufferPool drop listener, so
+/// dropping a dataset's heap file (storage-level truth) invalidates every
+/// tree built over it without the caller having to know the cache exists.
+/// InvalidateDataset covers logical drops where the file lives on.
+///
+/// Concurrency: shards are independent (key-hashed); within a shard, a
+/// build in flight parks later requests for the same key on a condition
+/// variable, so a popular cold dataset is bulk-loaded exactly once
+/// (thundering-herd protection). Shard mutexes are never held across the
+/// bulk load itself, nor across tree destruction (which re-enters the pool
+/// via DropFile).
+class IndexCache {
+ public:
+  struct Config {
+    size_t capacity = 8;     ///< Max ready entries across all shards.
+    uint32_t num_shards = 4; ///< Key-hashed; >= 1.
+  };
+
+  using TreeRef = std::shared_ptr<const RStarTree>;
+
+  IndexCache(BufferPool* pool, Config config);
+  ~IndexCache();
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// Returns the cached tree over `input` at `fill_factor`, bulk loading on
+  /// a miss. Failed builds are not cached (the next request retries).
+  Result<TreeRef> GetOrBuild(const JoinInput& input, double fill_factor);
+
+  /// True when a ready entry exists (no build, no LRU touch, no hit/miss
+  /// accounting) — what the planner asks when costing a warm R-tree join.
+  bool Contains(const JoinInput& input, double fill_factor) const;
+
+  /// Removes every entry built over dataset file `file` (also wired to the
+  /// pool's drop listener). Running queries keep their refs.
+  void InvalidateFile(FileId file);
+
+  /// Removes every entry for dataset `name` (logical drop).
+  void InvalidateDataset(const std::string& name);
+
+  /// Removes everything.
+  void Clear();
+
+  /// Ready entries currently cached.
+  size_t size() const;
+
+  uint64_t hits() const { return hits_->Value(); }
+  uint64_t misses() const { return misses_->Value(); }
+  uint64_t evictions() const { return evictions_->Value(); }
+
+ private:
+  struct Entry {
+    enum class State { kBuilding, kReady, kFailed };
+
+    std::string key;
+    FileId dataset_file = kInvalidFileId;
+    std::string dataset_name;
+    State state = State::kBuilding;
+    TreeRef tree;       // Set when kReady.
+    Status error;       // Set when kFailed.
+  };
+  using EntryRef = std::shared_ptr<Entry>;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable build_cv;  ///< Signalled on build completion.
+    std::map<std::string, EntryRef> entries;
+    /// LRU order of ready keys, most recent first.
+    std::list<std::string> lru;
+  };
+
+  static std::string Key(const JoinInput& input, double fill_factor);
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+
+  /// Removes `key`'s LRU node if present.
+  static void EraseLru(Shard* shard, const std::string& key);
+
+  /// Pops over-capacity ready entries from `shard` into `out` (destroyed by
+  /// the caller after unlocking).
+  void EvictOverCapacityLocked(Shard* shard, std::vector<EntryRef>* out);
+
+  /// Wraps a built tree so the last release drops its index file.
+  TreeRef WrapTree(RStarTree&& tree);
+
+  BufferPool* pool_;
+  const Config config_;
+  const size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t drop_listener_token_ = 0;
+  std::atomic<uint64_t> next_build_id_{1};
+
+  Counter* hits_;
+  Counter* misses_;
+  Counter* evictions_;
+  Counter* invalidations_;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_SERVICE_INDEX_CACHE_H_

@@ -1,0 +1,118 @@
+#include "service/join_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace pbsm {
+
+namespace {
+
+double Log2Safe(double n) { return std::log2(std::max(n, 2.0)); }
+
+/// Index-build cost of one side: n*log2(n) for the Hilbert sort that
+/// dominates bulk loading. Zero when the service cache already holds the
+/// tree — that term vanishing is exactly what makes warm R-tree joins win.
+double BuildCost(const PlannerSide& side, const PlannerCosts& c) {
+  if (side.index_cached) return 0.0;
+  const double n = static_cast<double>(side.info->cardinality);
+  return c.index_build_per_tuple_log * n * Log2Safe(n);
+}
+
+}  // namespace
+
+std::string PlanChoice::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < alternatives.size(); ++i) {
+    if (i > 0) out += " > ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s(%.3fs)",
+                  std::string(JoinMethodName(alternatives[i].method)).c_str(),
+                  alternatives[i].estimated_seconds);
+    out += buf;
+  }
+  return out;
+}
+
+PlanChoice PlanJoin(const PlannerSide& r, const PlannerSide& s,
+                    uint32_t num_threads, const PlannerCosts& c) {
+  PBSM_CHECK(r.info != nullptr && s.info != nullptr);
+  const double n_r = static_cast<double>(r.info->cardinality);
+  const double n_s = static_cast<double>(s.info->cardinality);
+  const double n_total = n_r + n_s;
+
+  // Candidate estimate: histogram when both sides have one (sharper on
+  // clustered data), catalog density fallback otherwise.
+  double candidates;
+  if (r.histogram != nullptr && s.histogram != nullptr &&
+      r.histogram->nx() == s.histogram->nx() &&
+      r.histogram->ny() == s.histogram->ny()) {
+    candidates = r.histogram->EstimateJoinCandidates(*s.histogram);
+  } else {
+    candidates = EstimateCandidatePairs(*r.info, *s.info);
+  }
+
+  // Refinement cost is common to every method (they all verify the same
+  // candidate set, modulo each method's false-positive rate) and scales
+  // with geometry complexity: segment intersection work grows with the
+  // combined vertex count of a pair.
+  const double complexity =
+      std::max(1.0, (r.info->avg_points() + s.info->avg_points()) / 30.0);
+  const double refine = c.refine_per_candidate * complexity * candidates;
+
+  uint32_t threads = num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  PlanChoice choice;
+  choice.estimated_candidates = candidates;
+  auto add = [&choice](JoinMethod m, double sec) {
+    choice.alternatives.push_back({m, sec});
+  };
+
+  const double pbsm_filter = c.pbsm_per_tuple * n_total;
+  add(JoinMethod::kPbsm, pbsm_filter + refine);
+
+  // Parallel PBSM: near-linear filter+refine speedup minus a per-tuple
+  // coordination tax. At threads == 1 this is strictly pbsm + overhead, so
+  // the serial executor wins on a single-core host.
+  const double speedup = 1.0 + c.parallel_scaling * (threads - 1);
+  add(JoinMethod::kParallelPbsm,
+      (pbsm_filter + refine) / speedup +
+          c.parallel_overhead_per_tuple * n_total);
+
+  // R-tree join: build whatever is not cached, then synchronized traversal.
+  add(JoinMethod::kRtree, BuildCost(r, c) + BuildCost(s, c) +
+                              c.rtree_traverse_per_tuple * n_total + refine);
+
+  // INL: index the smaller side (matching the facade), probe with the
+  // larger. The per-probe log term deliberately overestimates — INL only
+  // ever wins when one input is tiny, and overcosting it is the safe error.
+  const PlannerSide& small = n_r <= n_s ? r : s;
+  const double n_probe = std::max(n_r, n_s);
+  const double n_indexed = std::min(n_r, n_s);
+  add(JoinMethod::kInl, BuildCost(small, c) +
+                            c.inl_probe_log * n_probe * Log2Safe(n_indexed) +
+                            refine);
+
+  add(JoinMethod::kSpatialHash, c.hash_per_tuple * n_total + refine);
+
+  // Z-order: cheap transform but the z-cell approximation inflates the
+  // candidate set, so refinement pays a constant factor.
+  add(JoinMethod::kZOrder,
+      c.zorder_per_tuple * n_total + refine * c.zorder_candidate_inflation);
+
+  std::stable_sort(choice.alternatives.begin(), choice.alternatives.end(),
+                   [](const MethodCost& a, const MethodCost& b) {
+                     return a.estimated_seconds < b.estimated_seconds;
+                   });
+  choice.method = choice.alternatives.front().method;
+  choice.estimated_seconds = choice.alternatives.front().estimated_seconds;
+  return choice;
+}
+
+}  // namespace pbsm

@@ -1,0 +1,69 @@
+#ifndef PBSM_SERVICE_JOIN_PLANNER_H_
+#define PBSM_SERVICE_JOIN_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/selectivity.h"
+#include "core/spatial_join.h"
+#include "storage/catalog.h"
+
+namespace pbsm {
+
+/// Everything the planner knows about one join input. `histogram` may be
+/// null (catalog-only costing falls back to EstimateCandidatePairs);
+/// `index_cached` reflects the service's IndexCache, letting warm queries
+/// skip the index-build term of the R-tree methods.
+struct PlannerSide {
+  const RelationInfo* info = nullptr;
+  const SpatialHistogram* histogram = nullptr;
+  bool index_cached = false;
+};
+
+/// One costed alternative, for explain output and planner tests.
+struct MethodCost {
+  JoinMethod method = JoinMethod::kPbsm;
+  double estimated_seconds = 0.0;
+};
+
+/// The planner's decision: the method to run plus the full cost table it
+/// was picked from (ascending by cost) and the shared candidate estimate.
+struct PlanChoice {
+  JoinMethod method = JoinMethod::kPbsm;
+  double estimated_seconds = 0.0;
+  double estimated_candidates = 0.0;
+  std::vector<MethodCost> alternatives;  ///< All six, cheapest first.
+
+  /// "pbsm(0.29s) > rtree(0.41s) > ..." for logs and `serve` explain.
+  std::string ToString() const;
+};
+
+/// Cost-model coefficients (seconds per unit work), calibrated on the
+/// repo's TIGER-style workloads. The absolute scale does not need to match
+/// any particular host — only the *ratios* between methods matter, since
+/// the planner picks an argmin. Overridable for tests.
+struct PlannerCosts {
+  /// Refinement of one candidate pair, at the reference complexity of ~30
+  /// combined vertices per pair (scaled by the actual average).
+  double refine_per_candidate = 4.2e-6;
+  double pbsm_per_tuple = 1.0e-6;        ///< Partition + sweep, per tuple.
+  double parallel_overhead_per_tuple = 0.3e-6;
+  double parallel_scaling = 0.85;        ///< Per-extra-thread efficiency.
+  double index_build_per_tuple_log = 1.2e-7;  ///< x n*log2(n), per side.
+  double rtree_traverse_per_tuple = 3.0e-7;
+  double inl_probe_log = 3.0e-6;         ///< x n_probe*log2(n_indexed).
+  double hash_per_tuple = 2.3e-6;
+  double zorder_per_tuple = 2.0e-6;
+  double zorder_candidate_inflation = 4.0;  ///< Z-cell false-positive factor.
+};
+
+/// Costs all six join methods for r JOIN s and returns the cheapest.
+/// `num_threads` is the worker count the parallel executor would get
+/// (0 = hardware concurrency, mirroring JoinOptions::num_threads).
+PlanChoice PlanJoin(const PlannerSide& r, const PlannerSide& s,
+                    uint32_t num_threads = 0,
+                    const PlannerCosts& costs = PlannerCosts());
+
+}  // namespace pbsm
+
+#endif  // PBSM_SERVICE_JOIN_PLANNER_H_

@@ -343,7 +343,37 @@ Status BufferPool::DropFile(FileId file) {
   const Status status = disk_->DeleteFile(file);
   lock.lock();
   dropping_files_.erase(file);
+  lock.unlock();
+  if (status.ok()) {
+    // Notify caches layered above the pool. Copy under the listener mutex,
+    // invoke outside it: a listener may drop derived files (recursing into
+    // DropFile) or unregister other listeners.
+    std::vector<std::function<void(FileId)>> listeners;
+    {
+      std::lock_guard<std::mutex> guard(drop_listener_mutex_);
+      listeners.reserve(drop_listeners_.size());
+      for (const auto& [token, fn] : drop_listeners_) listeners.push_back(fn);
+    }
+    for (const auto& fn : listeners) fn(file);
+  }
   return status;
+}
+
+uint64_t BufferPool::AddDropListener(std::function<void(FileId)> listener) {
+  std::lock_guard<std::mutex> guard(drop_listener_mutex_);
+  const uint64_t token = next_drop_listener_token_++;
+  drop_listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void BufferPool::RemoveDropListener(uint64_t token) {
+  std::lock_guard<std::mutex> guard(drop_listener_mutex_);
+  for (auto it = drop_listeners_.begin(); it != drop_listeners_.end(); ++it) {
+    if (it->first == token) {
+      drop_listeners_.erase(it);
+      return;
+    }
+  }
 }
 
 }  // namespace pbsm

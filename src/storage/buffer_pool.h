@@ -3,10 +3,12 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -140,6 +142,15 @@ class BufferPool {
   /// assert this after every failed join).
   size_t pinned_frames() const;
 
+  /// Registers a callback invoked after DropFile successfully deletes
+  /// `file` — the hook caches above the pool (e.g. the service IndexCache)
+  /// use to invalidate entries derived from a dropped dataset. Returns a
+  /// token for RemoveDropListener. Listeners run on the dropping thread,
+  /// outside the pool mutex, so they may themselves call back into the
+  /// pool (e.g. drop a derived index file).
+  uint64_t AddDropListener(std::function<void(FileId)> listener);
+  void RemoveDropListener(uint64_t token);
+
   DiskManager* disk() const { return disk_; }
 
  private:
@@ -181,6 +192,12 @@ class BufferPool {
   /// Files whose DropFile is between frame purge and on-disk delete; fetches
   /// of their pages are rejected so no frame can reference a deleted file.
   std::unordered_set<FileId> dropping_files_;
+  /// Drop listeners, guarded by their own mutex (never held together with
+  /// mutex_) so callbacks can re-enter the pool.
+  std::mutex drop_listener_mutex_;
+  std::vector<std::pair<uint64_t, std::function<void(FileId)>>>
+      drop_listeners_;
+  uint64_t next_drop_listener_token_ = 1;
   size_t clock_hand_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

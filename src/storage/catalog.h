@@ -24,12 +24,27 @@ struct RelationInfo {
   uint64_t total_bytes = 0;
   uint64_t total_points = 0;  ///< Sum of geometry vertex counts.
   Rect universe;
+  /// Sums of per-feature MBR extents (loader-computed). avg width x avg
+  /// height against the universe area gives the MBR density the planner's
+  /// catalog-only selectivity fallback uses when no histogram is built.
+  double sum_mbr_width = 0.0;
+  double sum_mbr_height = 0.0;
 
   double avg_points() const {
     return cardinality == 0
                ? 0.0
                : static_cast<double>(total_points) /
                      static_cast<double>(cardinality);
+  }
+
+  double avg_mbr_width() const {
+    return cardinality == 0 ? 0.0
+                            : sum_mbr_width / static_cast<double>(cardinality);
+  }
+  double avg_mbr_height() const {
+    return cardinality == 0
+               ? 0.0
+               : sum_mbr_height / static_cast<double>(cardinality);
   }
 };
 

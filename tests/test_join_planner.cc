@@ -1,0 +1,125 @@
+#include "service/join_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/selectivity.h"
+
+namespace pbsm {
+namespace {
+
+RelationInfo MakeInfo(const std::string& name, uint64_t cardinality,
+                      double avg_extent, double avg_points = 30.0) {
+  RelationInfo info;
+  info.name = name;
+  info.cardinality = cardinality;
+  info.universe = Rect(0, 0, 1000, 1000);
+  info.total_points =
+      static_cast<uint64_t>(avg_points * static_cast<double>(cardinality));
+  info.sum_mbr_width = avg_extent * static_cast<double>(cardinality);
+  info.sum_mbr_height = avg_extent * static_cast<double>(cardinality);
+  return info;
+}
+
+TEST(EstimateCandidatePairsTest, ZeroForEmptyInput) {
+  const RelationInfo r = MakeInfo("r", 0, 1.0);
+  const RelationInfo s = MakeInfo("s", 1000, 1.0);
+  EXPECT_EQ(EstimateCandidatePairs(r, s), 0.0);
+  EXPECT_EQ(EstimateCandidatePairs(s, r), 0.0);
+}
+
+TEST(EstimateCandidatePairsTest, ScalesWithDensity) {
+  const RelationInfo r = MakeInfo("r", 10000, 1.0);
+  const RelationInfo sparse = MakeInfo("s", 10000, 1.0);
+  const RelationInfo dense = MakeInfo("s", 10000, 10.0);
+  const double few = EstimateCandidatePairs(r, sparse);
+  const double many = EstimateCandidatePairs(r, dense);
+  EXPECT_GT(few, 0.0);
+  EXPECT_GT(many, few);
+  // Never more than the cross product.
+  EXPECT_LE(many, 10000.0 * 10000.0);
+}
+
+TEST(PlanJoinTest, RanksAllSixMethods) {
+  const RelationInfo r_info = MakeInfo("r", 50000, 2.0);
+  const RelationInfo s_info = MakeInfo("s", 20000, 2.0);
+  const PlanChoice choice = PlanJoin({&r_info}, {&s_info}, 1);
+  ASSERT_EQ(choice.alternatives.size(), 6u);
+  std::set<JoinMethod> seen;
+  double prev = -1.0;
+  for (const MethodCost& alt : choice.alternatives) {
+    seen.insert(alt.method);
+    EXPECT_GE(alt.estimated_seconds, prev);  // Ascending.
+    prev = alt.estimated_seconds;
+  }
+  EXPECT_EQ(seen.size(), 6u);  // Every method costed exactly once.
+  EXPECT_EQ(choice.method, choice.alternatives.front().method);
+  EXPECT_GT(choice.estimated_candidates, 0.0);
+  EXPECT_FALSE(choice.ToString().empty());
+}
+
+TEST(PlanJoinTest, ColdSingleThreadPrefersSerialPbsm) {
+  // The calibrated regime of the TIGER workloads: similar-scale inputs,
+  // nothing cached, one core. Index builds make the tree methods lose and
+  // the parallel executor has no extra threads to pay for its overhead.
+  const RelationInfo r_info = MakeInfo("road", 68000, 2.0);
+  const RelationInfo s_info = MakeInfo("hydro", 18000, 2.0);
+  const PlanChoice choice = PlanJoin({&r_info}, {&s_info}, /*threads=*/1);
+  EXPECT_EQ(choice.method, JoinMethod::kPbsm);
+}
+
+TEST(PlanJoinTest, ManyThreadsPreferParallelPbsm) {
+  const RelationInfo r_info = MakeInfo("road", 68000, 2.0);
+  const RelationInfo s_info = MakeInfo("hydro", 18000, 2.0);
+  const PlanChoice choice = PlanJoin({&r_info}, {&s_info}, /*threads=*/8);
+  EXPECT_EQ(choice.method, JoinMethod::kParallelPbsm);
+}
+
+TEST(PlanJoinTest, WarmIndexesFlipTheChoiceToRtree) {
+  const RelationInfo r_info = MakeInfo("road", 68000, 2.0);
+  const RelationInfo s_info = MakeInfo("hydro", 18000, 2.0);
+  PlannerSide r{&r_info};
+  PlannerSide s{&s_info};
+  const PlanChoice cold = PlanJoin(r, s, 1);
+  EXPECT_NE(cold.method, JoinMethod::kRtree);
+
+  r.index_cached = true;
+  s.index_cached = true;
+  const PlanChoice warm = PlanJoin(r, s, 1);
+  EXPECT_EQ(warm.method, JoinMethod::kRtree);
+  EXPECT_LT(warm.estimated_seconds, cold.estimated_seconds);
+}
+
+TEST(PlanJoinTest, HistogramSharpensTheCandidateEstimate) {
+  RelationInfo r_info = MakeInfo("r", 10000, 5.0);
+  RelationInfo s_info = MakeInfo("s", 10000, 5.0);
+
+  // Catalog-only model assumes uniform spread; build histograms where the
+  // two inputs occupy disjoint halves of the universe, so the histogram
+  // estimate must come out far below the catalog one.
+  SpatialHistogram r_hist(r_info.universe, 8, 8);
+  SpatialHistogram s_hist(s_info.universe, 8, 8);
+  for (int i = 0; i < 10000; ++i) {
+    const double y = (i % 100) * 10.0;
+    r_hist.Add(Rect(10, y, 15, y + 5));        // Left edge.
+    s_hist.Add(Rect(900, y, 905, y + 5));      // Right edge.
+  }
+  const PlanChoice catalog_only = PlanJoin({&r_info}, {&s_info}, 1);
+  const PlanChoice with_hist =
+      PlanJoin({&r_info, &r_hist}, {&s_info, &s_hist}, 1);
+  EXPECT_LT(with_hist.estimated_candidates,
+            catalog_only.estimated_candidates);
+}
+
+TEST(PlanJoinTest, OverrideCostsSteerTheChoice) {
+  const RelationInfo r_info = MakeInfo("r", 50000, 2.0);
+  const RelationInfo s_info = MakeInfo("s", 50000, 2.0);
+  PlannerCosts costs;
+  costs.hash_per_tuple = 1e-12;  // Make hashing essentially free.
+  const PlanChoice choice = PlanJoin({&r_info}, {&s_info}, 1, costs);
+  EXPECT_EQ(choice.method, JoinMethod::kSpatialHash);
+}
+
+}  // namespace
+}  // namespace pbsm
