@@ -346,6 +346,9 @@ inline const char*& BenchStatusRef() {
 inline void MarkBenchFailed() { BenchStatusRef() = "failed"; }
 
 inline std::string MetricsJsonBlob() {
+  // The blob may be taken mid-join (SIGABRT handler, cancellation exit):
+  // materialize still-open spans so the tree below keeps their sub-spans.
+  Tracer::Global().FlushOpenSpans();
   const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
   const uint64_t hits = snap.counter("storage.bufferpool.hits");
   const uint64_t misses = snap.counter("storage.bufferpool.misses");

@@ -58,12 +58,18 @@ Tracer::ThreadLog* Tracer::GetThreadLog() {
   return log.get();
 }
 
-std::pair<uint32_t, uint32_t> Tracer::OpenSpan() {
+std::pair<uint32_t, uint32_t> Tracer::OpenSpan(std::string_view name) {
   ThreadLog* log = GetThreadLog();
   const uint32_t id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t now = NowMicros();
   std::lock_guard<std::mutex> lock(log->mutex);
-  const uint32_t parent = log->open_stack.empty() ? 0 : log->open_stack.back();
-  log->open_stack.push_back(id);
+  const uint32_t parent =
+      log->open_stack.empty() ? 0 : log->open_stack.back().span_id;
+  OpenEntry entry;
+  entry.span_id = id;
+  entry.name = std::string(name);
+  entry.start_us = now;
+  log->open_stack.push_back(std::move(entry));
   return {id, parent};
 }
 
@@ -73,8 +79,18 @@ void Tracer::CloseSpan(std::string_view name, uint32_t span_id,
   ThreadLog* log = GetThreadLog();
   std::lock_guard<std::mutex> lock(log->mutex);
   // Spans close LIFO per thread (they are scoped), so span_id is the top.
-  if (!log->open_stack.empty() && log->open_stack.back() == span_id) {
+  size_t flushed_index = SIZE_MAX;
+  if (!log->open_stack.empty() && log->open_stack.back().span_id == span_id) {
+    flushed_index = log->open_stack.back().flushed_index;
     log->open_stack.pop_back();
+  }
+  if (flushed_index != SIZE_MAX && flushed_index < log->finished.size() &&
+      log->finished[flushed_index].span_id == span_id) {
+    // FlushOpenSpans already materialized this span: finalize the
+    // provisional record in place instead of appending a duplicate.
+    log->finished[flushed_index].start_us = start_us;
+    log->finished[flushed_index].end_us = end_us;
+    return;
   }
   if (log->finished.size() >= kMaxSpansPerThread) {
     ++log->dropped;
@@ -88,6 +104,41 @@ void Tracer::CloseSpan(std::string_view name, uint32_t span_id,
   rec.span_id = span_id;
   rec.parent_id = parent_id;
   log->finished.push_back(std::move(rec));
+}
+
+void Tracer::FlushOpenSpans() {
+  const uint64_t now = NowMicros();
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> lock(logs_mutex_);
+    logs = logs_;
+  }
+  for (const auto& log : logs) {
+    std::lock_guard<std::mutex> lock(log->mutex);
+    for (size_t i = 0; i < log->open_stack.size(); ++i) {
+      OpenEntry& entry = log->open_stack[i];
+      if (entry.flushed_index != SIZE_MAX &&
+          entry.flushed_index < log->finished.size() &&
+          log->finished[entry.flushed_index].span_id == entry.span_id) {
+        // Flushed before and still open: extend the provisional end time.
+        log->finished[entry.flushed_index].end_us = now;
+        continue;
+      }
+      if (log->finished.size() >= kMaxSpansPerThread) {
+        ++log->dropped;
+        continue;
+      }
+      SpanRecord rec;
+      rec.name = entry.name;
+      rec.start_us = entry.start_us;
+      rec.end_us = now;
+      rec.thread_id = log->thread_id;
+      rec.span_id = entry.span_id;
+      rec.parent_id = i == 0 ? 0 : log->open_stack[i - 1].span_id;
+      entry.flushed_index = log->finished.size();
+      log->finished.push_back(std::move(rec));
+    }
+  }
 }
 
 std::vector<SpanRecord> Tracer::FinishedSpans() const {
@@ -134,6 +185,9 @@ void Tracer::Clear() {
     std::lock_guard<std::mutex> lock(log->mutex);
     log->finished.clear();
     log->dropped = 0;
+    // Provisional records of flushed-but-open spans are gone; closing them
+    // must append fresh records, not index into the cleared vector.
+    for (OpenEntry& entry : log->open_stack) entry.flushed_index = SIZE_MAX;
   }
 }
 
@@ -220,7 +274,7 @@ TraceSpan::TraceSpan(std::string_view name, Tracer* tracer) {
   if (!t->enabled()) return;
   tracer_ = t;
   name_ = std::string(name);
-  const auto [id, parent] = t->OpenSpan();
+  const auto [id, parent] = t->OpenSpan(name);
   span_id_ = id;
   parent_id_ = parent;
   start_us_ = t->NowMicros();  // After bookkeeping: span times the work.

@@ -65,6 +65,15 @@ class Tracer {
   /// Discards all finished spans (open spans keep their identity).
   void Clear();
 
+  /// Materializes every still-open span (on every thread) as a finished
+  /// record ending now, so exports taken mid-work — an abort-time
+  /// METRICS_JSON emitter, a Canceller-triggered early exit with sibling
+  /// tasks still unwinding — report a complete tree instead of orphaning
+  /// the sub-spans of open ancestors. When a flushed span later closes
+  /// normally, its provisional record is finalized in place (no
+  /// duplicate); a second flush extends the provisional end time.
+  void FlushOpenSpans();
+
   /// Nested span tree as JSON:
   /// [{"name":..,"start_us":..,"dur_us":..,"tid":..,
   ///   "children":[...]}, ...] — roots ordered by (tid, start).
@@ -85,10 +94,21 @@ class Tracer {
  private:
   friend class TraceSpan;
 
+  /// One open (not yet closed) span on a thread's stack. Carries enough to
+  /// materialize a provisional record if an export happens before the span
+  /// closes; `flushed_index` points at that record in `finished` (SIZE_MAX
+  /// when the span has not been flushed).
+  struct OpenEntry {
+    uint32_t span_id = 0;
+    std::string name;
+    uint64_t start_us = 0;
+    size_t flushed_index = SIZE_MAX;
+  };
+
   struct ThreadLog {
     mutable std::mutex mutex;
     uint32_t thread_id = 0;
-    std::vector<uint32_t> open_stack;  ///< span_ids of open spans.
+    std::vector<OpenEntry> open_stack;  ///< Open spans, bottom to top.
     std::vector<SpanRecord> finished;
     uint64_t dropped = 0;
   };
@@ -97,7 +117,7 @@ class Tracer {
   ThreadLog* GetThreadLog();
 
   /// Returns (span_id, parent_id) for a span opening now on this thread.
-  std::pair<uint32_t, uint32_t> OpenSpan();
+  std::pair<uint32_t, uint32_t> OpenSpan(std::string_view name);
   void CloseSpan(std::string_view name, uint32_t span_id, uint32_t parent_id,
                  uint64_t start_us);
 

@@ -45,6 +45,14 @@ struct JoinOptions {
   SimdMode simd = SimdMode::kAuto;
   /// 0 = use Equation 1; otherwise forces the partition count.
   uint32_t num_partitions_override = 0;
+  /// How pbsm/parallel_pbsm avoid emitting replicated candidates twice.
+  /// kTwoLayer (default) tags tile copies with corner classes and runs
+  /// duplicate-free per-tile mini-joins — no merge-dedup stage at all.
+  /// kMerge is the paper's replicate-then-merge-dedup scheme, kept as the
+  /// differential reference; it is also the only mode with the §3.5
+  /// dynamic repartition path (two-layer partitions are processed whole).
+  /// Other join methods ignore this knob.
+  DedupMode dedup_mode = DedupMode::kTwoLayer;
 
   // --- Partition overflow handling (§3.5; extension, on by default) ---
   bool dynamic_repartition = true;

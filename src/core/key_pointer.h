@@ -16,6 +16,20 @@ struct KeyPointer {
 };
 static_assert(sizeof(KeyPointer) == 40);
 
+/// A key-pointer copy tagged for two-layer duplicate-free filtering: the
+/// tile the copy was replicated into plus its corner class within that
+/// tile (a TileClass value; stored as uint32_t to keep this header free of
+/// partitioner includes). Trivially copyable so it can ride the same spool
+/// files as KeyPointer. The members keep KeyPointer's `.mbr`/`.oid` names
+/// so SoaRects::Assign works on either element type.
+struct ClassedKeyPointer {
+  Rect mbr;
+  uint64_t oid = 0;
+  uint32_t tile = 0;
+  uint32_t cls = 0;
+};
+static_assert(sizeof(ClassedKeyPointer) == 48);
+
 /// A candidate produced by the filter step: OIDs of an R tuple and an S
 /// tuple whose MBRs overlap.
 struct OidPair {

@@ -1,7 +1,9 @@
 #include "core/parallel_pbsm_exec.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <mutex>
 #include <queue>
 #include <utility>
@@ -12,15 +14,37 @@
 #include "common/stats.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/plane_sweep_join.h"
 #include "core/refinement.h"
 #include "core/spatial_partitioner.h"
 #include "core/sweep_kernel.h"
+#include "core/two_layer_filter.h"
 #include "storage/tuple.h"
 
 namespace pbsm {
 
 namespace {
+
+/// Wraps a status returned from inside a phase: flushes every thread's
+/// still-open trace spans first, so an error or cancellation export (the
+/// METRICS_JSON span tree, a Chrome trace) keeps the phase spans that were
+/// open at exit instead of orphaning their finished sub-spans.
+Status EarlyExit(const Status& status) {
+  Tracer::Global().FlushOpenSpans();
+  return status;
+}
+
+/// A phase's failure, in reporting priority: first real task error (the
+/// root cause), then an external cancellation with the canceller's own
+/// reason, then any remaining per-task status (sibling kCancelled noise).
+Status PhaseStatus(const Canceller& cancel,
+                   const std::vector<Status>& task_status) {
+  PBSM_RETURN_IF_ERROR(cancel.FirstError());
+  if (cancel.is_cancelled()) return cancel.CancellationStatus();
+  for (const Status& ts : task_status) PBSM_RETURN_IF_ERROR(ts);
+  return Status::OK();
+}
 
 /// Key-pointer buffers one scan task routed into: one vector per partition.
 using PartitionBuffers = std::vector<std::vector<KeyPointer>>;
@@ -147,6 +171,268 @@ class TaskTimer {
   Stopwatch watch_;
 };
 
+// ---------------------------------------------------------------------------
+// Two-layer (duplicate-free) executor. See core/two_layer_filter.h for the
+// scheme; here it replaces phases 2+3a of the merge path with one "filter
+// partitions" phase whose output needs no k-way dedup merge.
+// ---------------------------------------------------------------------------
+
+/// Classed-copy buffers one scan task routed into: one vector per partition.
+using ClassedBuffers = std::vector<std::vector<ClassedKeyPointer>>;
+
+/// Scans pages [first, end) of `heap`, replicating each tuple into every
+/// tile its MBR overlaps with the copy's corner class, routed to the tile's
+/// partition bucket. `class_counts` accumulates per-class copy counts
+/// (indexed by TileClass) for the partition.class_* metrics.
+Status ScanRangeIntoClassedBuffers(const HeapFile& heap, uint32_t first,
+                                   uint32_t end,
+                                   const SpatialPartitioner& part,
+                                   const Canceller& cancel,
+                                   ClassedBuffers* bufs, uint64_t* replicated,
+                                   uint64_t* class_counts) {
+  std::vector<TileAssignment> targets;
+  return heap.ScanPages(
+      first, end, [&](Oid oid, const char* data, size_t size) -> Status {
+        if (cancel.is_cancelled()) {
+          return Status::Cancelled("sibling scan task failed");
+        }
+        PBSM_ASSIGN_OR_RETURN(const Tuple tuple, Tuple::Parse(data, size));
+        ClassedKeyPointer ckp;
+        ckp.mbr = tuple.geometry.Mbr();
+        ckp.oid = oid.Encode();
+        targets.clear();
+        part.ClassifyTiles(ckp.mbr, &targets);
+        *replicated += targets.size() - 1;
+        for (const TileAssignment& ta : targets) {
+          ckp.tile = ta.tile;
+          ckp.cls = static_cast<uint32_t>(ta.cls);
+          ++class_counts[ckp.cls];
+          (*bufs)[part.PartitionOfTile(ta.tile)].push_back(ckp);
+        }
+        return Status::OK();
+      });
+}
+
+/// The two-layer executor body: phase 1 routes classed copies, phase 2 runs
+/// the per-partition mini-joins (no dedup merge exists — every candidate
+/// pair is emitted exactly once globally), phase 3 concatenates the worker
+/// arenas, sorts once for refinement I/O order, and refines OID_R-aligned
+/// shards exactly like the merge path — minus its k-way dedup merge.
+/// Unlike the merge path there is no §3.5 repartition:
+/// partitions are processed whole (the mini-join is an out-of-place sweep
+/// whose footprint is the partition itself, already sized by Equation 1).
+Result<JoinCostBreakdown> ParallelTwoLayerJoin(
+    BufferPool* pool, const JoinInput& r, const JoinInput& s,
+    SpatialPredicate pred, const JoinOptions& opts, const ResultSink& sink,
+    ParallelJoinStats& st, const SpatialPartitioner& partitioner,
+    uint32_t threads, JoinCostBreakdown breakdown) {
+  DiskManager* disk = pool->disk();
+  const uint32_t num_partitions = partitioner.num_partitions();
+
+  Stopwatch total_watch;
+  ThreadPool tp(threads);
+  Canceller cancel(opts.cancel);
+  static Counter* const cancelled_tasks =
+      MetricsRegistry::Global().GetCounter("join.parallel.cancelled_tasks");
+
+  // ---- Phase 1: parallel classed filter scan. As in the merge path, but
+  // each copy additionally carries (tile, class). ----
+  const auto r_ranges = SplitRange(r.heap->num_pages(), threads);
+  const auto s_ranges = SplitRange(s.heap->num_pages(), threads);
+  std::vector<ClassedBuffers> r_bufs(threads), s_bufs(threads);
+  std::vector<uint64_t> task_replicated(2 * threads, 0);
+  std::vector<std::array<uint64_t, 4>> task_classes(
+      2 * threads, std::array<uint64_t, 4>{0, 0, 0, 0});
+  std::vector<Status> task_status(2 * threads);
+  st.partition_task_seconds.assign(2 * threads, 0.0);
+  {
+    PhaseCost& cost = breakdown.AddPhase("partition inputs");
+    PhaseTimer timer(disk, &cost, "partition inputs");
+    Stopwatch wall;
+    for (uint32_t t = 0; t < threads; ++t) {
+      tp.Submit([&, t] {
+        TaskTimer tt(&st.partition_task_seconds[t],
+                     &st.worker_busy_seconds);
+        if (cancel.is_cancelled()) {
+          cancelled_tasks->Add();
+          task_status[t] = Status::Cancelled("sibling scan task failed");
+          return;
+        }
+        r_bufs[t].resize(num_partitions);
+        task_status[t] = ScanRangeIntoClassedBuffers(
+            *r.heap, r_ranges[t].first, r_ranges[t].second, partitioner,
+            cancel, &r_bufs[t], &task_replicated[t], task_classes[t].data());
+        cancel.Report(task_status[t]);
+      });
+      tp.Submit([&, t] {
+        TaskTimer tt(&st.partition_task_seconds[threads + t],
+                     &st.worker_busy_seconds);
+        if (cancel.is_cancelled()) {
+          cancelled_tasks->Add();
+          task_status[threads + t] =
+              Status::Cancelled("sibling scan task failed");
+          return;
+        }
+        s_bufs[t].resize(num_partitions);
+        task_status[threads + t] = ScanRangeIntoClassedBuffers(
+            *s.heap, s_ranges[t].first, s_ranges[t].second, partitioner,
+            cancel, &s_bufs[t], &task_replicated[threads + t],
+            task_classes[threads + t].data());
+        cancel.Report(task_status[threads + t]);
+      });
+    }
+    tp.Wait();
+    st.partition_wall_seconds = wall.ElapsedSeconds();
+  }
+  {
+    const Status ps = PhaseStatus(cancel, task_status);
+    if (!ps.ok()) return EarlyExit(ps);
+  }
+  for (const uint64_t rep : task_replicated) breakdown.replicated += rep;
+  {
+    uint64_t classes[4] = {0, 0, 0, 0};
+    for (const auto& tc : task_classes) {
+      for (size_t c = 0; c < 4; ++c) classes[c] += tc[c];
+    }
+    two_layer_internal::FlushClassCounts(classes);
+  }
+
+  // ---- Phase 2: concurrent duplicate-free mini-joins, one task per
+  // partition. Each task gathers its partition's classed copies into
+  // thread-local scratch and appends its candidate run to the executing
+  // worker's arena — no cross-worker writes, no dedup merge. ----
+  std::vector<std::vector<OidPair>> arenas(threads);
+  std::vector<uint64_t> task_candidates(num_partitions, 0);
+  st.sweep_task_seconds.assign(num_partitions, 0.0);
+  const KernelKind kind = ResolveKernel(opts.simd);
+  {
+    PhaseCost& cost = breakdown.AddPhase("filter partitions");
+    PhaseTimer timer(disk, &cost, "filter partitions");
+    Stopwatch wall;
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      tp.Submit([&, p] {
+        TaskTimer tt(&st.sweep_task_seconds[p], &st.worker_busy_seconds);
+        if (cancel.is_cancelled()) {
+          cancelled_tasks->Add();
+          return;
+        }
+        size_t r_total = 0, s_total = 0;
+        for (uint32_t t = 0; t < threads; ++t) {
+          r_total += r_bufs[t][p].size();
+          s_total += s_bufs[t][p].size();
+        }
+        if (r_total == 0 || s_total == 0) return;
+        // Thread-local gather buffers: partitions handled by the same
+        // worker reuse their capacity, so steady state performs no
+        // per-partition allocations (asserted by the zero-alloc test).
+        thread_local std::vector<ClassedKeyPointer> r_kps, s_kps;
+        r_kps.clear();
+        s_kps.clear();
+        r_kps.reserve(r_total);
+        s_kps.reserve(s_total);
+        for (uint32_t t = 0; t < threads; ++t) {
+          auto& rb = r_bufs[t][p];
+          r_kps.insert(r_kps.end(), rb.begin(), rb.end());
+          rb = {};
+          auto& sb = s_bufs[t][p];
+          s_kps.insert(s_kps.end(), sb.begin(), sb.end());
+          sb = {};
+        }
+        const int w = ThreadPool::CurrentWorker();
+        PBSM_CHECK(w >= 0 && static_cast<size_t>(w) < arenas.size())
+            << "filter task executed outside the pool";
+        task_candidates[p] = TwoLayerPartitionJoinBatch(
+            &r_kps, &s_kps, kind,
+            VectorBatchSink{&arenas[static_cast<size_t>(w)]});
+      });
+    }
+    tp.Wait();
+    st.sweep_wall_seconds = wall.ElapsedSeconds();
+  }
+  if (cancel.is_cancelled()) return EarlyExit(cancel.CancellationStatus());
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    breakdown.candidates += task_candidates[p];
+  }
+  // st.merge_wall_seconds stays 0: there is no merge phase to pay for.
+
+  // ---- Phase 3: one global refinement order, then parallel refinement
+  // over OID_R-aligned shards, as in the merge path's phase 3b. The runs
+  // are duplicate-free across partitions, so preparing the stream is a
+  // plain concatenate + sort for refinement I/O locality (each R page is
+  // fetched by exactly one shard) — no k-way merge, no dedup compare. ----
+  {
+    PhaseCost& cost = breakdown.AddPhase("refinement");
+    PhaseTimer timer(disk, &cost, "refinement");
+    Stopwatch wall;
+
+    std::vector<OidPair> candidates;
+    candidates.reserve(static_cast<size_t>(breakdown.candidates));
+    for (std::vector<OidPair>& arena : arenas) {
+      candidates.insert(candidates.end(), arena.begin(), arena.end());
+      arena = {};
+    }
+    std::sort(candidates.begin(), candidates.end(), OidPairLess{});
+
+    std::vector<std::pair<size_t, size_t>> shards;
+    const size_t n = candidates.size();
+    const size_t target = (n + threads - 1) / std::max<uint32_t>(threads, 1);
+    size_t begin = 0;
+    while (begin < n) {
+      size_t end = std::min(n, begin + std::max<size_t>(target, 1));
+      while (end < n && candidates[end].r == candidates[end - 1].r) ++end;
+      shards.emplace_back(begin, end);
+      begin = end;
+    }
+
+    std::mutex sink_mutex;
+    std::vector<JoinCostBreakdown> shard_breakdowns(shards.size());
+    std::vector<Status> shard_status(shards.size());
+    st.refine_task_seconds.assign(shards.size(), 0.0);
+    for (size_t i = 0; i < shards.size(); ++i) {
+      tp.Submit([&, i] {
+        TaskTimer tt(&st.refine_task_seconds[i], &st.worker_busy_seconds);
+        if (cancel.is_cancelled()) {
+          cancelled_tasks->Add();
+          shard_status[i] = Status::Cancelled("sibling refine shard failed");
+          return;
+        }
+        size_t cursor = shards[i].first;
+        const size_t end = shards[i].second;
+        const SortedPairStream next = [&candidates, &cursor, end,
+                                       &cancel](OidPair* out) -> Result<bool> {
+          if (cancel.is_cancelled()) {
+            return Status::Cancelled("sibling refine shard failed");
+          }
+          if (cursor >= end) return false;
+          *out = candidates[cursor++];
+          return true;
+        };
+        ResultSink shard_sink;
+        if (sink) {
+          shard_sink = [&sink, &sink_mutex](Oid ro, Oid so) {
+            std::lock_guard<std::mutex> lock(sink_mutex);
+            sink(ro, so);
+          };
+        }
+        shard_status[i] =
+            RefinePairStream(next, *r.heap, *s.heap, pred, opts, shard_sink,
+                             &shard_breakdowns[i]);
+        cancel.Report(shard_status[i]);
+      });
+    }
+    tp.Wait();
+    st.refine_wall_seconds = wall.ElapsedSeconds();
+    const Status ps = PhaseStatus(cancel, shard_status);
+    if (!ps.ok()) return EarlyExit(ps);
+    for (const JoinCostBreakdown& sb : shard_breakdowns) {
+      breakdown.results += sb.results;
+    }
+  }
+
+  st.total_wall_seconds = total_watch.ElapsedSeconds();
+  return breakdown;
+}
+
 }  // namespace
 
 double ParallelJoinStats::SweepBalanceCov() const {
@@ -217,6 +503,11 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
   st.num_threads = threads;
   st.worker_busy_seconds.assign(threads, 0.0);
 
+  if (opts.dedup_mode == DedupMode::kTwoLayer) {
+    return ParallelTwoLayerJoin(pool, r, s, pred, opts, sink, st, partitioner,
+                                threads, std::move(breakdown));
+  }
+
   Stopwatch total_watch;
   ThreadPool tp(threads);
   // Error propagation between sibling tasks, chained below the caller's
@@ -276,9 +567,10 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
   }
   // The first real error wins; sibling kCancelled statuses are noise, and
   // an external cancellation surfaces with the canceller's own reason.
-  PBSM_RETURN_IF_ERROR(cancel.FirstError());
-  if (cancel.is_cancelled()) return cancel.CancellationStatus();
-  for (const Status& ts : task_status) PBSM_RETURN_IF_ERROR(ts);
+  {
+    const Status ps = PhaseStatus(cancel, task_status);
+    if (!ps.ok()) return EarlyExit(ps);
+  }
   for (const uint64_t rep : task_replicated) breakdown.replicated += rep;
 
   // ---- Phase 2: concurrent plane-sweep, one task per partition pair.
@@ -329,7 +621,7 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
     tp.Wait();
     st.sweep_wall_seconds = wall.ElapsedSeconds();
   }
-  if (cancel.is_cancelled()) return cancel.CancellationStatus();
+  if (cancel.is_cancelled()) return EarlyExit(cancel.CancellationStatus());
   for (uint32_t p = 0; p < num_partitions; ++p) {
     breakdown.candidates += task_candidates[p];
     breakdown.repartitioned_pairs += task_repartitioned[p];
@@ -440,9 +732,8 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
     }
     tp.Wait();
     st.refine_wall_seconds = wall.ElapsedSeconds();
-    PBSM_RETURN_IF_ERROR(cancel.FirstError());
-    if (cancel.is_cancelled()) return cancel.CancellationStatus();
-    for (const Status& ss : shard_status) PBSM_RETURN_IF_ERROR(ss);
+    const Status ps = PhaseStatus(cancel, shard_status);
+    if (!ps.ok()) return EarlyExit(ps);
     for (const JoinCostBreakdown& sb : shard_breakdowns) {
       breakdown.results += sb.results;
     }

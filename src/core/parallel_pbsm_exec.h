@@ -18,8 +18,12 @@ struct ParallelJoinStats {
   uint32_t num_threads = 0;
 
   double partition_wall_seconds = 0.0;  ///< Parallel filter scan + route.
-  double sweep_wall_seconds = 0.0;      ///< Concurrent per-partition sweeps.
-  double merge_wall_seconds = 0.0;      ///< Serial candidate merge + dedup.
+  /// Concurrent per-partition filter tasks: plane sweeps (kMerge) or
+  /// duplicate-free mini-joins (kTwoLayer).
+  double sweep_wall_seconds = 0.0;
+  /// Serial candidate merge + dedup. Always 0 under kTwoLayer — the phase
+  /// does not exist there (its disappearance is the point of the scheme).
+  double merge_wall_seconds = 0.0;
   double refine_wall_seconds = 0.0;     ///< Parallel sharded refinement.
   double total_wall_seconds = 0.0;
 
@@ -50,20 +54,31 @@ struct ParallelJoinStats {
 };
 
 /// Real shared-memory parallel PBSM join (the threaded counterpart of the
-/// cost-model-only SimulateParallelPbsm):
+/// cost-model-only SimulateParallelPbsm). The phase structure depends on
+/// opts.dedup_mode.
 ///
-///  * filter: the page ranges of both inputs are split across
-///    opts.num_threads scan tasks, each routing key-pointers into private
-///    per-partition buffers (no locks; buffers are merged by partition id
-///    at the phase barrier);
-///  * sweep: each partition pair is an independent task — gather the
-///    thread-local buffers for that partition, plane-sweep them (recursive
-///    in-memory repartition on budget overflow, §3.5), sort the emitted
-///    candidates;
-///  * refinement: the sorted per-partition candidate runs are k-way merged
-///    with duplicate elimination, then the de-duplicated array is sharded
-///    on OID_R boundaries and refined concurrently (each shard fetches
-///    disjoint R tuples through the now thread-safe buffer pool).
+/// kTwoLayer (default; duplicate-free, see core/two_layer_filter.h):
+///  * "partition inputs": page ranges of both inputs split across scan
+///    tasks, each replicating tuples into per-partition buffers as
+///    corner-classed tile copies (no locks);
+///  * "filter partitions": each partition is an independent task running
+///    the class-pair mini-joins — globally, every candidate pair is
+///    emitted exactly once, so each task just sorts its own run into the
+///    executing worker's arena;
+///  * "refinement": each non-empty partition run is a shard, refined
+///    concurrently. No merge phase exists in this mode.
+///
+/// kMerge (the paper's replicate-then-dedup scheme):
+///  * "partition inputs": as above, but with plain key-pointer copies;
+///  * "sweep partitions": each partition pair is an independent task —
+///    gather the thread-local buffers for that partition, plane-sweep them
+///    (recursive in-memory repartition on budget overflow, §3.5), sort the
+///    emitted candidates;
+///  * "merge candidates": the sorted per-partition candidate runs are
+///    k-way merged with duplicate elimination (serial);
+///  * "refinement": the de-duplicated array is sharded on OID_R boundaries
+///    and refined concurrently (each shard fetches disjoint R tuples
+///    through the now thread-safe buffer pool).
 ///
 /// Produces exactly the de-duplicated result pairs of the serial PbsmJoin.
 /// `sink` may be called concurrently from worker threads (calls are

@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/plane_sweep_join.h"
 #include "core/refinement.h"
 #include "core/sweep_kernel.h"
 #include "core/spatial_partitioner.h"
+#include "core/two_layer_filter.h"
 #include "storage/spool_file.h"
 #include "storage/tuple.h"
 
@@ -35,6 +37,37 @@ Status PartitionInput(const HeapFile& heap, const SpatialPartitioner& part,
   });
 }
 
+/// Two-layer variant of PartitionInput: one *classed* copy per overlapped
+/// tile, routed to that tile's partition spool. Replication is counted per
+/// tile copy — the mini-joins need tile granularity, so an object spanning
+/// several tiles of one partition still spools several copies (unlike the
+/// merge mode, which dedups to one copy per partition).
+Status PartitionInputClassed(const HeapFile& heap,
+                             const SpatialPartitioner& part,
+                             std::vector<SpoolFile>* spools,
+                             uint64_t* replicated) {
+  std::vector<TileAssignment> targets;
+  uint64_t class_counts[4] = {0, 0, 0, 0};
+  const Status st =
+      heap.Scan([&](Oid oid, const char* data, size_t size) -> Status {
+        PBSM_ASSIGN_OR_RETURN(const Tuple tuple, Tuple::Parse(data, size));
+        ClassedKeyPointer ckp{tuple.geometry.Mbr(), oid.Encode(), 0, 0};
+        targets.clear();
+        part.ClassifyTiles(ckp.mbr, &targets);
+        *replicated += targets.size() - 1;
+        for (const TileAssignment& t : targets) {
+          ckp.tile = t.tile;
+          ckp.cls = static_cast<uint32_t>(t.cls);
+          ++class_counts[ckp.cls];
+          PBSM_RETURN_IF_ERROR(
+              (*spools)[part.PartitionOfTile(t.tile)].Append(&ckp));
+        }
+        return Status::OK();
+      });
+  two_layer_internal::FlushClassCounts(class_counts);
+  return st;
+}
+
 /// Reads an entire key-pointer spool into memory.
 Result<std::vector<KeyPointer>> ReadSpool(const SpoolFile& spool) {
   std::vector<KeyPointer> out;
@@ -58,6 +91,44 @@ Status SweepInto(std::vector<KeyPointer>* r, std::vector<KeyPointer>* s,
   breakdown->candidates += PlaneSweepJoinBatch(
       r, s, SorterBatchSink<CandidateSorter>{sorter, &append_status},
       opts.sweep, opts.simd);
+  return append_status;
+}
+
+/// Reads an entire classed-key-pointer spool into memory.
+Result<std::vector<ClassedKeyPointer>> ReadSpoolClassed(
+    const SpoolFile& spool) {
+  std::vector<ClassedKeyPointer> out;
+  out.reserve(spool.num_records());
+  SpoolFile::Reader reader = spool.NewReader();
+  ClassedKeyPointer ckp;
+  while (true) {
+    PBSM_ASSIGN_OR_RETURN(const bool has, reader.Next(&ckp));
+    if (!has) break;
+    out.push_back(ckp);
+  }
+  return out;
+}
+
+/// Two-layer merge of one partition pair: per-tile class mini-joins,
+/// candidates straight into the sorter (the sort orders the stream for
+/// refinement I/O; there are no duplicates for it to remove). No §3.5
+/// repartition path — a finer sub-grid would re-derive tile classes, so an
+/// overflowing partition is processed whole instead (key-pointers only;
+/// Equation 1 sizing keeps that near the budget except under extreme skew).
+Status MergePairTwoLayer(SpoolFile* r_spool, SpoolFile* s_spool,
+                         const JoinOptions& opts, CandidateSorter* sorter,
+                         JoinCostBreakdown* breakdown) {
+  if (r_spool->num_records() == 0 || s_spool->num_records() == 0) {
+    return Status::OK();
+  }
+  PBSM_ASSIGN_OR_RETURN(std::vector<ClassedKeyPointer> r,
+                        ReadSpoolClassed(*r_spool));
+  PBSM_ASSIGN_OR_RETURN(std::vector<ClassedKeyPointer> s,
+                        ReadSpoolClassed(*s_spool));
+  Status append_status;
+  breakdown->candidates += TwoLayerPartitionJoinBatch(
+      &r, &s, ResolveKernel(opts.simd),
+      SorterBatchSink<CandidateSorter>{sorter, &append_status});
   return append_status;
 }
 
@@ -193,12 +264,13 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
   breakdown.num_tiles = partitioner.num_tiles();
 
   // ---- Filter: partition both inputs. ----
+  const bool two_layer = opts.dedup_mode == DedupMode::kTwoLayer;
+  const size_t record_size =
+      two_layer ? sizeof(ClassedKeyPointer) : sizeof(KeyPointer);
   std::vector<SpoolFile> r_spools, s_spools;
   for (uint32_t p = 0; p < num_partitions; ++p) {
-    PBSM_ASSIGN_OR_RETURN(SpoolFile rs,
-                          SpoolFile::Create(pool, sizeof(KeyPointer)));
-    PBSM_ASSIGN_OR_RETURN(SpoolFile ss,
-                          SpoolFile::Create(pool, sizeof(KeyPointer)));
+    PBSM_ASSIGN_OR_RETURN(SpoolFile rs, SpoolFile::Create(pool, record_size));
+    PBSM_ASSIGN_OR_RETURN(SpoolFile ss, SpoolFile::Create(pool, record_size));
     r_spools.push_back(std::move(rs));
     s_spools.push_back(std::move(ss));
   }
@@ -207,15 +279,21 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
     const std::string phase = "partition " + r.info.name;
     PhaseCost& cost = breakdown.AddPhase(phase);
     PhaseTimer timer(disk, &cost, phase);
-    PBSM_RETURN_IF_ERROR(PartitionInput(*r.heap, partitioner, &r_spools,
-                                        &breakdown.replicated));
+    PBSM_RETURN_IF_ERROR(
+        two_layer ? PartitionInputClassed(*r.heap, partitioner, &r_spools,
+                                          &breakdown.replicated)
+                  : PartitionInput(*r.heap, partitioner, &r_spools,
+                                   &breakdown.replicated));
   }
   {
     const std::string phase = "partition " + s.info.name;
     PhaseCost& cost = breakdown.AddPhase(phase);
     PhaseTimer timer(disk, &cost, phase);
-    PBSM_RETURN_IF_ERROR(PartitionInput(*s.heap, partitioner, &s_spools,
-                                        &breakdown.replicated));
+    PBSM_RETURN_IF_ERROR(
+        two_layer ? PartitionInputClassed(*s.heap, partitioner, &s_spools,
+                                          &breakdown.replicated)
+                  : PartitionInput(*s.heap, partitioner, &s_spools,
+                                   &breakdown.replicated));
   }
 
   // ---- Filter: merge each partition pair with the plane sweep. ----
@@ -225,11 +303,16 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
     PhaseTimer timer(disk, &cost, "merge partitions");
     for (uint32_t p = 0; p < num_partitions; ++p) {
       if (opts.cancel != nullptr && opts.cancel->is_cancelled()) {
+        // Materialize the open phase spans so a caller exporting the span
+        // tree after this abort sees a complete tree.
+        Tracer::Global().FlushOpenSpans();
         return opts.cancel->CancellationStatus();
       }
-      PBSM_RETURN_IF_ERROR(MergePair(pool, &r_spools[p], &s_spools[p],
-                                     universe, opts, /*depth=*/0, &sorter,
-                                     &breakdown));
+      PBSM_RETURN_IF_ERROR(
+          two_layer ? MergePairTwoLayer(&r_spools[p], &s_spools[p], opts,
+                                        &sorter, &breakdown)
+                    : MergePair(pool, &r_spools[p], &s_spools[p], universe,
+                                opts, /*depth=*/0, &sorter, &breakdown));
       PBSM_RETURN_IF_ERROR(r_spools[p].Drop());
       PBSM_RETURN_IF_ERROR(s_spools[p].Drop());
     }

@@ -42,7 +42,9 @@ struct JoinSpec {
   SpatialPredicate predicate = SpatialPredicate::kIntersects;
 
   /// Knobs shared by every algorithm (memory budget, tiles, refinement
-  /// mode, thread count for the parallel executor, ...).
+  /// mode, thread count for the parallel executor, ...). Of note for the
+  /// PBSM methods: options.dedup_mode selects the duplicate-free two-layer
+  /// filter (default) or the paper's replicate-then-merge-dedup scheme.
   JoinOptions options;
 
   /// Receives each (r, s) result pair. Always oriented as the facade's

@@ -82,6 +82,31 @@ void SpatialPartitioner::PartitionsFor(const Rect& mbr,
   out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
+void SpatialPartitioner::ClassifyTiles(const Rect& mbr,
+                                       std::vector<TileAssignment>* out) const {
+  const uint32_t t_lo = TileFor(mbr.xlo, mbr.ylo);
+  const uint32_t t_hi = TileFor(mbr.xhi, mbr.yhi);
+  const uint32_t col_lo = t_lo % nx_;
+  const uint32_t col_hi = t_hi % nx_;
+  // ylo maps to the *larger* row number (rows count from the top), so the
+  // origin corner (xlo, ylo) lives in tile (col_lo, row_hi).
+  const uint32_t row_hi = t_lo / nx_;
+  const uint32_t row_lo = t_hi / nx_;
+  for (uint32_t row = row_lo; row <= row_hi; ++row) {
+    const bool origin_row = row == row_hi;
+    for (uint32_t col = col_lo; col <= col_hi; ++col) {
+      const bool origin_col = col == col_lo;
+      TileClass cls;
+      if (origin_row) {
+        cls = origin_col ? TileClass::kA : TileClass::kB;
+      } else {
+        cls = origin_col ? TileClass::kC : TileClass::kD;
+      }
+      out->push_back(TileAssignment{row * nx_ + col, cls});
+    }
+  }
+}
+
 uint32_t SpatialPartitioner::EstimatePartitionCount(uint64_t r_cardinality,
                                                     uint64_t s_cardinality,
                                                     size_t memory_bytes) {

@@ -14,6 +14,43 @@ enum class TileMapping {
   kHash,        ///< partition = hash(tile_number) mod P.
 };
 
+/// How the filter phase avoids emitting a replicated candidate pair more
+/// than once.
+enum class DedupMode {
+  /// The paper's scheme: replicate into every overlapped tile, sweep each
+  /// partition, then k-way merge-dedup the per-partition candidate lists
+  /// before refinement (§3.2's sort doubles as the dedup).
+  kMerge,
+  /// Two-layer space-oriented partitioning (Tsitsigkos et al.): each tile
+  /// copy is tagged with the corner class A/B/C/D of where the MBR sits
+  /// relative to the tile, and per-tile joins run only the class-pair
+  /// mini-joins whose geometry guarantees each intersecting pair is
+  /// produced by exactly one tile. No merge, no dedup hash.
+  kTwoLayer,
+};
+
+inline const char* DedupModeName(DedupMode mode) {
+  return mode == DedupMode::kMerge ? "merge" : "two_layer";
+}
+
+/// Corner class of one tile copy of an MBR (two-layer partitioning).
+/// With rows numbered from the top (row 0 = top, larger row = smaller y),
+/// the MBR's *origin corner* (xlo, ylo) lands in exactly one overlapped
+/// tile: the lowest-column, highest-row one. Classes name the copy's
+/// position relative to that origin tile:
+///   A: origin tile (col == col_lo && row == row_hi) — holds the corner.
+///   B: same row as the origin, column to the right (col > col_lo).
+///   C: same column as the origin, row above (row < row_hi).
+///   D: strictly right and above (col > col_lo && row < row_hi).
+enum class TileClass : uint32_t { kA = 0, kB = 1, kC = 2, kD = 3 };
+
+/// One tile copy produced by classification: which tile, and which class
+/// the copy has inside that tile.
+struct TileAssignment {
+  uint32_t tile = 0;
+  TileClass cls = TileClass::kA;
+};
+
 /// The paper's spatial partitioning function (§3.4).
 ///
 /// The universe is decomposed regularly into a grid of NT tiles, numbered
@@ -36,6 +73,13 @@ class SpatialPartitioner {
   /// border tiles (the catalog universe always covers the data, but a join
   /// partitions both inputs with the *combined* universe).
   void PartitionsFor(const Rect& mbr, std::vector<uint32_t>* out) const;
+
+  /// Appends to `out` one TileAssignment per tile `mbr` overlaps, each
+  /// tagged with its corner class (see TileClass). Unlike PartitionsFor
+  /// this emits one entry per *tile*, not per partition — two-layer
+  /// mini-joins are evaluated at tile granularity. Exactly one entry has
+  /// class A. Same clamping rules as PartitionsFor.
+  void ClassifyTiles(const Rect& mbr, std::vector<TileAssignment>* out) const;
 
   /// Tile number of a point (row-major from the upper-left corner).
   uint32_t TileFor(double x, double y) const;

@@ -178,7 +178,10 @@ size_t ScanWindowScalar(const SoaView& rects, double qxlo, double qylo,
   return hits;
 }
 
-constexpr SweepKernelOps kScalarOps = {&ScanPairsScalar, &ScanWindowScalar};
+// The scalar pair scan never reads past `lim`, so it already satisfies the
+// stricter scan_pairs_span contract (arbitrary mid-array spans).
+constexpr SweepKernelOps kScalarOps = {&ScanPairsScalar, &ScanWindowScalar,
+                                       &ScanPairsScalar};
 
 }  // namespace
 
@@ -227,6 +230,8 @@ SweepScratch& SweepScratch::ThreadLocal() {
 
 void SweepScratch::UpdateReservedGauge() {
   const size_t now = r_soa.reserved_bytes() + s_soa.reserved_bytes() +
+                     t_soa.reserved_bytes() +
+                     tkp.capacity() * sizeof(KeyPointer) +
                      events.capacity() * sizeof(SweepEvent) +
                      handles.capacity() * sizeof(uint64_t) +
                      idx.capacity() * sizeof(uint32_t) +

@@ -180,6 +180,11 @@ using ScanWindowFn = size_t (*)(const SoaView& rects, double qxlo,
 struct SweepKernelOps {
   ScanPairsFn scan_pairs;
   ScanWindowFn scan_window;
+  /// Same semantics as scan_pairs but safe for *any* mid-array [from, lim):
+  /// lanes at or past `lim` are masked out instead of relying on the padded
+  /// tail, so callers may stop a scan at an arbitrary run boundary (the
+  /// two-layer mini-joins scan per-tile class runs inside one big SoA).
+  ScanPairsFn scan_pairs_span;
 };
 
 /// The resolved implementation table for a kernel kind.
@@ -219,6 +224,10 @@ inline constexpr size_t kPairBufferCap = 4096;
 struct SweepScratch {
   SoaRects r_soa;
   SoaRects s_soa;
+  /// Transposed (x<->y swapped) per-tile class run for the two-layer A×C /
+  /// C×A mini-joins, plus the staging vector it is assembled in.
+  SoaRects t_soa;
+  std::vector<KeyPointer> tkp;
   std::vector<SweepEvent> events;
   std::vector<uint64_t> handles;
   std::vector<uint32_t> idx;

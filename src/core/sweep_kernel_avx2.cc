@@ -103,10 +103,74 @@ size_t ScanWindowAvx2(const SoaView& rects, double qxlo, double qylo,
   return hits;
 }
 
+/// scan_pairs_span: like ScanPairsAvx2, but `lim` may land anywhere in the
+/// array — including the middle of live data (the two-layer mini-joins stop
+/// scans at per-tile class-run boundaries inside one big SoA). Lanes at or
+/// past `lim` are masked out of both the match set and the x-termination
+/// test, so real rectangles beyond the span can neither emit pairs nor end
+/// the scan early. Loads still read up to 3 elements past `lim`, which is
+/// safe: the allocation extends to PaddedCap(size) >= size + 4.
+ScanResult ScanPairsSpanAvx2(const SoaView& other, size_t from, size_t lim,
+                             double head_xhi, double head_ylo, double head_yhi,
+                             uint64_t head_oid, bool head_is_r, OidPair* out,
+                             uint64_t* simd_lanes) {
+  const __m256d vhead_xhi = _mm256_set1_pd(head_xhi);
+  const __m256d vhead_ylo = _mm256_set1_pd(head_ylo);
+  const __m256d vhead_yhi = _mm256_set1_pd(head_yhi);
+  ScanResult res;
+  uint64_t lanes = 0;
+  size_t k = from;
+  while (k < lim) {
+    const size_t valid = lim - k < 4 ? lim - k : 4;
+    const unsigned vmask = (1u << valid) - 1u;
+    const __m256d xlo = _mm256_loadu_pd(other.xlo + k);
+    const __m256d ylo = _mm256_loadu_pd(other.ylo + k);
+    const __m256d yhi = _mm256_loadu_pd(other.yhi + k);
+    const __m256d x_ok = _mm256_cmp_pd(xlo, vhead_xhi, _CMP_LE_OQ);
+    const __m256d y_ok =
+        _mm256_and_pd(_mm256_cmp_pd(vhead_ylo, yhi, _CMP_LE_OQ),
+                      _mm256_cmp_pd(ylo, vhead_yhi, _CMP_LE_OQ));
+    const unsigned xm =
+        static_cast<unsigned>(_mm256_movemask_pd(x_ok)) & vmask;
+    unsigned m = static_cast<unsigned>(
+                     _mm256_movemask_pd(_mm256_and_pd(x_ok, y_ok))) &
+                 vmask;
+    lanes += valid;
+    if (xm != vmask) {
+      // First *valid* lane failing the x test ends the scan; matches from
+      // later lanes (or lanes past lim) must not be emitted.
+      const unsigned stop = static_cast<unsigned>(__builtin_ctz(~xm & vmask));
+      m &= (1u << stop) - 1u;
+      while (m != 0) {
+        const unsigned b = static_cast<unsigned>(__builtin_ctz(m));
+        m &= m - 1;
+        const uint64_t other_oid = other.oid[k + b];
+        out[res.matched++] = head_is_r ? OidPair{head_oid, other_oid}
+                                       : OidPair{other_oid, head_oid};
+      }
+      k += stop;
+      res.hit_x_end = true;
+      break;
+    }
+    while (m != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(m));
+      m &= m - 1;
+      const uint64_t other_oid = other.oid[k + b];
+      out[res.matched++] = head_is_r ? OidPair{head_oid, other_oid}
+                                     : OidPair{other_oid, head_oid};
+    }
+    k += valid;
+  }
+  res.consumed = static_cast<uint32_t>(k - from);
+  *simd_lanes += lanes;
+  return res;
+}
+
 }  // namespace
 
 extern const SweepKernelOps kAvx2Ops;
-const SweepKernelOps kAvx2Ops = {&ScanPairsAvx2, &ScanWindowAvx2};
+const SweepKernelOps kAvx2Ops = {&ScanPairsAvx2, &ScanWindowAvx2,
+                                 &ScanPairsSpanAvx2};
 
 }  // namespace sweep_internal
 }  // namespace pbsm

@@ -1,0 +1,36 @@
+#include "core/two_layer_filter.h"
+
+#include "common/metrics.h"
+
+namespace pbsm {
+namespace two_layer_internal {
+
+void FlushTwoLayerMetrics(const TwoLayerMetrics& m) {
+  static Counter* const tiles =
+      MetricsRegistry::Global().GetCounter("filter.minijoin_tiles");
+  static Counter* const scans =
+      MetricsRegistry::Global().GetCounter("filter.minijoin_scans");
+  static Counter* const pairs =
+      MetricsRegistry::Global().GetCounter("filter.minijoin_pairs");
+  if (m.tiles != 0) tiles->Add(m.tiles);
+  if (m.scans != 0) scans->Add(m.scans);
+  if (m.pairs != 0) pairs->Add(m.pairs);
+}
+
+void FlushClassCounts(const uint64_t counts[4]) {
+  static Counter* const a =
+      MetricsRegistry::Global().GetCounter("partition.class_a");
+  static Counter* const b =
+      MetricsRegistry::Global().GetCounter("partition.class_b");
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("partition.class_c");
+  static Counter* const d =
+      MetricsRegistry::Global().GetCounter("partition.class_d");
+  if (counts[0] != 0) a->Add(counts[0]);
+  if (counts[1] != 0) b->Add(counts[1]);
+  if (counts[2] != 0) c->Add(counts[2]);
+  if (counts[3] != 0) d->Add(counts[3]);
+}
+
+}  // namespace two_layer_internal
+}  // namespace pbsm

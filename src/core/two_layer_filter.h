@@ -1,0 +1,259 @@
+#ifndef PBSM_CORE_TWO_LAYER_FILTER_H_
+#define PBSM_CORE_TWO_LAYER_FILTER_H_
+
+// Two-layer duplicate-free filter (Tsitsigkos et al., arXiv 2307.09256,
+// with the mini-join decomposition of arXiv 1908.11740).
+//
+// PBSM replicates an object into every tile its MBR overlaps and later
+// deduplicates candidate pairs (reference-point test or merge-sort). The
+// two-layer scheme instead tags each tile copy with a *corner class*
+// relative to the copy's origin tile — A (holds the MBR's (xlo, ylo)
+// corner), B (same row, right of the origin column), C (same column,
+// above the origin row), D (right and above) — and evaluates each tile's
+// join as a small set of class-pair mini-joins:
+//
+//     A×A, A×B, B×A, A×C, C×A, A×D, D×A, B×C, C×B
+//
+// For a pair of intersecting MBRs, the unique tile at column
+// max(col_lo_r, col_lo_s), row min(row_hi_r, row_hi_s) — where both
+// x-spans start and both y-spans "bottom out" — is the only tile where
+// the pair's classes form one of the nine combinations, so the pair is
+// emitted by exactly one tile and deduplication disappears entirely. The
+// remaining combinations (B/D × B/D in x, C/D × C/D in y) occur only at
+// non-owner tiles and are provably redundant; skipping them is also
+// where the speedup comes from. See DESIGN.md, "Two-layer duplicate-free
+// filtering" for the full geometry argument.
+//
+// Each mini-join further elides the overlap tests its class geometry
+// already guarantees (e.g. in A×B the B copy's xlo is known to lie left
+// of the tile, hence left of the A copy's whole extent), reducing each
+// to the existing batched scan kernel with one-sided bounds encoded as
+// ±infinity. The combos that pair two runs starting inside the tile
+// (A×A, A×C, C×A) run as ordinary two-cursor sweeps between the runs:
+// the advancing cursor already realizes the x-overlap structure and the
+// kernel's two y compares cost the same whether or not one is redundant.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/key_pointer.h"
+#include "core/sweep_kernel.h"
+
+namespace pbsm {
+
+/// Canonical order of classed copies inside one partition: tile, then
+/// class, then xlo — giving each tile a contiguous range in which each
+/// class is a contiguous xlo-sorted run. (tile, cls) is compared as one
+/// packed integer: the sort is on the partition's critical path and the
+/// two-shift pack is cheaper than a second compare-and-branch.
+inline bool ClassedKeyPointerOrder(const ClassedKeyPointer& a,
+                                   const ClassedKeyPointer& b) {
+  const uint64_t ka = (static_cast<uint64_t>(a.tile) << 2) | a.cls;
+  const uint64_t kb = (static_cast<uint64_t>(b.tile) << 2) | b.cls;
+  if (ka != kb) return ka < kb;
+  return a.mbr.xlo < b.mbr.xlo;
+}
+
+namespace two_layer_internal {
+
+/// Per-call metric accumulator, flushed once per partition so the hot loop
+/// never touches atomics. Feeds filter.minijoin_{tiles,scans,pairs}.
+struct TwoLayerMetrics {
+  uint64_t tiles = 0;  ///< Tiles present on both sides (mini-joins ran).
+  uint64_t scans = 0;  ///< Head scans issued across all mini-joins.
+  uint64_t pairs = 0;  ///< Candidate pairs emitted.
+};
+
+void FlushTwoLayerMetrics(const TwoLayerMetrics& m);
+
+/// Bumps partition.class_{a,b,c,d} by locally accumulated classification
+/// counts (indexed by TileClass value).
+void FlushClassCounts(const uint64_t counts[4]);
+
+/// Class-run boundaries of one tile: elements [bound[c], bound[c+1]) of
+/// the sorted array are the tile's class-c copies.
+struct ClassRuns {
+  size_t bound[5];
+};
+
+/// Fills `out` with the class runs of the tile starting at index `i` of
+/// the ClassedKeyPointerOrder-sorted array; returns the index one past the
+/// tile (== bound[4]).
+inline size_t FindClassRuns(const std::vector<ClassedKeyPointer>& v, size_t i,
+                            ClassRuns* out) {
+  const uint32_t tile = v[i].tile;
+  size_t k = i;
+  for (uint32_t c = 0; c < 4; ++c) {
+    out->bound[c] = k;
+    while (k < v.size() && v[k].tile == tile && v[k].cls == c) ++k;
+  }
+  out->bound[4] = k;
+  return k;
+}
+
+}  // namespace two_layer_internal
+
+/// Evaluates one partition's filter step with the two-layer mini-join
+/// decomposition. Inputs are the partition's classed key-pointer copies
+/// (both sides, any order; sorted in place). Across all partitions, every
+/// pair of objects with intersecting MBRs is handed to `sink` exactly once
+/// — no dedup required before refinement. Sink contract as in
+/// PlaneSweepJoinBatch. Returns the number of pairs emitted.
+///
+/// Allocation-free in steady state: the SoA columns, the transposed run,
+/// and the pair buffer all live in the (thread-local by default) scratch
+/// and are reused across partitions.
+template <typename Sink>
+uint64_t TwoLayerPartitionJoinBatch(std::vector<ClassedKeyPointer>* r,
+                                    std::vector<ClassedKeyPointer>* s,
+                                    KernelKind kind, Sink&& sink,
+                                    SweepScratch* scratch = nullptr) {
+  if (r->empty() || s->empty()) return 0;
+  SweepScratch& sc = scratch != nullptr ? *scratch : SweepScratch::ThreadLocal();
+  std::sort(r->begin(), r->end(), ClassedKeyPointerOrder);
+  std::sort(s->begin(), s->end(), ClassedKeyPointerOrder);
+  sc.r_soa.Assign(r->data(), r->size());
+  sc.s_soa.Assign(s->data(), s->size());
+  const SoaView rv = sc.r_soa.view();
+  const SoaView sv = sc.s_soa.view();
+  if (sc.pairs.size() < kPairBufferCap) {
+    sc.pairs.resize(kPairBufferCap);
+  }
+  OidPair* const buf = sc.pairs.data();
+  size_t buf_size = 0;
+  uint64_t total = 0;
+  sweep_internal::KernelMetrics m;
+  two_layer_internal::TwoLayerMetrics tm;
+  const sweep_internal::SweepKernelOps& ops = sweep_internal::KernelOps(kind);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  auto flush = [&] {
+    if (buf_size == 0) return;
+    sink(static_cast<const OidPair*>(buf), buf_size);
+    ++m.flushes;
+    buf_size = 0;
+  };
+
+  // One head against `other`'s xlo-sorted [from, lim) span, with explicit
+  // bounds: ±infinity encodes the one-sided tests of asymmetric mini-joins
+  // (the padded-tail sentinels fail those compares too, so open bounds are
+  // safe). Uses the span-safe kernel because lim is a class-run boundary
+  // in the middle of live SoA data.
+  auto scan_span = [&](const SoaView& other, size_t from, size_t lim,
+                       double head_xhi, double head_ylo, double head_yhi,
+                       uint64_t head_oid, bool head_is_r) {
+    ++tm.scans;
+    size_t k = from;
+    while (k < lim) {
+      if (buf_size + sweep_internal::kScanBlock > kPairBufferCap) flush();
+      const size_t blk = std::min(k + sweep_internal::kScanBlock, lim);
+      const sweep_internal::ScanResult res = ops.scan_pairs_span(
+          other, k, blk, head_xhi, head_ylo, head_yhi, head_oid, head_is_r,
+          buf + buf_size, &m.simd_lanes);
+      ++m.batches;
+      buf_size += res.matched;
+      total += res.matched;
+      k += res.consumed;
+      if (res.hit_x_end) break;
+    }
+  };
+
+  // Full §3.1 two-cursor sweep between an xlo-sorted run of the `a` view
+  // (from the `a_is_r` input) and one of the other view. Used for A×A —
+  // neither side's position is constrained relative to the other — and for
+  // A×C / C×A, where the two-sided x and one-sided y tests left by the
+  // class geometry are at most what the sweep evaluates anyway, and the
+  // advancing cursor beats any per-head rescan of the A run.
+  auto join_sweep = [&](const SoaView& av, size_t ab, size_t ae, bool a_is_r,
+                        const SoaView& bv, size_t bb, size_t be) {
+    size_t i = ab, j = bb;
+    while (i < ae && j < be) {
+      if (av.xlo[i] <= bv.xlo[j]) {
+        scan_span(bv, j, be, av.xhi[i], av.ylo[i], av.yhi[i], av.oid[i],
+                  /*head_is_r=*/a_is_r);
+        ++i;
+      } else {
+        scan_span(av, i, ae, bv.xhi[j], bv.ylo[j], bv.yhi[j], bv.oid[j],
+                  /*head_is_r=*/!a_is_r);
+        ++j;
+      }
+    }
+  };
+
+  // Asymmetric mini-joins A×B / A×D / B×C (and mirrors): every head in
+  // hv's [hb, he) scans ov's [ob, oe) from the start. `lo_open` elides
+  // head.ylo <= other.yhi, `hi_open` elides other.ylo <= head.yhi — tests
+  // the class geometry already guarantees.
+  auto join_heads = [&](const SoaView& hv, size_t hb, size_t he,
+                        const SoaView& ov, size_t ob, size_t oe, bool lo_open,
+                        bool hi_open, bool head_is_r) {
+    if (ob == oe) return;
+    for (size_t h = hb; h < he; ++h) {
+      scan_span(ov, ob, oe, hv.xhi[h], lo_open ? -kInf : hv.ylo[h],
+                hi_open ? kInf : hv.yhi[h], hv.oid[h], head_is_r);
+    }
+  };
+
+  auto skip_tile = [](const std::vector<ClassedKeyPointer>& v, size_t i) {
+    const uint32_t tile = v[i].tile;
+    while (i < v.size() && v[i].tile == tile) ++i;
+    return i;
+  };
+
+  size_t i = 0, j = 0;
+  while (i < r->size() && j < s->size()) {
+    const uint32_t rt = (*r)[i].tile;
+    const uint32_t st = (*s)[j].tile;
+    if (rt < st) {
+      i = skip_tile(*r, i);
+      continue;
+    }
+    if (st < rt) {
+      j = skip_tile(*s, j);
+      continue;
+    }
+    two_layer_internal::ClassRuns rr, sr;
+    i = two_layer_internal::FindClassRuns(*r, i, &rr);
+    j = two_layer_internal::FindClassRuns(*s, j, &sr);
+    ++tm.tiles;
+    // The nine admissible class combinations. x-elisions: a class-B/D copy
+    // starts left of the tile while A/C copies start inside it; y-elisions:
+    // a class-C/D copy starts below the tile while A/B copies start inside.
+    join_sweep(rv, rr.bound[0], rr.bound[1], /*a_is_r=*/true, sv, sr.bound[0],
+               sr.bound[1]);
+    // A×B / B×A: full y, one-sided x (termination only).
+    join_heads(sv, sr.bound[1], sr.bound[2], rv, rr.bound[0], rr.bound[1],
+               /*lo_open=*/false, /*hi_open=*/false, /*head_is_r=*/false);
+    join_heads(rv, rr.bound[1], rr.bound[2], sv, sr.bound[0], sr.bound[1],
+               /*lo_open=*/false, /*hi_open=*/false, /*head_is_r=*/true);
+    // A×D / D×A: one-sided x and the D side's ylo test both elided.
+    join_heads(sv, sr.bound[3], sr.bound[4], rv, rr.bound[0], rr.bound[1],
+               /*lo_open=*/true, /*hi_open=*/false, /*head_is_r=*/false);
+    join_heads(rv, rr.bound[3], rr.bound[4], sv, sr.bound[0], sr.bound[1],
+               /*lo_open=*/true, /*hi_open=*/false, /*head_is_r=*/true);
+    // B×C / C×B: the B head's x-low test and the C side's ylo test elided.
+    join_heads(rv, rr.bound[1], rr.bound[2], sv, sr.bound[2], sr.bound[3],
+               /*lo_open=*/false, /*hi_open=*/true, /*head_is_r=*/true);
+    join_heads(sv, sr.bound[1], sr.bound[2], rv, rr.bound[2], rr.bound[3],
+               /*lo_open=*/false, /*hi_open=*/true, /*head_is_r=*/false);
+    // A×C / C×A: same cross-run sweep (the C side's ylo test is redundant
+    // but harmless — the kernel evaluates both y compares regardless).
+    join_sweep(rv, rr.bound[0], rr.bound[1], /*a_is_r=*/true, sv, sr.bound[2],
+               sr.bound[3]);
+    join_sweep(rv, rr.bound[2], rr.bound[3], /*a_is_r=*/true, sv, sr.bound[0],
+               sr.bound[1]);
+  }
+  flush();
+  tm.pairs = total;
+  sweep_internal::FlushKernelMetrics(m);
+  two_layer_internal::FlushTwoLayerMetrics(tm);
+  sc.UpdateReservedGauge();
+  return total;
+}
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_TWO_LAYER_FILTER_H_

@@ -88,24 +88,35 @@ TEST_F(JoinDifferentialTest, AllMethodsMatchBruteForceOracleAcrossSweep) {
       SCOPED_TRACE(simd == SimdMode::kScalar ? "simd=scalar" : "simd=avx2");
       for (const JoinMethod method : AllJoinMethods()) {
         SCOPED_TRACE(JoinMethodName(method));
-        StorageEnv env(512 * kPageSize);
-        PBSM_ASSERT_OK_AND_ASSIGN(
-            const StoredRelation r,
-            LoadRelation(env.pool(), nullptr, "road", roads, c.clustered));
-        PBSM_ASSERT_OK_AND_ASSIGN(
-            const StoredRelation s,
-            LoadRelation(env.pool(), nullptr, "hydro", hydro, c.clustered));
+        // The dedup knob belongs to the PBSM methods: exercise both the
+        // two-layer (duplicate-free) and merge-dedup filters there; the
+        // other methods ignore it and run once.
+        const bool pbsm_family = method == JoinMethod::kPbsm ||
+                                 method == JoinMethod::kParallelPbsm;
+        std::vector<DedupMode> modes = {DedupMode::kTwoLayer};
+        if (pbsm_family) modes.push_back(DedupMode::kMerge);
+        for (const DedupMode mode : modes) {
+          SCOPED_TRACE(DedupModeName(mode));
+          StorageEnv env(512 * kPageSize);
+          PBSM_ASSERT_OK_AND_ASSIGN(
+              const StoredRelation r,
+              LoadRelation(env.pool(), nullptr, "road", roads, c.clustered));
+          PBSM_ASSERT_OK_AND_ASSIGN(
+              const StoredRelation s,
+              LoadRelation(env.pool(), nullptr, "hydro", hydro, c.clustered));
 
-        JoinSpec spec;
-        spec.method = method;
-        spec.predicate = c.pred;
-        spec.options.memory_budget_bytes = 1 << 20;
-        spec.options.num_tiles = c.num_tiles;
-        spec.options.num_threads = c.num_threads;
-        spec.options.simd = simd;
-        PBSM_ASSERT_OK_AND_ASSIGN(const IdPairSet got,
-                                  RunJoinToIdPairs(env.pool(), r, s, spec));
-        EXPECT_EQ(got, expected);
+          JoinSpec spec;
+          spec.method = method;
+          spec.predicate = c.pred;
+          spec.options.memory_budget_bytes = 1 << 20;
+          spec.options.num_tiles = c.num_tiles;
+          spec.options.num_threads = c.num_threads;
+          spec.options.simd = simd;
+          spec.options.dedup_mode = mode;
+          PBSM_ASSERT_OK_AND_ASSIGN(const IdPairSet got,
+                                    RunJoinToIdPairs(env.pool(), r, s, spec));
+          EXPECT_EQ(got, expected);
+        }
       }
     }
   }
@@ -158,7 +169,9 @@ TEST_F(JoinDifferentialTest, TinyAndEmptyInputs) {
       if (shape.r.empty() || shape.s.empty()) {
         // An empty side may be rejected (empty universe) or yield an empty
         // result; either way it must not produce pairs or crash.
-        if (got.ok()) EXPECT_TRUE(got->empty());
+        if (got.ok()) {
+          EXPECT_TRUE(got->empty());
+        }
         continue;
       }
       ASSERT_TRUE(got.ok()) << got.status().ToString();

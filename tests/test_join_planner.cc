@@ -112,6 +112,33 @@ TEST(PlanJoinTest, HistogramSharpensTheCandidateEstimate) {
             catalog_only.estimated_candidates);
 }
 
+TEST(PlanJoinTest, MergeDedupModeChargesOnlyThePbsmMethods) {
+  const RelationInfo r_info = MakeInfo("r", 50000, 2.0);
+  const RelationInfo s_info = MakeInfo("s", 20000, 2.0);
+  PlannerCosts costs;  // Default: two-layer, no merge-dedup term.
+  const PlanChoice two_layer = PlanJoin({&r_info}, {&s_info}, 8, costs);
+  costs.dedup_mode = DedupMode::kMerge;
+  const PlanChoice merge = PlanJoin({&r_info}, {&s_info}, 8, costs);
+
+  auto cost_of = [](const PlanChoice& choice, JoinMethod m) {
+    for (const MethodCost& alt : choice.alternatives) {
+      if (alt.method == m) return alt.estimated_seconds;
+    }
+    ADD_FAILURE() << "method missing from plan";
+    return 0.0;
+  };
+  // The serial dedup phase makes both PBSM variants dearer under kMerge...
+  EXPECT_GT(cost_of(merge, JoinMethod::kPbsm),
+            cost_of(two_layer, JoinMethod::kPbsm));
+  EXPECT_GT(cost_of(merge, JoinMethod::kParallelPbsm),
+            cost_of(two_layer, JoinMethod::kParallelPbsm));
+  // ...while methods without the knob are untouched.
+  EXPECT_EQ(cost_of(merge, JoinMethod::kRtree),
+            cost_of(two_layer, JoinMethod::kRtree));
+  EXPECT_EQ(cost_of(merge, JoinMethod::kSpatialHash),
+            cost_of(two_layer, JoinMethod::kSpatialHash));
+}
+
 TEST(PlanJoinTest, OverrideCostsSteerTheChoice) {
   const RelationInfo r_info = MakeInfo("r", 50000, 2.0);
   const RelationInfo s_info = MakeInfo("s", 50000, 2.0);

@@ -216,5 +216,58 @@ TEST(TraceTest, ClearDiscardsHistory) {
   EXPECT_TRUE(tracer.FinishedSpans().empty());
 }
 
+TEST(TraceTest, FlushOpenSpansMaterializesOpenTree) {
+  // An export taken while spans are still open (cancellation exit, abort
+  // handler) must see the open ancestors, correctly parented, not just
+  // their finished children.
+  Tracer tracer;
+  {
+    TraceSpan outer("outer", &tracer);
+    {
+      TraceSpan inner("inner", &tracer);
+      { TraceSpan leaf("leaf", &tracer); }
+
+      tracer.FlushOpenSpans();
+      std::vector<SpanRecord> spans = tracer.FinishedSpans();
+      ASSERT_EQ(spans.size(), 3u);
+      EXPECT_EQ(spans[0].name, "outer");
+      EXPECT_EQ(spans[0].parent_id, 0u);
+      EXPECT_EQ(spans[1].name, "inner");
+      EXPECT_EQ(spans[1].parent_id, spans[0].span_id);
+      EXPECT_EQ(spans[2].name, "leaf");
+      EXPECT_EQ(spans[2].parent_id, spans[1].span_id);
+
+      // A second flush extends the provisional records, never duplicates.
+      tracer.FlushOpenSpans();
+      EXPECT_EQ(tracer.FinishedSpans().size(), 3u);
+    }
+  }
+  // Normal close finalizes the provisional records in place.
+  const std::vector<SpanRecord> spans = tracer.FinishedSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_GE(spans[0].end_us, spans[1].end_us);
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+}
+
+TEST(TraceTest, FlushedSpansSurviveClearWithoutStaleFinalize) {
+  // Clear() between a flush and the close must not let the close write
+  // through its now-stale provisional index.
+  Tracer tracer;
+  {
+    TraceSpan outer("outer", &tracer);
+    tracer.FlushOpenSpans();
+    EXPECT_EQ(tracer.FinishedSpans().size(), 1u);
+    tracer.Clear();
+    EXPECT_TRUE(tracer.FinishedSpans().empty());
+    { TraceSpan other("other", &tracer); }
+  }
+  const std::vector<SpanRecord> spans = tracer.FinishedSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // The re-closed outer span appends a fresh record.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "other");
+}
+
 }  // namespace
 }  // namespace pbsm

@@ -117,7 +117,9 @@ TEST_F(ParallelPbsmExecTest, TinyBudgetTriggersRepartitioning) {
       SerialReference(SweepAlgorithm::kForwardSweep, 1 << 20);
   JoinOptions opts;
   // One partition holding everything + a budget far below its key-pointer
-  // footprint forces the in-memory §3.5 repartition path.
+  // footprint forces the in-memory §3.5 repartition path, which only the
+  // merge-dedup mode has (two-layer partitions are processed whole).
+  opts.dedup_mode = DedupMode::kMerge;
   opts.memory_budget_bytes = 16 << 10;
   opts.num_partitions_override = 1;
   opts.num_threads = 4;
@@ -158,7 +160,30 @@ TEST_F(ParallelPbsmExecTest, PartitionOverrideIsRespected) {
 }
 
 TEST_F(ParallelPbsmExecTest, CostBreakdownHasAllPhases) {
+  // Default (two-layer) mode: no merge phase exists — its absence from the
+  // breakdown is the observable contract of duplicate-free filtering.
   JoinOptions opts;
+  opts.memory_budget_bytes = 1 << 20;
+  opts.num_threads = 2;
+  ParallelJoinStats stats;
+  auto cost = ParallelPbsmJoin(env_->pool(), roads_->AsInput(),
+                               hydro_->AsInput(),
+                               SpatialPredicate::kIntersects, opts, {},
+                               &stats);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  ASSERT_EQ(cost->phases.size(), 3u);
+  EXPECT_EQ(cost->phases[0].first, "partition inputs");
+  EXPECT_EQ(cost->phases[1].first, "filter partitions");
+  EXPECT_EQ(cost->phases[2].first, "refinement");
+  EXPECT_GT(cost->candidates, 0u);
+  EXPECT_EQ(cost->duplicates_removed, 0u);
+  EXPECT_EQ(stats.merge_wall_seconds, 0.0);
+  EXPECT_GT(cost->Total().cpu_seconds, 0.0);
+}
+
+TEST_F(ParallelPbsmExecTest, MergeModeCostBreakdownHasMergePhase) {
+  JoinOptions opts;
+  opts.dedup_mode = DedupMode::kMerge;
   opts.memory_budget_bytes = 1 << 20;
   opts.num_threads = 2;
   auto cost = ParallelPbsmJoin(env_->pool(), roads_->AsInput(),

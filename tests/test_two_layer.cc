@@ -1,0 +1,335 @@
+// Two-layer duplicate-free filtering, unit level: corner classification of
+// degenerate and multi-tile MBRs, the exactly-once emission guarantee of
+// the class-pair mini-joins (the property that lets the join skip the
+// merge-dedup phase entirely), and the steady-state zero-allocation
+// contract of the partition filter.
+//
+// This TU replaces the global allocation operators with counting versions
+// (toggled by a flag, delegating to malloc/free) so the zero-allocation
+// test observes every heap allocation the filter would make. The test
+// binary is its own executable (one binary per test source), so the
+// replacement affects nothing else.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/key_pointer.h"
+#include "core/spatial_partitioner.h"
+#include "core/sweep_kernel.h"
+#include "core/two_layer_filter.h"
+#include "geom/rect.h"
+
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<uint64_t> g_alloc_count{0};
+
+void NoteAlloc() {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* CountedAlloc(std::size_t size) {
+  NoteAlloc();
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  NoteAlloc();
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded == 0 ? align : rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace pbsm {
+namespace {
+
+// A 4x4 grid of 2x2 tiles over [0,8]^2: num_tiles = 16 resolves to
+// nx = ny = 4 exactly, so tile geometry is easy to reason about in the
+// classification tests below.
+SpatialPartitioner MakeGrid() {
+  return SpatialPartitioner(Rect(0, 0, 8, 8), /*num_tiles=*/16,
+                            /*num_partitions=*/4, TileMapping::kHash);
+}
+
+TileClass ClassOfTile(const std::vector<TileAssignment>& v, uint32_t tile) {
+  for (const TileAssignment& ta : v) {
+    if (ta.tile == tile) return ta.cls;
+  }
+  ADD_FAILURE() << "tile " << tile << " missing from classification";
+  return TileClass::kA;
+}
+
+TEST(TileClassificationTest, ZeroAreaMbrIsSingleClassA) {
+  const SpatialPartitioner part = MakeGrid();
+  for (const Rect& mbr : {Rect(3, 3, 3, 3),       // Point, tile interior.
+                          Rect(3, 2.5, 3, 3.5),   // Vertical segment.
+                          Rect(2.5, 3, 3.5, 3)})  // Horizontal segment.
+  {
+    std::vector<TileAssignment> out;
+    part.ClassifyTiles(mbr, &out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].cls, TileClass::kA);
+    EXPECT_EQ(out[0].tile, part.TileFor(mbr.xlo, mbr.ylo));
+  }
+}
+
+TEST(TileClassificationTest, TileBoundaryAlignedMbrSpansNeighbours) {
+  const SpatialPartitioner part = MakeGrid();
+  ASSERT_EQ(part.grid_nx(), 4u);
+  ASSERT_EQ(part.grid_ny(), 4u);
+  // Exactly one tile's closed extent: the xhi/yhi edges lie on the next
+  // tiles' half-open boundaries, so the copy spans a 2x2 block with all
+  // four classes present.
+  std::vector<TileAssignment> out;
+  part.ClassifyTiles(Rect(2, 2, 4, 4), &out);
+  ASSERT_EQ(out.size(), 4u);
+  const uint32_t origin = part.TileFor(2, 2);
+  const uint32_t nx = part.grid_nx();
+  const uint32_t col = origin % nx;
+  const uint32_t row = origin / nx;
+  // Rows number from the top: "above" in y is row - 1.
+  EXPECT_EQ(ClassOfTile(out, row * nx + col), TileClass::kA);
+  EXPECT_EQ(ClassOfTile(out, row * nx + col + 1), TileClass::kB);
+  EXPECT_EQ(ClassOfTile(out, (row - 1) * nx + col), TileClass::kC);
+  EXPECT_EQ(ClassOfTile(out, (row - 1) * nx + col + 1), TileClass::kD);
+
+  // A point exactly on a shared tile corner stays a single class-A copy in
+  // the tile that owns the corner.
+  out.clear();
+  part.ClassifyTiles(Rect(4, 4, 4, 4), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].cls, TileClass::kA);
+  EXPECT_EQ(out[0].tile, part.TileFor(4, 4));
+}
+
+TEST(TileClassificationTest, ThreeByThreeSpanHasExpectedClassCounts) {
+  const SpatialPartitioner part = MakeGrid();
+  std::vector<TileAssignment> out;
+  part.ClassifyTiles(Rect(1, 1, 5, 5), &out);  // Spans a 3x3 tile block.
+  ASSERT_EQ(out.size(), 9u);
+  uint32_t counts[4] = {0, 0, 0, 0};
+  for (const TileAssignment& ta : out) {
+    ++counts[static_cast<uint32_t>(ta.cls)];
+  }
+  EXPECT_EQ(counts[0], 1u);  // A: the origin tile, exactly once.
+  EXPECT_EQ(counts[1], 2u);  // B: origin row, two columns to the right.
+  EXPECT_EQ(counts[2], 2u);  // C: origin column, two rows above.
+  EXPECT_EQ(counts[3], 4u);  // D: the remaining 2x2 block.
+}
+
+TEST(TileClassificationTest, RandomMbrsHaveOneClassAAndMatchPartitionsFor) {
+  // Invariants over arbitrary (including out-of-universe, clamped) MBRs:
+  // exactly one class-A copy, it holds the origin corner, and the set of
+  // partitions touched agrees with the merge path's PartitionsFor.
+  Rng rng(20260808);
+  const SpatialPartitioner part(Rect(0, 0, 100, 50), /*num_tiles=*/64,
+                                /*num_partitions=*/7, TileMapping::kHash);
+  for (int i = 0; i < 500; ++i) {
+    const double xlo = rng.UniformDouble(-10, 105);
+    const double ylo = rng.UniformDouble(-10, 55);
+    const double w = rng.Bernoulli(0.1) ? 0.0 : rng.UniformDouble(0, 40);
+    const double h = rng.Bernoulli(0.1) ? 0.0 : rng.UniformDouble(0, 25);
+    const Rect mbr(xlo, ylo, xlo + w, ylo + h);
+
+    std::vector<TileAssignment> tiles;
+    part.ClassifyTiles(mbr, &tiles);
+    ASSERT_FALSE(tiles.empty());
+    uint32_t a_count = 0;
+    std::vector<uint32_t> via_classify;
+    for (const TileAssignment& ta : tiles) {
+      if (ta.cls == TileClass::kA) {
+        ++a_count;
+        // The class-A tile owns the (possibly clamped) origin corner.
+        const double cx = std::min(std::max(mbr.xlo, 0.0), 100.0);
+        const double cy = std::min(std::max(mbr.ylo, 0.0), 50.0);
+        EXPECT_EQ(ta.tile, part.TileFor(cx, cy));
+      }
+      via_classify.push_back(part.PartitionOfTile(ta.tile));
+    }
+    EXPECT_EQ(a_count, 1u);
+    std::sort(via_classify.begin(), via_classify.end());
+    via_classify.erase(
+        std::unique(via_classify.begin(), via_classify.end()),
+        via_classify.end());
+    std::vector<uint32_t> via_partitions;
+    part.PartitionsFor(mbr, &via_partitions);
+    EXPECT_EQ(via_classify, via_partitions);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mini-join driver: exactly-once emission against a brute-force oracle.
+// ---------------------------------------------------------------------------
+
+/// Routes `rects` (oid = base + index) into per-partition classed buffers,
+/// exactly as the join executors do.
+void RouteClassed(const std::vector<Rect>& rects, uint64_t base,
+                  const SpatialPartitioner& part,
+                  std::vector<std::vector<ClassedKeyPointer>>* bufs) {
+  std::vector<TileAssignment> targets;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    ClassedKeyPointer ckp;
+    ckp.mbr = rects[i];
+    ckp.oid = base + i;
+    targets.clear();
+    part.ClassifyTiles(ckp.mbr, &targets);
+    for (const TileAssignment& ta : targets) {
+      ckp.tile = ta.tile;
+      ckp.cls = static_cast<uint32_t>(ta.cls);
+      (*bufs)[part.PartitionOfTile(ta.tile)].push_back(ckp);
+    }
+  }
+}
+
+std::vector<Rect> RandomRects(Rng* rng, size_t n, const Rect& universe) {
+  std::vector<Rect> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double xlo = rng->UniformDouble(universe.xlo, universe.xhi);
+    const double ylo = rng->UniformDouble(universe.ylo, universe.yhi);
+    // Mix of degenerate (point/segment), small, and multi-tile extents;
+    // occasionally exactly tile-aligned (integral) corners.
+    double w = rng->Bernoulli(0.15) ? 0.0 : rng->UniformDouble(0, 12);
+    double h = rng->Bernoulli(0.15) ? 0.0 : rng->UniformDouble(0, 12);
+    if (rng->Bernoulli(0.2)) {
+      w = static_cast<double>(rng->Uniform(13));
+      h = static_cast<double>(rng->Uniform(13));
+    }
+    out.emplace_back(xlo, ylo, xlo + w, ylo + h);
+  }
+  return out;
+}
+
+TEST(TwoLayerFilterTest, EmitsEveryIntersectingPairExactlyOnce) {
+  Rng rng(917);
+  for (int iter = 0; iter < 10; ++iter) {
+    SCOPED_TRACE("iter=" + std::to_string(iter));
+    const Rect universe(0, 0, 64, 64);
+    const uint32_t num_tiles = 16u << (iter % 4);
+    const uint32_t num_partitions = 1 + iter % 5;
+    const TileMapping mapping =
+        iter % 2 == 0 ? TileMapping::kHash : TileMapping::kRoundRobin;
+    const SpatialPartitioner part(universe, num_tiles, num_partitions,
+                                  mapping);
+    const std::vector<Rect> r = RandomRects(&rng, 120, universe);
+    const std::vector<Rect> s = RandomRects(&rng, 90, universe);
+
+    std::vector<std::pair<uint64_t, uint64_t>> expected;
+    for (size_t i = 0; i < r.size(); ++i) {
+      for (size_t j = 0; j < s.size(); ++j) {
+        if (r[i].Intersects(s[j])) expected.emplace_back(i, 1000 + j);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    ASSERT_FALSE(expected.empty());
+
+    for (const SimdMode simd : {SimdMode::kScalar, SimdMode::kAvx2}) {
+      SCOPED_TRACE(simd == SimdMode::kScalar ? "simd=scalar" : "simd=avx2");
+      std::vector<std::vector<ClassedKeyPointer>> rp(num_partitions);
+      std::vector<std::vector<ClassedKeyPointer>> sp(num_partitions);
+      RouteClassed(r, 0, part, &rp);
+      RouteClassed(s, 1000, part, &sp);
+
+      std::vector<std::pair<uint64_t, uint64_t>> got;
+      auto sink = [&](const OidPair* pairs, size_t n) {
+        for (size_t k = 0; k < n; ++k) {
+          got.emplace_back(pairs[k].r, pairs[k].s);
+        }
+      };
+      uint64_t emitted = 0;
+      for (uint32_t p = 0; p < num_partitions; ++p) {
+        emitted += TwoLayerPartitionJoinBatch(&rp[p], &sp[p],
+                                              ResolveKernel(simd), sink);
+      }
+      EXPECT_EQ(emitted, got.size());
+
+      // The multiset itself must be duplicate-free across ALL partitions —
+      // this is the exactly-once guarantee that deletes the merge phase,
+      // checked before any set-normalization could hide a repeat.
+      std::sort(got.begin(), got.end());
+      EXPECT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end())
+          << "two-layer filter emitted a duplicate candidate pair";
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero allocations in steady state.
+// ---------------------------------------------------------------------------
+
+TEST(TwoLayerFilterTest, SteadyStateFilterPerformsNoHeapAllocations) {
+  // Inputs sized to exercise every mini-join (multi-tile spans produce B/C/D
+  // copies) with a few thousand candidate emissions.
+  Rng rng(4242);
+  const Rect universe(0, 0, 64, 64);
+  const SpatialPartitioner part(universe, 64, 1, TileMapping::kHash);
+  const std::vector<Rect> r = RandomRects(&rng, 400, universe);
+  const std::vector<Rect> s = RandomRects(&rng, 300, universe);
+  std::vector<std::vector<ClassedKeyPointer>> rp(1), sp(1);
+  RouteClassed(r, 0, part, &rp);
+  RouteClassed(s, 1000, part, &sp);
+
+  uint64_t sunk = 0;
+  auto sink = [&](const OidPair*, size_t n) { sunk += n; };
+  const KernelKind kind = ResolveKernel(SimdMode::kAuto);
+
+  // Warm-up run: registers the metric statics and grows the thread-local
+  // scratch (SoA columns, transposed run, pair buffer) to this input size.
+  std::vector<ClassedKeyPointer> r1 = rp[0], s1 = sp[0];
+  const uint64_t first = TwoLayerPartitionJoinBatch(&r1, &s1, kind, sink);
+  ASSERT_GT(first, 0u);
+
+  // Copies made while counting is still off; the measured run must reuse
+  // scratch capacity end to end — zero heap allocations per partition, and
+  // in particular zero per-pair allocations.
+  std::vector<ClassedKeyPointer> r2 = rp[0], s2 = sp[0];
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  const uint64_t second = TwoLayerPartitionJoinBatch(&r2, &s2, kind, sink);
+  g_count_allocs.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
+      << "steady-state two-layer filter touched the heap";
+}
+
+}  // namespace
+}  // namespace pbsm
