@@ -66,9 +66,9 @@ void Run() {
       ws.disk()->ResetStats();
       JoinSpec join_spec;
       join_spec.method = JoinMethod::kZOrder;
-      join_spec.zorder_max_level = 8;
+      join_spec.zorder.max_level = 8;
       // Its best grid (bench_ext_zorder).
-      join_spec.zorder_max_cells_per_object = 4;
+      join_spec.zorder.max_cells_per_object = 4;
       join_spec.options = MakeJoinOptions(pool_bytes);
       auto joined =
           SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), join_spec);

@@ -58,8 +58,8 @@ void Run() {
 
     JoinSpec join_spec;
     join_spec.method = JoinMethod::kZOrder;
-    join_spec.zorder_max_level = c.level;
-    join_spec.zorder_max_cells_per_object = c.cells;
+    join_spec.zorder.max_level = c.level;
+    join_spec.zorder.max_cells_per_object = c.cells;
     join_spec.options = MakeJoinOptions(pool_bytes);
     auto joined =
         SpatialJoin(ws.pool(), r->AsInput(), s->AsInput(), join_spec);

@@ -10,9 +10,7 @@
 #include <cstdlib>
 #include <filesystem>
 
-#include "core/inl_join.h"
-#include "core/pbsm_join.h"
-#include "core/rtree_join.h"
+#include "core/spatial_join.h"
 #include "geom/predicates.h"
 #include "datagen/loader.h"
 #include "datagen/tiger_gen.h"
@@ -46,13 +44,10 @@ int main(int argc, char** argv) {
   if (!bridges_or.ok()) return 1;
   HeapFile bridges = std::move(bridges_or).value();
 
-  JoinOptions options;
-  options.memory_budget_bytes = 4 << 20;
+  JoinSpec spec;
+  spec.options.memory_budget_bytes = 4 << 20;
   uint64_t next_bridge_id = 0;
-  auto result = PbsmJoin(
-      &pool, roads->AsInput(), rivers->AsInput(),
-      SpatialPredicate::kIntersects, options,
-      [&](Oid road_oid, Oid river_oid) {
+  spec.sink = [&](Oid road_oid, Oid river_oid) {
         std::string r_rec, s_rec;
         if (!roads->heap.Fetch(road_oid, &r_rec).ok() ||
             !rivers->heap.Fetch(river_oid, &s_rec).ok()) {
@@ -79,7 +74,8 @@ int main(int argc, char** argv) {
         bridge.name = road->name + " over " + river->name;
         bridge.geometry = Geometry::MakePoint(where);
         (void)bridges.Append(bridge.Serialize());
-      });
+      };
+  auto result = SpatialJoin(&pool, roads->AsInput(), rivers->AsInput(), spec);
   if (!result.ok()) {
     std::fprintf(stderr, "join failed: %s\n",
                  result.status().ToString().c_str());
@@ -99,23 +95,25 @@ int main(int argc, char** argv) {
     return Status::OK();
   });
 
-  // Cross-check: the three algorithms must agree on the result count.
-  auto inl = IndexedNestedLoopsJoin(&pool, rivers->AsInput(),
-                                    roads->AsInput(),
-                                    SpatialPredicate::kIntersects, options);
-  auto rtj = RtreeJoin(&pool, roads->AsInput(), rivers->AsInput(),
-                       SpatialPredicate::kIntersects, options);
+  // Cross-check: three algorithms must agree on the result count.
+  JoinSpec check = spec;
+  check.sink = {};
+  check.method = JoinMethod::kInl;
+  auto inl = SpatialJoin(&pool, roads->AsInput(), rivers->AsInput(), check);
+  check.method = JoinMethod::kRtree;
+  auto rtj = SpatialJoin(&pool, roads->AsInput(), rivers->AsInput(), check);
   if (!inl.ok() || !rtj.ok()) return 1;
   std::printf("\nresult counts: PBSM=%llu  INL=%llu  R-tree=%llu  -> %s\n",
-              (unsigned long long)result->results,
-              (unsigned long long)inl->results,
-              (unsigned long long)rtj->results,
-              (result->results == inl->results &&
-               inl->results == rtj->results)
+              (unsigned long long)result->num_results,
+              (unsigned long long)inl->num_results,
+              (unsigned long long)rtj->num_results,
+              (result->num_results == inl->num_results &&
+               inl->num_results == rtj->num_results)
                   ? "AGREE"
                   : "MISMATCH");
   std::filesystem::remove_all(dir);
-  return result->results == inl->results && inl->results == rtj->results
+  return result->num_results == inl->num_results &&
+                 inl->num_results == rtj->num_results
              ? 0
              : 1;
 }

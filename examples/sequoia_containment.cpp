@@ -13,7 +13,7 @@
 #include <filesystem>
 
 #include "common/stopwatch.h"
-#include "core/pbsm_join.h"
+#include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "datagen/sequoia_gen.h"
 #include "geom/mer.h"
@@ -61,15 +61,15 @@ int main(int argc, char** argv) {
     return Status::OK();
   });
 
-  JoinOptions options;
-  options.memory_budget_bytes = 4 << 20;
+  JoinSpec spec;
+  spec.predicate = SpatialPredicate::kContains;
+  spec.options.memory_budget_bytes = 4 << 20;
 
   for (const bool use_mer : {false, true}) {
-    JoinOptions o = options;
-    o.use_mer_filter = use_mer;
+    JoinSpec s = spec;
+    s.options.use_mer_filter = use_mer;
     Stopwatch watch;
-    auto result = PbsmJoin(&pool, polys->AsInput(), islands->AsInput(),
-                           SpatialPredicate::kContains, o);
+    auto result = SpatialJoin(&pool, polys->AsInput(), islands->AsInput(), s);
     if (!result.ok()) {
       std::fprintf(stderr, "join failed: %s\n",
                    result.status().ToString().c_str());
@@ -78,8 +78,9 @@ int main(int argc, char** argv) {
     std::printf(
         "contains join (MER filter %s): %llu islands-in-polygons, "
         "%.3fs wall, %llu candidates\n",
-        use_mer ? "on " : "off", (unsigned long long)result->results,
-        watch.ElapsedSeconds(), (unsigned long long)result->candidates);
+        use_mer ? "on " : "off", (unsigned long long)result->num_results,
+        watch.ElapsedSeconds(),
+        (unsigned long long)result->breakdown.candidates);
   }
   std::filesystem::remove_all(dir);
   return 0;

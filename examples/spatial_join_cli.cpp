@@ -4,6 +4,7 @@
 // One-shot join:
 //   ./examples/spatial_join_cli R.wkt S.wkt [intersects|contains]
 //                               [pbsm|parallel_pbsm|rtree|inl|spatial_hash|zorder]
+//                               [--refine-mode=exact|adaptive|approximate]
 //                               [--fault-profile=SPEC]
 //
 // Service mode (long-running, planner + index cache; see DESIGN.md
@@ -32,6 +33,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -57,9 +59,10 @@ void PrintUsage(std::FILE* out) {
       "usage: spatial_join_cli R.wkt S.wkt [intersects|contains]\n"
       "                        [pbsm|parallel_pbsm|rtree|inl|spatial_hash|"
       "zorder]\n"
+      "                        [--refine-mode=exact|adaptive|approximate]\n"
       "                        [--fault-profile=SPEC]\n"
       "       spatial_join_cli serve R.wkt S.wkt [--workers=N] [--queue=N]\n"
-      "                        [--fault-profile=SPEC]\n");
+      "                        [--refine-mode=MODE] [--fault-profile=SPEC]\n");
 }
 
 /// Flags shared by both modes, parsed strictly: any unrecognised --flag is
@@ -68,6 +71,10 @@ struct CliFlags {
   std::string fault_profile;
   uint32_t workers = 2;
   size_t queue_capacity = 64;
+  /// Refinement strategy: unset = the library default (exact). In serve
+  /// mode this becomes each request's refine_mode override, so the
+  /// planner's cost model follows it too.
+  std::optional<RefineMode> refine_mode;
 };
 
 /// Splits argv into flags and positionals; false (usage error) on any
@@ -86,6 +93,14 @@ bool ParseArgs(int argc, const char** argv, CliFlags* flags,
         eq == std::string::npos ? "" : arg.substr(eq + 1);
     if (name == "--fault-profile") {
       flags->fault_profile = value;
+    } else if (name == "--refine-mode") {
+      auto mode = ParseRefineMode(value);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "bad value for --refine-mode: %s\n",
+                     mode.status().message().c_str());
+        return false;
+      }
+      flags->refine_mode = *mode;
     } else if (name == "--workers" || name == "--queue") {
       char* end = nullptr;
       const unsigned long n = std::strtoul(value.c_str(), &end, 10);
@@ -242,6 +257,7 @@ int RunServe(const CliFlags& flags, const std::string& r_path,
     request.r_dataset = "R";
     request.s_dataset = "S";
     request.timeout_seconds = timeout;
+    request.refine_mode = flags.refine_mode;
     if (pred_name == "intersects") {
       request.predicate = SpatialPredicate::kIntersects;
     } else if (pred_name == "contains") {
@@ -382,6 +398,9 @@ int RunCli(int argc, const char** argv) {
   spec.predicate = pred;
   spec.options.memory_budget_bytes = 8 << 20;
   spec.options.use_mer_filter = pred == SpatialPredicate::kContains;
+  if (flags.refine_mode.has_value()) {
+    spec.options.refine.mode = *flags.refine_mode;
+  }
   spec.sink = sink;
   auto result = SpatialJoin(&pool, r->AsInput(), s->AsInput(), spec);
   if (!result.ok()) {

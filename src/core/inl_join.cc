@@ -1,4 +1,4 @@
-#include "core/inl_join.h"
+#include "core/join_methods_internal.h"
 
 #include <optional>
 #include <string>

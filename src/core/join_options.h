@@ -8,6 +8,7 @@
 #include "common/canceller.h"
 #include "common/logging.h"
 #include "core/plane_sweep_join.h"
+#include "core/refinement_engine.h"
 #include "core/spatial_partitioner.h"
 #include "geom/predicates.h"
 #include "storage/catalog.h"
@@ -62,6 +63,12 @@ struct JoinOptions {
   SegmentTestMode refinement_mode = SegmentTestMode::kPlaneSweep;
   /// BKSS94 MBR/MER pre-filter for containment refinement.
   bool use_mer_filter = false;
+  /// Adaptive true-hit filtering (ROADMAP item 4, arXiv 1802.09488):
+  /// refine.mode picks exact / adaptive / approximate, refine.grid_order
+  /// the cell precision (0 = auto from catalog stats, or planner-chosen
+  /// when the join runs through the service). INL evaluates its predicate
+  /// inline during the index probe and ignores this knob.
+  RefineOptions refine;
 
   // --- Index construction (INL / R-tree join) ---
   double index_fill_factor = 0.75;

@@ -217,7 +217,8 @@ Result<ParallelPbsmReport> SimulateParallelPbsm(
         if (sink) sink(Oid::Decode(key.first), Oid::Decode(key.second));
       }
     };
-    PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, r_src, s_src, pred,
+    PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, JoinInput{&r_src, r.info},
+                                          JoinInput{&s_src, s.info}, pred,
                                           options.join, worker_sink,
                                           &worker_breakdown));
     if (!options.replicate_full_objects) {

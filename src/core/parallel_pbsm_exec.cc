@@ -1,4 +1,4 @@
-#include "core/parallel_pbsm_exec.h"
+#include "core/join_methods_internal.h"
 
 #include <algorithm>
 #include <array>
@@ -415,7 +415,7 @@ Result<JoinCostBreakdown> ParallelTwoLayerJoin(
           };
         }
         shard_status[i] =
-            RefinePairStream(next, *r.heap, *s.heap, pred, opts, shard_sink,
+            RefinePairStream(next, r, s, pred, opts, shard_sink,
                              &shard_breakdowns[i]);
         cancel.Report(shard_status[i]);
       });
@@ -725,7 +725,7 @@ Result<JoinCostBreakdown> ParallelPbsmJoin(BufferPool* pool,
           };
         }
         shard_status[i] =
-            RefinePairStream(next, *r.heap, *s.heap, pred, opts, shard_sink,
+            RefinePairStream(next, r, s, pred, opts, shard_sink,
                              &shard_breakdowns[i]);
         cancel.Report(shard_status[i]);
       });

@@ -1,4 +1,4 @@
-#include "core/pbsm_join.h"
+#include "core/join_methods_internal.h"
 
 #include <algorithm>
 #include <string>
@@ -322,8 +322,15 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
   {
     PhaseCost& cost = breakdown.AddPhase("refinement");
     PhaseTimer timer(disk, &cost, "refinement");
-    PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, *r.heap, *s.heap, pred,
-                                          opts, sink, &breakdown));
+    const Status refine_status =
+        RefineCandidates(&sorter, r, s, pred, opts, sink, &breakdown);
+    if (!refine_status.ok()) {
+      // Same contract as the merge loop above: materialize the open phase
+      // spans (and the refinement sub-spans' ancestors) so a span-tree
+      // export after a cancellation or I/O abort sees a complete tree.
+      Tracer::Global().FlushOpenSpans();
+      return refine_status;
+    }
   }
   return breakdown;
 }

@@ -1,10 +1,13 @@
 #include "core/refinement.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
+#include "core/refinement_engine.h"
 #include "geom/mer.h"
 #include "storage/tuple.h"
 
@@ -19,6 +22,10 @@ struct BlockTuple {
   size_t bytes = 0;  // Serialized size, for budget accounting.
   // Lazily computed MER (containment pre-filter). nullopt = not computed.
   std::optional<Rect> mer;
+  // Lazily built cell cover (adaptive modes); lives exactly as long as the
+  // geometry it describes, so one rasterization serves every pair of the
+  // block that references this R tuple.
+  CellCover cover;
 };
 
 /// One candidate inside a block: index of the R tuple + the S OID.
@@ -27,83 +34,173 @@ struct BlockPair {
   uint64_t s_oid = 0;
 };
 
-}  // namespace
+/// Per-stream tallies flushed to the metrics registry exactly once, on
+/// every exit path (including cancellation and I/O errors).
+struct RefineStats {
+  uint64_t tp = 0;              ///< Pairs emitted (hits).
+  uint64_t fp = 0;              ///< Pairs dropped (filter false positives).
+  uint64_t true_hits = 0;       ///< Certain hits from interior cell overlap.
+  uint64_t cell_rejects = 0;    ///< Certain misses from disjoint covers.
+  uint64_t exact_fallbacks = 0; ///< Boundary collisions sent to pass 2.
+  uint64_t approx_accepted = 0; ///< Approximate-mode uncertain accepts.
+  uint64_t cover_builds = 0;    ///< S covers rasterized (one per long run).
 
-Status RefinePairStream(const SortedPairStream& next, const HeapFile& r_heap,
-                        const HeapFile& s_heap, SpatialPredicate pred,
-                        const JoinOptions& opts, const ResultSink& sink,
-                        JoinCostBreakdown* breakdown) {
-  // A candidate passing the exact predicate is a filter true positive; one
-  // failing it was a false positive of the MBR filter (the CPU the paper's
-  // §4.4 refinement discussion is about).
-  static Counter* const true_positives =
-      MetricsRegistry::Global().GetCounter("join.refine.true_positives");
-  static Counter* const false_positives =
-      MetricsRegistry::Global().GetCounter("join.refine.false_positives");
-  uint64_t tp = 0, fp = 0;
+  void Flush() const {
+    // A candidate passing the exact predicate is a filter true positive;
+    // one failing it was a false positive of the MBR filter (the CPU the
+    // paper's §4.4 refinement discussion is about). Cell-certain decisions
+    // count toward the same pair, so tp/fp stay comparable across modes.
+    static Counter* const true_positives =
+        MetricsRegistry::Global().GetCounter("join.refine.true_positives");
+    static Counter* const false_positives =
+        MetricsRegistry::Global().GetCounter("join.refine.false_positives");
+    static Counter* const true_hit_counter =
+        MetricsRegistry::Global().GetCounter("refinement.true_hits");
+    static Counter* const cell_reject_counter =
+        MetricsRegistry::Global().GetCounter("refinement.cell_rejects");
+    static Counter* const skipped_counter =
+        MetricsRegistry::Global().GetCounter("refinement.skipped_exact");
+    static Counter* const fallback_counter =
+        MetricsRegistry::Global().GetCounter("refinement.exact_fallbacks");
+    static Counter* const approx_counter =
+        MetricsRegistry::Global().GetCounter("refinement.approx_accepted");
+    static Counter* const build_counter =
+        MetricsRegistry::Global().GetCounter("refinement.cover_builds");
+    true_positives->Add(tp);
+    false_positives->Add(fp);
+    true_hit_counter->Add(true_hits);
+    cell_reject_counter->Add(cell_rejects);
+    skipped_counter->Add(true_hits + cell_rejects + approx_accepted);
+    fallback_counter->Add(exact_fallbacks);
+    approx_counter->Add(approx_accepted);
+    build_counter->Add(cover_builds);
+  }
+};
 
-  OidPair pushed_back{};
-  bool pending = false;  // `pushed_back` holds an unconsumed pair.
-  std::string record;
+/// Reads sorted candidate pairs into memory-budget-sized blocks of R tuples
+/// plus their pairs, honouring the block-boundary push-back.
+class BlockReader {
+ public:
+  BlockReader(const SortedPairStream& next, const HeapFile& r_heap,
+              const JoinOptions& opts)
+      : next_(next), r_heap_(r_heap), opts_(opts) {}
 
+  /// Fills one block; returns false when the stream is exhausted and no
+  /// pairs remain. On true, `pairs` is non-empty and indexes `r_tuples`.
+  Result<bool> NextBlock(std::vector<BlockTuple>* r_tuples,
+                         std::vector<BlockPair>* pairs) {
+    r_tuples->clear();
+    pairs->clear();
+    size_t block_bytes = 0;
+    while (true) {
+      OidPair pair;
+      PBSM_ASSIGN_OR_RETURN(const bool has, Pull(&pair));
+      if (!has) break;
+      if (r_tuples->empty() || r_tuples->back().oid != pair.r) {
+        // New R tuple: check the budget *before* admitting it.
+        if (!r_tuples->empty() &&
+            block_bytes + sizeof(BlockPair) >= opts_.memory_budget_bytes) {
+          // Block full; push the pair back for the next block.
+          pushed_back_ = pair;
+          pending_ = true;
+          break;
+        }
+        PBSM_RETURN_IF_ERROR(r_heap_.Fetch(Oid::Decode(pair.r), &record_));
+        PBSM_ASSIGN_OR_RETURN(Tuple tuple,
+                              Tuple::Parse(record_.data(), record_.size()));
+        BlockTuple bt;
+        bt.oid = pair.r;
+        bt.geometry = std::move(tuple.geometry);
+        if (!tuple.mer.empty()) bt.mer = tuple.mer;  // Stored MER (BKSS94).
+        bt.bytes = record_.size();
+        block_bytes += bt.bytes;
+        r_tuples->push_back(std::move(bt));
+      }
+      pairs->push_back(BlockPair{r_tuples->size() - 1, pair.s});
+      block_bytes += sizeof(BlockPair);
+      if (block_bytes >= opts_.memory_budget_bytes) break;
+    }
+    return !pairs->empty();
+  }
+
+ private:
   // Reads the next pair, honouring a block-boundary push-back.
-  auto pull = [&](OidPair* out) -> Result<bool> {
-    if (pending) {
-      pending = false;
-      *out = pushed_back;
+  Result<bool> Pull(OidPair* out) {
+    if (pending_) {
+      pending_ = false;
+      *out = pushed_back_;
       return true;
     }
-    return next(out);
-  };
+    return next_(out);
+  }
 
+  const SortedPairStream& next_;
+  const HeapFile& r_heap_;
+  const JoinOptions& opts_;
+  OidPair pushed_back_{};
+  bool pending_ = false;  // `pushed_back_` holds an unconsumed pair.
+  std::string record_;
+};
+
+/// Fetches S tuples through a one-entry cache: pairs arrive sorted on
+/// OID_S, so runs of the same S tuple parse once.
+class CachedSFetcher {
+ public:
+  explicit CachedSFetcher(const HeapFile& s_heap) : s_heap_(s_heap) {}
+
+  Status Load(uint64_t s_oid) {
+    if (s_oid == oid_) return Status::OK();
+    PBSM_RETURN_IF_ERROR(s_heap_.Fetch(Oid::Decode(s_oid), &record_));
+    PBSM_ASSIGN_OR_RETURN(Tuple tuple,
+                          Tuple::Parse(record_.data(), record_.size()));
+    geometry_ = std::move(tuple.geometry);
+    oid_ = s_oid;
+    return Status::OK();
+  }
+
+  const Geometry& geometry() const { return geometry_; }
+
+ private:
+  const HeapFile& s_heap_;
+  uint64_t oid_ = ~0ull;
+  Geometry geometry_;
+  std::string record_;
+};
+
+/// The exact per-pair test, including the BKSS94 MER short-circuit for
+/// containment. Uses the MER stored with the tuple when the relation was
+/// loaded with precompute_mers; otherwise computes (and caches) one per
+/// block.
+bool ExactPairTest(BlockTuple* rt, const Geometry& s_geometry,
+                   SpatialPredicate pred, const JoinOptions& opts) {
+  if (pred == SpatialPredicate::kContains && opts.use_mer_filter &&
+      rt->geometry.type() == GeometryType::kPolygon) {
+    // BKSS94: MBR of the inner inside the MER of the outer proves
+    // containment without the exact test.
+    if (!rt->mer.has_value()) rt->mer = ComputeMer(rt->geometry);
+    if (!rt->geometry.Mbr().Contains(s_geometry.Mbr())) return false;
+    if (!rt->mer->empty() && rt->mer->Contains(s_geometry.Mbr())) return true;
+  }
+  return EvaluatePredicate(pred, rt->geometry, s_geometry,
+                           opts.refinement_mode);
+}
+
+/// The classic single-pass loop: every pair pays the exact test.
+Status ExactRefineLoop(const SortedPairStream& next, const HeapFile& r_heap,
+                       const HeapFile& s_heap, SpatialPredicate pred,
+                       const JoinOptions& opts, const ResultSink& sink,
+                       JoinCostBreakdown* breakdown, RefineStats* stats) {
+  BlockReader reader(next, r_heap, opts);
+  std::vector<BlockTuple> r_tuples;
+  std::vector<BlockPair> pairs;
   while (true) {
     // Block boundary: the natural granularity to honour an external
     // cancellation (service timeout) without polling per pair.
     if (opts.cancel != nullptr && opts.cancel->is_cancelled()) {
       return opts.cancel->CancellationStatus();
     }
-    // ---- Build one block of R tuples + their candidate pairs. ----
-    std::vector<BlockTuple> r_tuples;
-    std::vector<BlockPair> pairs;
-    size_t block_bytes = 0;
-    bool end_of_stream = false;
-
-    while (true) {
-      OidPair pair;
-      PBSM_ASSIGN_OR_RETURN(const bool has, pull(&pair));
-      if (!has) {
-        end_of_stream = true;
-        break;
-      }
-      if (r_tuples.empty() || r_tuples.back().oid != pair.r) {
-        // New R tuple: check the budget *before* admitting it.
-        if (!r_tuples.empty() &&
-            block_bytes + sizeof(BlockPair) >= opts.memory_budget_bytes) {
-          // Block full; push the pair back for the next block.
-          pushed_back = pair;
-          pending = true;
-          break;
-        }
-        PBSM_RETURN_IF_ERROR(r_heap.Fetch(Oid::Decode(pair.r), &record));
-        PBSM_ASSIGN_OR_RETURN(Tuple tuple,
-                              Tuple::Parse(record.data(), record.size()));
-        BlockTuple bt;
-        bt.oid = pair.r;
-        bt.geometry = std::move(tuple.geometry);
-        if (!tuple.mer.empty()) bt.mer = tuple.mer;  // Stored MER (BKSS94).
-        bt.bytes = record.size();
-        block_bytes += bt.bytes;
-        r_tuples.push_back(std::move(bt));
-      }
-      pairs.push_back(BlockPair{r_tuples.size() - 1, pair.s});
-      block_bytes += sizeof(BlockPair);
-      if (block_bytes >= opts.memory_budget_bytes) break;
-    }
-
-    if (pairs.empty()) {
-      if (end_of_stream) break;
-      continue;
-    }
+    PBSM_ASSIGN_OR_RETURN(const bool has, reader.NextBlock(&r_tuples, &pairs));
+    if (!has) break;
 
     // ---- "Swizzle": sort the block's pairs by OID_S so the S relation is
     // read sequentially. ----
@@ -112,8 +209,7 @@ Status RefinePairStream(const SortedPairStream& next, const HeapFile& r_heap,
                 return a.s_oid < b.s_oid;
               });
 
-    uint64_t cached_s_oid = ~0ull;
-    Geometry cached_s_geometry;
+    CachedSFetcher s_fetch(s_heap);
     for (const BlockPair& bp : pairs) {
       // Small blocks make the boundary check above too coarse: a timeout
       // arriving while results stream to a slow sink must still cancel the
@@ -121,57 +217,148 @@ Status RefinePairStream(const SortedPairStream& next, const HeapFile& r_heap,
       if (opts.cancel != nullptr && opts.cancel->is_cancelled()) {
         return opts.cancel->CancellationStatus();
       }
-      if (bp.s_oid != cached_s_oid) {
-        PBSM_RETURN_IF_ERROR(s_heap.Fetch(Oid::Decode(bp.s_oid), &record));
-        PBSM_ASSIGN_OR_RETURN(Tuple tuple,
-                              Tuple::Parse(record.data(), record.size()));
-        cached_s_geometry = std::move(tuple.geometry);
-        cached_s_oid = bp.s_oid;
-      }
+      PBSM_RETURN_IF_ERROR(s_fetch.Load(bp.s_oid));
       BlockTuple& rt = r_tuples[bp.r_index];
-
-      bool is_result;
-      if (pred == SpatialPredicate::kContains && opts.use_mer_filter &&
-          rt.geometry.type() == GeometryType::kPolygon) {
-        // BKSS94: MBR of the inner inside the MER of the outer proves
-        // containment without the exact test. Uses the MER stored with the
-        // tuple when the relation was loaded with precompute_mers;
-        // otherwise computes (and caches) one per block.
-        if (!rt.mer.has_value()) rt.mer = ComputeMer(rt.geometry);
-        if (!rt.geometry.Mbr().Contains(cached_s_geometry.Mbr())) {
-          is_result = false;
-        } else if (!rt.mer->empty() &&
-                   rt.mer->Contains(cached_s_geometry.Mbr())) {
-          is_result = true;
-        } else {
-          is_result = EvaluatePredicate(pred, rt.geometry,
-                                        cached_s_geometry,
-                                        opts.refinement_mode);
-        }
-      } else {
-        is_result = EvaluatePredicate(pred, rt.geometry, cached_s_geometry,
-                                      opts.refinement_mode);
-      }
-      if (is_result) {
-        ++tp;
+      if (ExactPairTest(&rt, s_fetch.geometry(), pred, opts)) {
+        ++stats->tp;
         ++breakdown->results;
         if (sink) sink(Oid::Decode(rt.oid), Oid::Decode(bp.s_oid));
       } else {
-        ++fp;
+        ++stats->fp;
       }
     }
-
-    if (end_of_stream) break;
   }
-  true_positives->Add(tp);
-  false_positives->Add(fp);
   return Status::OK();
 }
 
-Status RefineCandidates(CandidateSorter* candidates,
-                        const HeapFile& r_heap, const HeapFile& s_heap,
-                        SpatialPredicate pred, const JoinOptions& opts,
-                        const ResultSink& sink,
+/// The adaptive loop. The block's pairs, swizzle-sorted on OID_S, form one
+/// contiguous run per S tuple — so an S cover's entire useful life is its
+/// run. Each run rasterizes the (just-fetched, still-live) S geometry into
+/// a single scratch cover whose vectors keep their capacity across runs:
+/// no per-S allocation, no cover cache to size or thrash, and boundary
+/// collisions fall back to the exact predicate inline, while the parsed S
+/// geometry is still in hand.
+Status AdaptiveRefineLoop(const SortedPairStream& next, const JoinInput& r,
+                          const JoinInput& s, SpatialPredicate pred,
+                          const JoinOptions& opts, const ResultSink& sink,
+                          JoinCostBreakdown* breakdown, RefineStats* stats) {
+  const Rect universe = Rect::Union(r.info.universe, s.info.universe);
+  const double avg_x =
+      (r.info.avg_mbr_width() + s.info.avg_mbr_width()) / 2.0;
+  const double avg_y =
+      (r.info.avg_mbr_height() + s.info.avg_mbr_height()) / 2.0;
+  const std::unique_ptr<RefinementEngine> engine =
+      RefinementEngine::Create(pred, opts.refine, universe, avg_x, avg_y);
+  const bool emit_accepts = opts.refine.mode == RefineMode::kApproximate;
+
+  BlockReader reader(next, *r.heap, opts);
+  CellCover s_cover;  // Run-scoped scratch; capacities persist across runs.
+  std::vector<BlockTuple> r_tuples;
+  std::vector<BlockPair> pairs;
+  while (true) {
+    if (opts.cancel != nullptr && opts.cancel->is_cancelled()) {
+      return opts.cancel->CancellationStatus();
+    }
+    PBSM_ASSIGN_OR_RETURN(const bool has, reader.NextBlock(&r_tuples, &pairs));
+    if (!has) break;
+
+    std::sort(pairs.begin(), pairs.end(),
+              [](const BlockPair& a, const BlockPair& b) {
+                return a.s_oid < b.s_oid;
+              });
+
+    // ---- Cell-level classification, one run of equal-OID_S pairs at a
+    // time (the swizzle sort groups them). Each S tuple's pair multiplicity
+    // is known before its cover exists: a run too short to amortize the
+    // O(boundary length) rasterization skips the cell filter and pays the
+    // exact predicate directly — the cost-based side of the adaptive
+    // engine. Boundary collisions (kNeedExact) run the exact predicate on
+    // the spot: the S geometry is already parsed, so deferring them would
+    // only buy a second fetch. ----
+    {
+      TraceSpan span("refine/cell_filter");
+      CachedSFetcher s_fetch(*s.heap);
+      const size_t min_run = std::max<uint32_t>(opts.refine.min_cover_pairs, 1);
+      for (size_t i = 0; i < pairs.size();) {
+        size_t j = i + 1;
+        while (j < pairs.size() && pairs[j].s_oid == pairs[i].s_oid) ++j;
+        const uint64_t s_oid = pairs[i].s_oid;
+        PBSM_RETURN_IF_ERROR(s_fetch.Load(s_oid));
+        const bool use_cover = j - i >= min_run;
+        if (use_cover) {
+          engine->BuildCover(s_fetch.geometry(), &s_cover);
+          ++stats->cover_builds;
+        } else {
+          // Short run: exact tests cost less than the build.
+          stats->exact_fallbacks += j - i;
+        }
+        for (; i < j; ++i) {
+          if (opts.cancel != nullptr && opts.cancel->is_cancelled()) {
+            return opts.cancel->CancellationStatus();
+          }
+          const BlockPair& bp = pairs[i];
+          BlockTuple& rt = r_tuples[bp.r_index];
+          CellDecision cd = CellDecision::kNeedExact;
+          if (use_cover) {
+            cd = engine->Classify(rt.geometry, &rt.cover, s_fetch.geometry(),
+                                  s_cover);
+            if (cd == CellDecision::kNeedExact) ++stats->exact_fallbacks;
+          }
+          switch (cd) {
+            case CellDecision::kHit:
+              ++stats->true_hits;
+              ++stats->tp;
+              ++breakdown->results;
+              if (sink) sink(Oid::Decode(rt.oid), Oid::Decode(bp.s_oid));
+              break;
+            case CellDecision::kAccepted:
+              PBSM_CHECK(emit_accepts) << "kAccepted outside approximate mode";
+              ++stats->approx_accepted;
+              ++stats->tp;
+              ++breakdown->results;
+              if (sink) sink(Oid::Decode(rt.oid), Oid::Decode(bp.s_oid));
+              break;
+            case CellDecision::kMiss:
+              ++stats->cell_rejects;
+              ++stats->fp;
+              break;
+            case CellDecision::kNeedExact:
+              if (ExactPairTest(&rt, s_fetch.geometry(), pred, opts)) {
+                ++stats->tp;
+                ++breakdown->results;
+                if (sink) sink(Oid::Decode(rt.oid), Oid::Decode(bp.s_oid));
+              } else {
+                ++stats->fp;
+              }
+              break;
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RefinePairStream(const SortedPairStream& next, const JoinInput& r,
+                        const JoinInput& s, SpatialPredicate pred,
+                        const JoinOptions& opts, const ResultSink& sink,
+                        JoinCostBreakdown* breakdown) {
+  RefineStats stats;
+  const Status status =
+      opts.refine.mode == RefineMode::kExact
+          ? ExactRefineLoop(next, *r.heap, *s.heap, pred, opts, sink,
+                            breakdown, &stats)
+          : AdaptiveRefineLoop(next, r, s, pred, opts, sink, breakdown,
+                               &stats);
+  stats.Flush();
+  return status;
+}
+
+Status RefineCandidates(CandidateSorter* candidates, const JoinInput& r,
+                        const JoinInput& s, SpatialPredicate pred,
+                        const JoinOptions& opts, const ResultSink& sink,
                         JoinCostBreakdown* breakdown) {
   PBSM_RETURN_IF_ERROR(candidates->Finish());
 
@@ -196,7 +383,7 @@ Status RefineCandidates(CandidateSorter* candidates,
       return true;
     }
   };
-  return RefinePairStream(next, r_heap, s_heap, pred, opts, sink, breakdown);
+  return RefinePairStream(next, r, s, pred, opts, sink, breakdown);
 }
 
 }  // namespace pbsm

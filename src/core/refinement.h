@@ -27,8 +27,18 @@ using SortedPairStream = std::function<Result<bool>(OidPair*)>;
 /// candidate array. Steps 2-4 of the §3.2 algorithm: block-wise R fetches
 /// in OID order, per-block re-sort on OID_S ("swizzling"), sequential S
 /// fetches, exact predicate evaluation. Updates breakdown->results only.
-Status RefinePairStream(const SortedPairStream& next, const HeapFile& r_heap,
-                        const HeapFile& s_heap, SpatialPredicate pred,
+///
+/// With opts.refine.mode != kExact the block loop is driven by the query's
+/// RefinementEngine ("refine/cell_filter" trace sub-span): each run of
+/// equal-OID_S pairs rasterizes its S geometry into a scratch
+/// interior/boundary cell cover (runs shorter than
+/// opts.refine.min_cover_pairs skip the build), certain hits and misses are
+/// settled at cell level, and boundary collisions pay the exact predicate
+/// inline while the parsed S geometry is in hand. The inputs' catalog
+/// entries supply the join universe and the extent statistics the auto grid
+/// order derives from.
+Status RefinePairStream(const SortedPairStream& next, const JoinInput& r,
+                        const JoinInput& s, SpatialPredicate pred,
                         const JoinOptions& opts, const ResultSink& sink,
                         JoinCostBreakdown* breakdown);
 
@@ -41,7 +51,8 @@ Status RefinePairStream(const SortedPairStream& next, const HeapFile& r_heap,
 ///     (physical order, so the reads are near-sequential);
 ///  3. "swizzles" each pair's OID_R to the in-memory R tuple, re-sorts the
 ///     block's pairs on OID_S, and fetches S tuples sequentially;
-///  4. evaluates the exact predicate, forwarding hits to `sink`.
+///  4. evaluates the candidate — exactly, or through the adaptive
+///     true-hit-filtering engine (opts.refine) — forwarding hits to `sink`.
 ///
 /// With opts.use_mer_filter set and a containment predicate, a precomputed
 /// maximal-enclosed-rectangle test short-circuits the exact check (BKSS94,
@@ -49,10 +60,9 @@ Status RefinePairStream(const SortedPairStream& next, const HeapFile& r_heap,
 ///
 /// Updates breakdown->duplicates_removed and breakdown->results; the caller
 /// wraps the call in a PhaseTimer for cost capture.
-Status RefineCandidates(CandidateSorter* candidates,
-                        const HeapFile& r_heap, const HeapFile& s_heap,
-                        SpatialPredicate pred, const JoinOptions& opts,
-                        const ResultSink& sink,
+Status RefineCandidates(CandidateSorter* candidates, const JoinInput& r,
+                        const JoinInput& s, SpatialPredicate pred,
+                        const JoinOptions& opts, const ResultSink& sink,
                         JoinCostBreakdown* breakdown);
 
 }  // namespace pbsm

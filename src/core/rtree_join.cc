@@ -1,4 +1,4 @@
-#include "core/rtree_join.h"
+#include "core/join_methods_internal.h"
 
 #include <optional>
 #include <string>
@@ -142,8 +142,8 @@ Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
   {
     PhaseCost& cost = breakdown.AddPhase("refinement");
     PhaseTimer timer(disk, &cost, "refinement");
-    PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, *r.heap, *s.heap, pred,
-                                          opts, sink, &breakdown));
+    PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, r, s, pred, opts, sink,
+                                          &breakdown));
   }
 
   if (r_built.has_value()) {

@@ -1,4 +1,4 @@
-#include "core/spatial_hash_join.h"
+#include "core/join_methods_internal.h"
 
 #include <algorithm>
 #include <limits>
@@ -204,7 +204,7 @@ Result<JoinCostBreakdown> SpatialHashJoin(
   {
     PhaseCost& cost = breakdown.AddPhase("refinement");
     PhaseTimer timer(disk, &cost, "refinement");
-    PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, *r.heap, *s.heap, pred,
+    PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, r, s, pred,
                                           options.join, sink, &breakdown));
   }
   return breakdown;

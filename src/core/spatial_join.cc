@@ -6,11 +6,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
-#include "core/inl_join.h"
-#include "core/pbsm_join.h"
-#include "core/rtree_join.h"
-#include "core/spatial_hash_join.h"
-#include "core/zorder_join.h"
+#include "core/join_methods_internal.h"
 
 namespace pbsm {
 
@@ -49,7 +45,7 @@ std::optional<JoinMethod> ParseJoinMethod(std::string_view name) {
 
 namespace {
 
-/// Dispatches to the legacy entry point for `spec.method`.
+/// Dispatches to the internal entry point for `spec.method`.
 Result<JoinCostBreakdown> Dispatch(BufferPool* pool, const JoinInput& r,
                                    const JoinInput& s, const JoinSpec& spec) {
   switch (spec.method) {
@@ -90,16 +86,16 @@ Result<JoinCostBreakdown> Dispatch(BufferPool* pool, const JoinInput& r,
 
     case JoinMethod::kSpatialHash: {
       SpatialHashJoinOptions options;
-      options.num_buckets = spec.hash_num_buckets;
-      options.sample_fraction = spec.hash_sample_fraction;
+      options.num_buckets = spec.hash.num_buckets;
+      options.sample_fraction = spec.hash.sample_fraction;
       options.join = spec.options;
       return SpatialHashJoin(pool, r, s, spec.predicate, options, spec.sink);
     }
 
     case JoinMethod::kZOrder: {
       ZOrderJoinOptions options;
-      options.max_level = spec.zorder_max_level;
-      options.max_cells_per_object = spec.zorder_max_cells_per_object;
+      options.max_level = spec.zorder.max_level;
+      options.max_cells_per_object = spec.zorder.max_cells_per_object;
       options.join = spec.options;
       return ZOrderJoin(pool, r, s, spec.predicate, options, spec.sink);
     }

@@ -8,7 +8,7 @@
 #include "common/status.h"
 #include "core/join_cost.h"
 #include "core/join_options.h"
-#include "core/parallel_pbsm_exec.h"
+#include "core/parallel_stats.h"
 #include "rtree/rstar_tree.h"
 #include "storage/buffer_pool.h"
 
@@ -33,18 +33,26 @@ std::string_view JoinMethodName(JoinMethod method);
 std::optional<JoinMethod> ParseJoinMethod(std::string_view name);
 
 /// The complete specification of one spatial join: the algorithm, the exact
-/// predicate, the shared knobs, and the per-algorithm extras that used to
-/// live in SpatialHashJoinOptions / ZOrderJoinOptions / the extra parameters
-/// of IndexedNestedLoopsJoin and RtreeJoin. Fields an algorithm does not use
-/// are ignored.
+/// predicate, the shared knobs, and per-algorithm option groups. Fields an
+/// algorithm does not use are ignored. The groups are plain nested structs
+/// with designated-initializer-friendly defaults:
+///
+///   JoinSpec spec;
+///   spec.method = JoinMethod::kZOrder;
+///   spec.zorder = {.max_level = 10, .max_cells_per_object = 8};
+///   spec.options.refine = {.mode = RefineMode::kAdaptive};
 struct JoinSpec {
   JoinMethod method = JoinMethod::kPbsm;
   SpatialPredicate predicate = SpatialPredicate::kIntersects;
 
-  /// Knobs shared by every algorithm (memory budget, tiles, refinement
-  /// mode, thread count for the parallel executor, ...). Of note for the
-  /// PBSM methods: options.dedup_mode selects the duplicate-free two-layer
-  /// filter (default) or the paper's replicate-then-merge-dedup scheme.
+  /// Knobs shared by every algorithm (memory budget, tiles, thread count
+  /// for the parallel executor, ...). Of note: options.dedup_mode selects
+  /// the duplicate-free two-layer filter (default) or the paper's
+  /// replicate-then-merge-dedup scheme for the PBSM methods, and
+  /// options.refine holds the adaptive-refinement knobs — refinement is
+  /// shared by every method (INL excepted, which tests inline during the
+  /// probe), so its options live with the other shared knobs rather than
+  /// as a per-method group here.
   JoinOptions options;
 
   /// Receives each (r, s) result pair. Always oriented as the facade's
@@ -59,13 +67,19 @@ struct JoinSpec {
   const RStarTree* r_index = nullptr;
   const RStarTree* s_index = nullptr;
 
-  // --- kSpatialHash ---
-  uint32_t hash_num_buckets = 0;      ///< 0 derives from Equation 1.
-  double hash_sample_fraction = 0.01; ///< R sample seeding bucket extents.
+  /// kSpatialHash options.
+  struct Hash {
+    uint32_t num_buckets = 0;       ///< 0 derives from Equation 1.
+    double sample_fraction = 0.01;  ///< R sample seeding bucket extents.
+  };
+  Hash hash;
 
-  // --- kZOrder ---
-  uint32_t zorder_max_level = 8;           ///< Quadtree depth.
-  uint32_t zorder_max_cells_per_object = 4;///< Cells approximating one MBR.
+  /// kZOrder options.
+  struct ZOrder {
+    uint32_t max_level = 8;             ///< Quadtree depth.
+    uint32_t max_cells_per_object = 4;  ///< Cells approximating one MBR.
+  };
+  ZOrder zorder;
 
   // --- kParallelPbsm ---
   /// Optional sink for per-worker/per-task timing statistics.
@@ -97,10 +111,9 @@ struct JoinResult {
 /// with a pre-existing index, else the smaller input, and restores the
 /// caller's orientation).
 ///
-/// The legacy per-algorithm entry points (PbsmJoin, ParallelPbsmJoin,
-/// IndexedNestedLoopsJoin, RtreeJoin, SpatialHashJoin, ZOrderJoin) remain
-/// available but are deprecated for new code — they are what this facade
-/// dispatches to.
+/// This is the ONLY public join entry point. The per-algorithm functions
+/// it dispatches to live in core/join_methods_internal.h and are reserved
+/// for src/core implementation files.
 Result<JoinResult> SpatialJoin(BufferPool* pool, const JoinInput& r,
                                const JoinInput& s, const JoinSpec& spec);
 

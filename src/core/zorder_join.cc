@@ -1,4 +1,4 @@
-#include "core/zorder_join.h"
+#include "core/join_methods_internal.h"
 
 #include <algorithm>
 #include <string>
@@ -215,9 +215,8 @@ Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
   {
     PhaseCost& cost = breakdown.AddPhase("refinement");
     PhaseTimer timer(disk, &cost, "refinement");
-    PBSM_RETURN_IF_ERROR(RefineCandidates(&candidates, *r.heap, *s.heap,
-                                          pred, options.join, sink,
-                                          &breakdown));
+    PBSM_RETURN_IF_ERROR(RefineCandidates(&candidates, r, s, pred,
+                                          options.join, sink, &breakdown));
   }
   return breakdown;
 }

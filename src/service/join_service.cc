@@ -387,7 +387,18 @@ Result<JoinResponse> JoinService::ExecuteJoin(const QueryRef& query,
   const JoinRequest& request = query->request_;
   JoinResponse response;
 
-  // 1. Choose the method: explicit override or cost-based plan.
+  JoinSpec spec;
+  spec.predicate = request.predicate;
+  spec.options = config_.join_defaults;
+  spec.options.cancel = &query->canceller_;
+  if (request.refine_mode.has_value()) {
+    spec.options.refine.mode = *request.refine_mode;
+  }
+
+  // 1. Choose the method: explicit override or cost-based plan. The cost
+  // model mirrors the knobs the join will actually run with (dedup scheme,
+  // refinement mode), and under adaptive refinement the plan also fixes the
+  // cell-grid precision from the catalog statistics.
   if (request.method.has_value()) {
     response.method = *request.method;
   } else {
@@ -399,19 +410,21 @@ Result<JoinResponse> JoinService::ExecuteJoin(const QueryRef& query,
                    s->histogram.has_value() ? &*s->histogram : nullptr,
                    cache_.Contains(JoinInput{s->heap, s->info},
                                    config_.join_defaults.index_fill_factor)};
+    PlannerCosts costs;
+    costs.dedup_mode = spec.options.dedup_mode;
+    costs.refine_mode = spec.options.refine.mode;
     const PlanChoice plan =
-        PlanJoin(pr, ps, config_.join_defaults.num_threads);
+        PlanJoin(pr, ps, config_.join_defaults.num_threads, costs);
     response.method = plan.method;
     response.planner_chosen = true;
     response.plan = plan.ToString();
+    if (spec.options.refine.mode != RefineMode::kExact &&
+        spec.options.refine.grid_order == 0) {
+      spec.options.refine.grid_order = plan.grid_order;
+    }
     planned_->Add();
   }
-
-  JoinSpec spec;
   spec.method = response.method;
-  spec.predicate = request.predicate;
-  spec.options = config_.join_defaults;
-  spec.options.cancel = &query->canceller_;
 
   // 2. Index-method queries go through the cache: build-or-reuse both
   // trees, keep the refs alive for the duration of the join (pinning).

@@ -97,25 +97,35 @@ TEST_F(JoinDifferentialTest, AllMethodsMatchBruteForceOracleAcrossSweep) {
         if (pbsm_family) modes.push_back(DedupMode::kMerge);
         for (const DedupMode mode : modes) {
           SCOPED_TRACE(DedupModeName(mode));
-          StorageEnv env(512 * kPageSize);
-          PBSM_ASSERT_OK_AND_ASSIGN(
-              const StoredRelation r,
-              LoadRelation(env.pool(), nullptr, "road", roads, c.clustered));
-          PBSM_ASSERT_OK_AND_ASSIGN(
-              const StoredRelation s,
-              LoadRelation(env.pool(), nullptr, "hydro", hydro, c.clustered));
+          // The refinement strategy is shared by every method downstream of
+          // its filter, so adaptive true-hit filtering must be
+          // result-invariant on each of them (kApproximate is exempt — it
+          // trades exactness away by contract and is covered by the fuzz
+          // suite's conservatism bounds instead).
+          for (const RefineMode refine :
+               {RefineMode::kExact, RefineMode::kAdaptive}) {
+            SCOPED_TRACE(RefineModeName(refine));
+            StorageEnv env(512 * kPageSize);
+            PBSM_ASSERT_OK_AND_ASSIGN(
+                const StoredRelation r,
+                LoadRelation(env.pool(), nullptr, "road", roads, c.clustered));
+            PBSM_ASSERT_OK_AND_ASSIGN(
+                const StoredRelation s,
+                LoadRelation(env.pool(), nullptr, "hydro", hydro, c.clustered));
 
-          JoinSpec spec;
-          spec.method = method;
-          spec.predicate = c.pred;
-          spec.options.memory_budget_bytes = 1 << 20;
-          spec.options.num_tiles = c.num_tiles;
-          spec.options.num_threads = c.num_threads;
-          spec.options.simd = simd;
-          spec.options.dedup_mode = mode;
-          PBSM_ASSERT_OK_AND_ASSIGN(const IdPairSet got,
-                                    RunJoinToIdPairs(env.pool(), r, s, spec));
-          EXPECT_EQ(got, expected);
+            JoinSpec spec;
+            spec.method = method;
+            spec.predicate = c.pred;
+            spec.options.memory_budget_bytes = 1 << 20;
+            spec.options.num_tiles = c.num_tiles;
+            spec.options.num_threads = c.num_threads;
+            spec.options.simd = simd;
+            spec.options.dedup_mode = mode;
+            spec.options.refine.mode = refine;
+            PBSM_ASSERT_OK_AND_ASSIGN(const IdPairSet got,
+                                      RunJoinToIdPairs(env.pool(), r, s, spec));
+            EXPECT_EQ(got, expected);
+          }
         }
       }
     }

@@ -4,10 +4,8 @@
 #include <utility>
 #include <vector>
 
-#include "core/inl_join.h"
 #include "core/index_build.h"
-#include "core/pbsm_join.h"
-#include "core/rtree_join.h"
+#include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "datagen/sequoia_gen.h"
 #include "datagen/tiger_gen.h"
@@ -21,6 +19,24 @@ using PairSet = std::set<std::pair<uint64_t, uint64_t>>;
 
 ResultSink Collect(PairSet* out) {
   return [out](Oid r, Oid s) { out->emplace(r.Encode(), s.Encode()); };
+}
+
+/// Runs the facade and unwraps the per-phase cost breakdown, which is what
+/// these tests assert on.
+Result<JoinCostBreakdown> RunJoin(BufferPool* pool, const JoinInput& r,
+                                  const JoinInput& s, const JoinSpec& spec) {
+  PBSM_ASSIGN_OR_RETURN(JoinResult result, SpatialJoin(pool, r, s, spec));
+  return std::move(result.breakdown);
+}
+
+JoinSpec MakeSpec(JoinMethod method, SpatialPredicate pred,
+                  const JoinOptions& opts, ResultSink sink = {}) {
+  JoinSpec spec;
+  spec.method = method;
+  spec.predicate = pred;
+  spec.options = opts;
+  spec.sink = std::move(sink);
+  return spec;
 }
 
 /// Ground truth: nested loop over the raw tuples with exact predicates.
@@ -86,26 +102,30 @@ TEST_F(JoinEquivalenceTest, AllAlgorithmsMatchBruteForce) {
   PairSet pbsm_pairs;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown pbsm_cost,
-      PbsmJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
-               SpatialPredicate::kIntersects, opts, Collect(&pbsm_pairs)));
+      RunJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
+              MakeSpec(JoinMethod::kPbsm, SpatialPredicate::kIntersects, opts,
+                       Collect(&pbsm_pairs))));
   EXPECT_EQ(pbsm_pairs, expected);
   EXPECT_EQ(pbsm_cost.results, expected.size());
   EXPECT_GE(pbsm_cost.candidates, expected.size());
 
+  // The facade restores (r, s) orientation for INL no matter which side it
+  // indexes internally, so the pair set compares directly.
   PairSet inl_pairs;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown inl_cost,
-      IndexedNestedLoopsJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
-                             SpatialPredicate::kIntersects, opts,
-                             Collect(&inl_pairs)));
+      RunJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
+              MakeSpec(JoinMethod::kInl, SpatialPredicate::kIntersects, opts,
+                       Collect(&inl_pairs))));
   EXPECT_EQ(inl_pairs, expected);
   EXPECT_EQ(inl_cost.results, expected.size());
 
   PairSet rtree_pairs;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown rtree_cost,
-      RtreeJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
-                SpatialPredicate::kIntersects, opts, Collect(&rtree_pairs)));
+      RunJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
+              MakeSpec(JoinMethod::kRtree, SpatialPredicate::kIntersects, opts,
+                       Collect(&rtree_pairs))));
   EXPECT_EQ(rtree_pairs, expected);
   EXPECT_EQ(rtree_cost.results, expected.size());
 }
@@ -125,14 +145,15 @@ TEST_F(JoinEquivalenceTest, PbsmInvariantUnderKnobs) {
   PairSet reference;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown ref_cost,
-      PbsmJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
-               SpatialPredicate::kIntersects, base, Collect(&reference)));
+      RunJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
+              MakeSpec(JoinMethod::kPbsm, SpatialPredicate::kIntersects, base,
+                       Collect(&reference))));
   (void)ref_cost;
   ASSERT_GT(reference.size(), 0u);
 
   // Sweep algorithm, mapping scheme, tile count, partition count, tiny
-  // memory budgets (forcing §3.5 overflow handling) must not change the
-  // result set.
+  // memory budgets (forcing §3.5 overflow handling), and the adaptive
+  // refinement engine must not change the result set.
   struct Variant {
     const char* label;
     JoinOptions opts;
@@ -174,13 +195,19 @@ TEST_F(JoinEquivalenceTest, PbsmInvariantUnderKnobs) {
     o.refinement_mode = SegmentTestMode::kNaive;
     variants.push_back({"naive refinement", o});
   }
+  {
+    JoinOptions o = base;
+    o.refine = {.mode = RefineMode::kAdaptive};
+    variants.push_back({"adaptive refinement", o});
+  }
 
   for (const Variant& v : variants) {
     PairSet got;
     PBSM_ASSERT_OK_AND_ASSIGN(
         const JoinCostBreakdown cost,
-        PbsmJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
-                 SpatialPredicate::kIntersects, v.opts, Collect(&got)));
+        RunJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
+                MakeSpec(JoinMethod::kPbsm, SpatialPredicate::kIntersects,
+                         v.opts, Collect(&got))));
     EXPECT_EQ(got, reference) << v.label;
     EXPECT_EQ(cost.results, reference.size()) << v.label;
   }
@@ -206,10 +233,11 @@ TEST_F(JoinEquivalenceTest, ClusteringDoesNotChangeResults) {
 
   auto result_count = [&](const StoredRelation& r,
                           const StoredRelation& s) -> uint64_t {
-    auto res = PbsmJoin(env.pool(), r.AsInput(), s.AsInput(),
-                        SpatialPredicate::kIntersects, opts);
+    auto res = SpatialJoin(env.pool(), r.AsInput(), s.AsInput(),
+                           MakeSpec(JoinMethod::kPbsm,
+                                    SpatialPredicate::kIntersects, opts));
     EXPECT_TRUE(res.ok()) << res.status().ToString();
-    return res.ok() ? res->results : 0;
+    return res.ok() ? res->num_results : 0;
   };
   EXPECT_EQ(result_count(roads, hydro), result_count(roads_cl, hydro_cl));
 }
@@ -232,8 +260,9 @@ TEST_F(JoinEquivalenceTest, SmallBufferPoolsDoNotChangeResults) {
         LoadRelation(envs[i]->pool(), nullptr, "hydro", hydro_));
     PBSM_ASSERT_OK_AND_ASSIGN(
         const JoinCostBreakdown cost,
-        PbsmJoin(envs[i]->pool(), roads.AsInput(), hydro.AsInput(),
-                 SpatialPredicate::kIntersects, opts));
+        RunJoin(envs[i]->pool(), roads.AsInput(), hydro.AsInput(),
+                MakeSpec(JoinMethod::kPbsm, SpatialPredicate::kIntersects,
+                         opts)));
     counts[i] = cost.results;
   }
   EXPECT_EQ(counts[0], counts[1]);
@@ -265,33 +294,45 @@ TEST(JoinPredicateTest, ContainmentJoinMatchesBruteForce) {
     PairSet got;
     PBSM_ASSERT_OK_AND_ASSIGN(
         const JoinCostBreakdown cost,
-        PbsmJoin(env.pool(), polys_rel.AsInput(), islands_rel.AsInput(),
-                 SpatialPredicate::kContains, o, Collect(&got)));
+        RunJoin(env.pool(), polys_rel.AsInput(), islands_rel.AsInput(),
+                MakeSpec(JoinMethod::kPbsm, SpatialPredicate::kContains, o,
+                         Collect(&got))));
     EXPECT_EQ(got, expected) << "mer=" << mer;
     EXPECT_EQ(cost.results, expected.size());
   }
 
-  // INL with the index on the smaller input (islands) must evaluate the
-  // containment predicate with the right orientation.
+  // Adaptive refinement must certify containment conservatively: same set.
+  {
+    JoinOptions o = opts;
+    o.refine = {.mode = RefineMode::kAdaptive};
+    PairSet got;
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const JoinCostBreakdown cost,
+        RunJoin(env.pool(), polys_rel.AsInput(), islands_rel.AsInput(),
+                MakeSpec(JoinMethod::kPbsm, SpatialPredicate::kContains, o,
+                         Collect(&got))));
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(cost.results, expected.size());
+  }
+
+  // INL internally indexes the smaller input; the facade keeps the
+  // containment predicate and result pairs oriented as (polys, islands).
   PairSet inl_pairs;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown inl_cost,
-      IndexedNestedLoopsJoin(env.pool(), islands_rel.AsInput(),
-                             polys_rel.AsInput(), SpatialPredicate::kContains,
-                             opts, Collect(&inl_pairs),
-                             /*preexisting_index=*/nullptr,
-                             /*indexed_is_left=*/false));
-  PairSet inl_flipped;
-  for (const auto& [a, b] : inl_pairs) inl_flipped.emplace(b, a);
-  EXPECT_EQ(inl_flipped, expected);
+      RunJoin(env.pool(), polys_rel.AsInput(), islands_rel.AsInput(),
+              MakeSpec(JoinMethod::kInl, SpatialPredicate::kContains, opts,
+                       Collect(&inl_pairs))));
+  EXPECT_EQ(inl_pairs, expected);
   EXPECT_EQ(inl_cost.results, expected.size());
 
   // The R-tree join agrees on containment too.
   PairSet rtree_pairs;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown rt,
-      RtreeJoin(env.pool(), polys_rel.AsInput(), islands_rel.AsInput(),
-                SpatialPredicate::kContains, opts, Collect(&rtree_pairs)));
+      RunJoin(env.pool(), polys_rel.AsInput(), islands_rel.AsInput(),
+              MakeSpec(JoinMethod::kRtree, SpatialPredicate::kContains, opts,
+                       Collect(&rtree_pairs))));
   EXPECT_EQ(rtree_pairs, expected);
   (void)rt;
 }
@@ -313,8 +354,9 @@ TEST(JoinPreexistingIndexTest, IndexVariantsMatch) {
   PairSet expected;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown ref,
-      RtreeJoin(env.pool(), roads_rel.AsInput(), rail_rel.AsInput(),
-                SpatialPredicate::kIntersects, opts, Collect(&expected)));
+      RunJoin(env.pool(), roads_rel.AsInput(), rail_rel.AsInput(),
+              MakeSpec(JoinMethod::kRtree, SpatialPredicate::kIntersects,
+                       opts, Collect(&expected))));
   (void)ref;
 
   // Pre-built indices.
@@ -329,37 +371,44 @@ TEST(JoinPreexistingIndexTest, IndexVariantsMatch) {
 
   // R-tree join with both indices pre-existing: no build phases.
   PairSet both;
+  JoinSpec both_spec =
+      MakeSpec(JoinMethod::kRtree, SpatialPredicate::kIntersects, opts,
+               Collect(&both));
+  both_spec.r_index = &road_idx;
+  both_spec.s_index = &rail_idx;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown rt2,
-      RtreeJoin(env.pool(), roads_rel.AsInput(), rail_rel.AsInput(),
-                SpatialPredicate::kIntersects, opts, Collect(&both),
-                &road_idx, &rail_idx));
+      RunJoin(env.pool(), roads_rel.AsInput(), rail_rel.AsInput(),
+              both_spec));
   EXPECT_EQ(both, expected);
   EXPECT_EQ(rt2.phases.size(), 2u);  // join trees + refinement only.
 
   // R-tree join with one index pre-existing: exactly one build phase.
   PairSet one;
+  JoinSpec one_spec =
+      MakeSpec(JoinMethod::kRtree, SpatialPredicate::kIntersects, opts,
+               Collect(&one));
+  one_spec.r_index = &road_idx;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown rt1,
-      RtreeJoin(env.pool(), roads_rel.AsInput(), rail_rel.AsInput(),
-                SpatialPredicate::kIntersects, opts, Collect(&one),
-                &road_idx, nullptr));
+      RunJoin(env.pool(), roads_rel.AsInput(), rail_rel.AsInput(),
+              one_spec));
   EXPECT_EQ(one, expected);
   EXPECT_EQ(rt1.phases.size(), 3u);
 
-  // INL with a pre-existing index on rail (the smaller input).
+  // INL with a pre-existing index on rail: the facade probes with roads and
+  // emits pairs in the caller's (roads, rail) orientation.
   PairSet inl;
+  JoinSpec inl_spec = MakeSpec(JoinMethod::kInl,
+                               SpatialPredicate::kIntersects, opts,
+                               Collect(&inl));
+  inl_spec.s_index = &rail_idx;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown inl_cost,
-      IndexedNestedLoopsJoin(env.pool(), rail_rel.AsInput(),
-                             roads_rel.AsInput(),
-                             SpatialPredicate::kIntersects, opts,
-                             Collect(&inl), &rail_idx));
+      RunJoin(env.pool(), roads_rel.AsInput(), rail_rel.AsInput(),
+              inl_spec));
   EXPECT_EQ(inl_cost.phases.size(), 1u);  // Probe only.
-  // INL emits (rail, road); expected holds (road, rail) — flip.
-  PairSet flipped;
-  for (const auto& [a, b] : inl) flipped.emplace(b, a);
-  EXPECT_EQ(flipped, expected);
+  EXPECT_EQ(inl, expected);
 }
 
 TEST(JoinCostTest, BreakdownPhasesAreComplete) {
@@ -377,8 +426,9 @@ TEST(JoinCostTest, BreakdownPhasesAreComplete) {
   opts.memory_budget_bytes = 64 << 10;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown cost,
-      PbsmJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
-               SpatialPredicate::kIntersects, opts));
+      RunJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
+              MakeSpec(JoinMethod::kPbsm, SpatialPredicate::kIntersects,
+                       opts)));
   ASSERT_EQ(cost.phases.size(), 4u);
   EXPECT_EQ(cost.phases[0].first, "partition road");
   EXPECT_EQ(cost.phases[1].first, "partition hydro");

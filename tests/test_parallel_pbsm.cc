@@ -5,7 +5,7 @@
 #include <set>
 #include <utility>
 
-#include "core/pbsm_join.h"
+#include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "datagen/tiger_gen.h"
 #include "tests/test_util.h"
@@ -31,16 +31,16 @@ class ParallelPbsmTest : public ::testing::Test {
     hydro_ = std::make_unique<StoredRelation>(std::move(hydro));
 
     // Serial reference result (by original OIDs).
-    JoinOptions opts;
-    opts.memory_budget_bytes = 1 << 20;
+    JoinSpec spec;
+    spec.options.memory_budget_bytes = 1 << 20;
+    spec.sink = [&](Oid r, Oid s) {
+      expected_.emplace(r.Encode(), s.Encode());
+    };
     PBSM_ASSERT_OK_AND_ASSIGN(
-        const JoinCostBreakdown cost,
-        PbsmJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-                 SpatialPredicate::kIntersects, opts,
-                 [&](Oid r, Oid s) {
-                   expected_.emplace(r.Encode(), s.Encode());
-                 }));
-    (void)cost;
+        const JoinResult joined,
+        SpatialJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                    spec));
+    (void)joined;
     ASSERT_GT(expected_.size(), 0u);
   }
 

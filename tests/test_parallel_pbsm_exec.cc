@@ -1,5 +1,3 @@
-#include "core/parallel_pbsm_exec.h"
-
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -7,7 +5,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
-#include "core/pbsm_join.h"
+#include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "datagen/tiger_gen.h"
 #include "tests/test_util.h"
@@ -62,17 +60,34 @@ class ParallelPbsmExecTest : public ::testing::Test {
     hydro_ = std::make_unique<StoredRelation>(std::move(hydro));
   }
 
+  /// Runs the parallel executor through the facade.
+  Result<JoinResult> RunParallel(const JoinOptions& opts,
+                                 PairSet* pairs = nullptr,
+                                 ParallelJoinStats* stats = nullptr) {
+    JoinSpec spec;
+    spec.method = JoinMethod::kParallelPbsm;
+    spec.options = opts;
+    spec.parallel_stats = stats;
+    if (pairs != nullptr) {
+      spec.sink = [pairs](Oid r, Oid s) {
+        pairs->emplace(r.Encode(), s.Encode());
+      };
+    }
+    return SpatialJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                       spec);
+  }
+
   PairSet SerialReference(SweepAlgorithm sweep, size_t budget) {
-    JoinOptions opts;
-    opts.memory_budget_bytes = budget;
-    opts.sweep = sweep;
+    JoinSpec spec;
+    spec.options.memory_budget_bytes = budget;
+    spec.options.sweep = sweep;
     PairSet expected;
-    auto cost = PbsmJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-                         SpatialPredicate::kIntersects, opts,
-                         [&](Oid r, Oid s) {
-                           expected.emplace(r.Encode(), s.Encode());
-                         });
-    EXPECT_TRUE(cost.ok()) << cost.status().ToString();
+    spec.sink = [&](Oid r, Oid s) {
+      expected.emplace(r.Encode(), s.Encode());
+    };
+    auto result = SpatialJoin(env_->pool(), roads_->AsInput(),
+                              hydro_->AsInput(), spec);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_GT(expected.size(), 0u);
     return expected;
   }
@@ -92,15 +107,12 @@ TEST_F(ParallelPbsmExecTest, MatchesSerialAcrossThreadCountsAndSweeps) {
       opts.num_threads = threads;
       PairSet got;
       ParallelJoinStats stats;
-      auto cost = ParallelPbsmJoin(
-          env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-          SpatialPredicate::kIntersects, opts,
-          [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); }, &stats);
-      ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+      auto result = RunParallel(opts, &got, &stats);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
       EXPECT_EQ(got, expected)
           << threads << " threads, sweep " << static_cast<int>(sweep);
       // The sink saw each de-duplicated pair exactly once.
-      EXPECT_EQ(cost->results, got.size());
+      EXPECT_EQ(result->num_results, got.size());
       EXPECT_EQ(stats.num_threads, threads);
       EXPECT_EQ(stats.worker_busy_seconds.size(), threads);
       EXPECT_GT(stats.TotalBusySeconds(), 0.0);
@@ -124,12 +136,9 @@ TEST_F(ParallelPbsmExecTest, TinyBudgetTriggersRepartitioning) {
   opts.num_partitions_override = 1;
   opts.num_threads = 4;
   PairSet got;
-  auto cost = ParallelPbsmJoin(
-      env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-      SpatialPredicate::kIntersects, opts,
-      [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); });
-  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
-  EXPECT_GT(cost->repartitioned_pairs, 0u);
+  auto result = RunParallel(opts, &got);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->breakdown.repartitioned_pairs, 0u);
   EXPECT_EQ(got, expected);
 }
 
@@ -138,13 +147,10 @@ TEST_F(ParallelPbsmExecTest, DefaultThreadCountUsesHardwareConcurrency) {
   opts.memory_budget_bytes = 1 << 20;
   opts.num_threads = 0;  // Hardware concurrency.
   ParallelJoinStats stats;
-  auto cost = ParallelPbsmJoin(env_->pool(), roads_->AsInput(),
-                               hydro_->AsInput(),
-                               SpatialPredicate::kIntersects, opts, {},
-                               &stats);
-  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  auto result = RunParallel(opts, nullptr, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(stats.num_threads, ThreadPool::DefaultThreads());
-  EXPECT_GT(cost->results, 0u);
+  EXPECT_GT(result->num_results, 0u);
 }
 
 TEST_F(ParallelPbsmExecTest, PartitionOverrideIsRespected) {
@@ -152,11 +158,9 @@ TEST_F(ParallelPbsmExecTest, PartitionOverrideIsRespected) {
   opts.memory_budget_bytes = 1 << 20;
   opts.num_threads = 2;
   opts.num_partitions_override = 3;
-  auto cost = ParallelPbsmJoin(env_->pool(), roads_->AsInput(),
-                               hydro_->AsInput(),
-                               SpatialPredicate::kIntersects, opts);
-  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
-  EXPECT_EQ(cost->num_partitions, 3u);
+  auto result = RunParallel(opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->breakdown.num_partitions, 3u);
 }
 
 TEST_F(ParallelPbsmExecTest, CostBreakdownHasAllPhases) {
@@ -166,19 +170,17 @@ TEST_F(ParallelPbsmExecTest, CostBreakdownHasAllPhases) {
   opts.memory_budget_bytes = 1 << 20;
   opts.num_threads = 2;
   ParallelJoinStats stats;
-  auto cost = ParallelPbsmJoin(env_->pool(), roads_->AsInput(),
-                               hydro_->AsInput(),
-                               SpatialPredicate::kIntersects, opts, {},
-                               &stats);
-  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
-  ASSERT_EQ(cost->phases.size(), 3u);
-  EXPECT_EQ(cost->phases[0].first, "partition inputs");
-  EXPECT_EQ(cost->phases[1].first, "filter partitions");
-  EXPECT_EQ(cost->phases[2].first, "refinement");
-  EXPECT_GT(cost->candidates, 0u);
-  EXPECT_EQ(cost->duplicates_removed, 0u);
+  auto result = RunParallel(opts, nullptr, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JoinCostBreakdown& cost = result->breakdown;
+  ASSERT_EQ(cost.phases.size(), 3u);
+  EXPECT_EQ(cost.phases[0].first, "partition inputs");
+  EXPECT_EQ(cost.phases[1].first, "filter partitions");
+  EXPECT_EQ(cost.phases[2].first, "refinement");
+  EXPECT_GT(cost.candidates, 0u);
+  EXPECT_EQ(cost.duplicates_removed, 0u);
   EXPECT_EQ(stats.merge_wall_seconds, 0.0);
-  EXPECT_GT(cost->Total().cpu_seconds, 0.0);
+  EXPECT_GT(cost.Total().cpu_seconds, 0.0);
 }
 
 TEST_F(ParallelPbsmExecTest, MergeModeCostBreakdownHasMergePhase) {
@@ -186,17 +188,16 @@ TEST_F(ParallelPbsmExecTest, MergeModeCostBreakdownHasMergePhase) {
   opts.dedup_mode = DedupMode::kMerge;
   opts.memory_budget_bytes = 1 << 20;
   opts.num_threads = 2;
-  auto cost = ParallelPbsmJoin(env_->pool(), roads_->AsInput(),
-                               hydro_->AsInput(),
-                               SpatialPredicate::kIntersects, opts);
-  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
-  ASSERT_EQ(cost->phases.size(), 4u);
-  EXPECT_EQ(cost->phases[0].first, "partition inputs");
-  EXPECT_EQ(cost->phases[1].first, "sweep partitions");
-  EXPECT_EQ(cost->phases[2].first, "merge candidates");
-  EXPECT_EQ(cost->phases[3].first, "refinement");
-  EXPECT_GT(cost->candidates, 0u);
-  EXPECT_GT(cost->Total().cpu_seconds, 0.0);
+  auto result = RunParallel(opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JoinCostBreakdown& cost = result->breakdown;
+  ASSERT_EQ(cost.phases.size(), 4u);
+  EXPECT_EQ(cost.phases[0].first, "partition inputs");
+  EXPECT_EQ(cost.phases[1].first, "sweep partitions");
+  EXPECT_EQ(cost.phases[2].first, "merge candidates");
+  EXPECT_EQ(cost.phases[3].first, "refinement");
+  EXPECT_GT(cost.candidates, 0u);
+  EXPECT_GT(cost.Total().cpu_seconds, 0.0);
 }
 
 }  // namespace

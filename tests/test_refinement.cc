@@ -78,7 +78,7 @@ TEST_F(RefinementTest, AllCandidatesSurviveWhenAllIntersect) {
   JoinCostBreakdown breakdown;
   PairSet results;
   PBSM_ASSERT_OK(RefineCandidates(
-      &sorter, r_->heap, s_->heap, SpatialPredicate::kIntersects, opts,
+      &sorter, r_->AsInput(), s_->AsInput(), SpatialPredicate::kIntersects, opts,
       [&](Oid r, Oid s) { results.emplace(r.Encode(), s.Encode()); },
       &breakdown));
   EXPECT_EQ(breakdown.results, 9u);
@@ -95,7 +95,7 @@ TEST_F(RefinementTest, DuplicatesAreRemovedAndCounted) {
   }
   JoinOptions opts;
   JoinCostBreakdown breakdown;
-  PBSM_ASSERT_OK(RefineCandidates(&sorter, r_->heap, s_->heap,
+  PBSM_ASSERT_OK(RefineCandidates(&sorter, r_->AsInput(), s_->AsInput(),
                                   SpatialPredicate::kIntersects, opts, {},
                                   &breakdown));
   EXPECT_EQ(breakdown.results, 9u);
@@ -116,7 +116,7 @@ TEST_F(RefinementTest, TinyBudgetSplitsBlocksWithoutLosingPairs) {
     JoinCostBreakdown breakdown;
     PairSet results;
     PBSM_ASSERT_OK(RefineCandidates(
-        &sorter, r_->heap, s_->heap, SpatialPredicate::kIntersects, opts,
+        &sorter, r_->AsInput(), s_->AsInput(), SpatialPredicate::kIntersects, opts,
         [&](Oid r, Oid s) { results.emplace(r.Encode(), s.Encode()); },
         &breakdown));
     EXPECT_EQ(results.size(), 9u) << "budget=" << budget;
@@ -151,7 +151,7 @@ TEST_F(RefinementTest, NonIntersectingCandidatesAreFiltered) {
   PBSM_ASSERT_OK(sorter.Add(OidPair{r0, far_oid}));
   JoinOptions opts;
   JoinCostBreakdown breakdown;
-  PBSM_ASSERT_OK(RefineCandidates(&sorter, r_->heap, far.heap,
+  PBSM_ASSERT_OK(RefineCandidates(&sorter, r_->AsInput(), far.AsInput(),
                                   SpatialPredicate::kIntersects, opts, {},
                                   &breakdown));
   EXPECT_EQ(breakdown.results, 0u);
@@ -161,7 +161,7 @@ TEST_F(RefinementTest, EmptyCandidateStream) {
   CandidateSorter sorter(env_->pool(), 1 << 20, OidPairLess{});
   JoinOptions opts;
   JoinCostBreakdown breakdown;
-  PBSM_ASSERT_OK(RefineCandidates(&sorter, r_->heap, s_->heap,
+  PBSM_ASSERT_OK(RefineCandidates(&sorter, r_->AsInput(), s_->AsInput(),
                                   SpatialPredicate::kIntersects, opts, {},
                                   &breakdown));
   EXPECT_EQ(breakdown.results, 0u);

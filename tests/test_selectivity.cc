@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "common/rng.h"
-#include "core/pbsm_join.h"
+#include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "datagen/tiger_gen.h"
 #include "tests/test_util.h"
@@ -90,14 +90,13 @@ TEST(SpatialHistogramTest, SkewedTigerEstimateWithinSmallFactor) {
       SpatialHistogram::Build(hydro.heap, universe, 32, 32));
   EXPECT_EQ(hr.total_count(), 4000u);
 
-  JoinOptions opts;
-  opts.memory_budget_bytes = 4 << 20;
+  JoinSpec spec;
+  spec.options.memory_budget_bytes = 4 << 20;
   PBSM_ASSERT_OK_AND_ASSIGN(
-      const JoinCostBreakdown cost,
-      PbsmJoin(env.pool(), roads.AsInput(), hydro.AsInput(),
-               SpatialPredicate::kIntersects, opts));
-  const double actual =
-      static_cast<double>(cost.candidates - cost.duplicates_removed);
+      const JoinResult joined,
+      SpatialJoin(env.pool(), roads.AsInput(), hydro.AsInput(), spec));
+  const double actual = static_cast<double>(
+      joined.breakdown.candidates - joined.breakdown.duplicates_removed);
   ASSERT_GT(actual, 0.0);
   const double estimate = hr.EstimateJoinCandidates(hh);
   EXPECT_GT(estimate, actual / 4.0) << "estimate " << estimate

@@ -1,11 +1,9 @@
-#include "core/spatial_hash_join.h"
-
 #include <gtest/gtest.h>
 
 #include <set>
 #include <utility>
 
-#include "core/pbsm_join.h"
+#include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "datagen/sequoia_gen.h"
 #include "datagen/tiger_gen.h"
@@ -15,6 +13,17 @@ namespace pbsm {
 namespace {
 
 using PairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+/// Runs the facade and unwraps the cost breakdown.
+Result<JoinCostBreakdown> RunJoin(BufferPool* pool, const JoinInput& r,
+                                  const JoinInput& s, const JoinSpec& spec) {
+  PBSM_ASSIGN_OR_RETURN(JoinResult result, SpatialJoin(pool, r, s, spec));
+  return std::move(result.breakdown);
+}
+
+ResultSink Collect(PairSet* out) {
+  return [out](Oid r, Oid s) { out->emplace(r.Encode(), s.Encode()); };
+}
 
 class SpatialHashJoinTest : public ::testing::Test {
  protected:
@@ -31,17 +40,23 @@ class SpatialHashJoinTest : public ::testing::Test {
     roads_ = std::make_unique<StoredRelation>(std::move(roads));
     hydro_ = std::make_unique<StoredRelation>(std::move(hydro));
 
-    JoinOptions opts;
-    opts.memory_budget_bytes = 1 << 20;
+    JoinSpec spec;
+    spec.options.memory_budget_bytes = 1 << 20;
+    spec.sink = Collect(&expected_);
     PBSM_ASSERT_OK_AND_ASSIGN(
         const JoinCostBreakdown cost,
-        PbsmJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-                 SpatialPredicate::kIntersects, opts,
-                 [&](Oid r, Oid s) {
-                   expected_.emplace(r.Encode(), s.Encode());
-                 }));
+        RunJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(), spec));
     (void)cost;
     ASSERT_GT(expected_.size(), 0u);
+  }
+
+  JoinSpec HashSpec(uint32_t num_buckets, PairSet* out) {
+    JoinSpec spec;
+    spec.method = JoinMethod::kSpatialHash;
+    spec.hash.num_buckets = num_buckets;
+    spec.options.memory_budget_bytes = 1 << 20;
+    if (out != nullptr) spec.sink = Collect(out);
+    return spec;
   }
 
   std::unique_ptr<StorageEnv> env_;
@@ -51,17 +66,11 @@ class SpatialHashJoinTest : public ::testing::Test {
 
 TEST_F(SpatialHashJoinTest, MatchesPbsmAcrossBucketCounts) {
   for (const uint32_t buckets : {1u, 2u, 4u, 16u}) {
-    SpatialHashJoinOptions opts;
-    opts.num_buckets = buckets;
-    opts.join.memory_budget_bytes = 1 << 20;
     PairSet got;
     PBSM_ASSERT_OK_AND_ASSIGN(
         const JoinCostBreakdown cost,
-        SpatialHashJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-                        SpatialPredicate::kIntersects, opts,
-                        [&](Oid r, Oid s) {
-                          got.emplace(r.Encode(), s.Encode());
-                        }));
+        RunJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                HashSpec(buckets, &got)));
     EXPECT_EQ(got, expected_) << buckets << " buckets";
     EXPECT_EQ(cost.results, expected_.size());
     EXPECT_EQ(cost.num_partitions, buckets);
@@ -72,33 +81,24 @@ TEST_F(SpatialHashJoinTest, MatchesPbsmAcrossBucketCounts) {
 }
 
 TEST_F(SpatialHashJoinTest, TinyBudgetChunkedSweepStillMatches) {
-  SpatialHashJoinOptions opts;
-  opts.num_buckets = 3;
-  opts.join.memory_budget_bytes = 8 << 10;  // Forces chunked bucket joins.
   PairSet got;
+  JoinSpec spec = HashSpec(3, &got);
+  spec.options.memory_budget_bytes = 8 << 10;  // Forces chunked bucket joins.
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown cost,
-      SpatialHashJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-                      SpatialPredicate::kIntersects, opts,
-                      [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); }));
+      RunJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(), spec));
   (void)cost;
   EXPECT_EQ(got, expected_);
 }
 
 TEST_F(SpatialHashJoinTest, SampleFractionDoesNotChangeResults) {
   for (const double fraction : {0.002, 0.05, 0.5}) {
-    SpatialHashJoinOptions opts;
-    opts.num_buckets = 8;
-    opts.sample_fraction = fraction;
-    opts.join.memory_budget_bytes = 1 << 20;
     PairSet got;
+    JoinSpec spec = HashSpec(8, &got);
+    spec.hash.sample_fraction = fraction;
     PBSM_ASSERT_OK_AND_ASSIGN(
         const JoinCostBreakdown cost,
-        SpatialHashJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-                        SpatialPredicate::kIntersects, opts,
-                        [&](Oid r, Oid s) {
-                          got.emplace(r.Encode(), s.Encode());
-                        }));
+        RunJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(), spec));
     (void)cost;
     EXPECT_EQ(got, expected_) << "fraction " << fraction;
   }
@@ -113,24 +113,26 @@ TEST(SpatialHashJoinContainsTest, ContainmentJoinMatches) {
   PBSM_ASSERT_OK_AND_ASSIGN(
       const StoredRelation islands,
       LoadRelation(env.pool(), nullptr, "island", gen.GenerateIslands(200)));
-  JoinOptions jopts;
-  jopts.memory_budget_bytes = 1 << 20;
   PairSet expected;
+  JoinSpec ref_spec;
+  ref_spec.predicate = SpatialPredicate::kContains;
+  ref_spec.options.memory_budget_bytes = 1 << 20;
+  ref_spec.sink = Collect(&expected);
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown ref,
-      PbsmJoin(env.pool(), polys.AsInput(), islands.AsInput(),
-               SpatialPredicate::kContains, jopts,
-               [&](Oid r, Oid s) { expected.emplace(r.Encode(), s.Encode()); }));
+      RunJoin(env.pool(), polys.AsInput(), islands.AsInput(), ref_spec));
   (void)ref;
-  SpatialHashJoinOptions opts;
-  opts.num_buckets = 5;
-  opts.join = jopts;
+
   PairSet got;
+  JoinSpec spec;
+  spec.method = JoinMethod::kSpatialHash;
+  spec.predicate = SpatialPredicate::kContains;
+  spec.hash.num_buckets = 5;
+  spec.options.memory_budget_bytes = 1 << 20;
+  spec.sink = Collect(&got);
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown cost,
-      SpatialHashJoin(env.pool(), polys.AsInput(), islands.AsInput(),
-                      SpatialPredicate::kContains, opts,
-                      [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); }));
+      RunJoin(env.pool(), polys.AsInput(), islands.AsInput(), spec));
   (void)cost;
   EXPECT_EQ(got, expected);
 }
@@ -144,19 +146,18 @@ TEST(SpatialHashJoinEdgeTest, EmptyInputs) {
   PBSM_ASSERT_OK_AND_ASSIGN(
       const StoredRelation empty,
       LoadRelation(env.pool(), nullptr, "empty", std::vector<Tuple>{}));
-  SpatialHashJoinOptions opts;
-  opts.num_buckets = 4;
+  JoinSpec spec;
+  spec.method = JoinMethod::kSpatialHash;
+  spec.hash.num_buckets = 4;
   // Empty S: zero results.
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown cost,
-      SpatialHashJoin(env.pool(), roads.AsInput(), empty.AsInput(),
-                      SpatialPredicate::kIntersects, opts));
+      RunJoin(env.pool(), roads.AsInput(), empty.AsInput(), spec));
   EXPECT_EQ(cost.results, 0u);
   // Empty R with a non-empty universe union still works.
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown cost2,
-      SpatialHashJoin(env.pool(), empty.AsInput(), roads.AsInput(),
-                      SpatialPredicate::kIntersects, opts));
+      RunJoin(env.pool(), empty.AsInput(), roads.AsInput(), spec));
   EXPECT_EQ(cost2.results, 0u);
 }
 

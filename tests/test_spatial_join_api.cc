@@ -7,11 +7,6 @@
 #include <vector>
 
 #include "core/index_build.h"
-#include "core/inl_join.h"
-#include "core/pbsm_join.h"
-#include "core/rtree_join.h"
-#include "core/spatial_hash_join.h"
-#include "core/zorder_join.h"
 #include "datagen/loader.h"
 #include "datagen/tiger_gen.h"
 #include "tests/test_util.h"
@@ -70,22 +65,23 @@ TEST_F(SpatialJoinApiTest, MethodNamesRoundTrip) {
   EXPECT_FALSE(ParseJoinMethod("quadtree").has_value());
 }
 
+TEST_F(SpatialJoinApiTest, RefineModeNamesRoundTrip) {
+  for (const RefineMode m : {RefineMode::kExact, RefineMode::kAdaptive,
+                             RefineMode::kApproximate}) {
+    const auto parsed = ParseRefineMode(RefineModeName(m));
+    ASSERT_TRUE(parsed.ok()) << RefineModeName(m);
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_EQ(*ParseRefineMode("approx"), RefineMode::kApproximate);
+  EXPECT_FALSE(ParseRefineMode("fuzzy").ok());
+}
+
 TEST_F(SpatialJoinApiTest, AllSixMethodsAgreeOnPairSet) {
-  // Ground truth from the legacy serial PBSM entry point.
+  // Ground truth: serial PBSM through the facade.
   PairSet expected;
   {
     StorageEnv env(512 * kPageSize);
-    auto r = LoadRelation(env.pool(), nullptr, "road", roads_);
-    ASSERT_TRUE(r.ok()) << r.status().ToString();
-    auto s = LoadRelation(env.pool(), nullptr, "hydro", hydro_);
-    ASSERT_TRUE(s.ok()) << s.status().ToString();
-    JoinOptions opts;
-    opts.memory_budget_bytes = 1 << 20;
-    opts.num_tiles = 256;
-    auto cost = PbsmJoin(env.pool(), r->AsInput(), s->AsInput(),
-                         SpatialPredicate::kIntersects, opts,
-                         Collect(&expected));
-    ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+    RunFacade(&env, BaseSpec(JoinMethod::kPbsm), &expected);
   }
   ASSERT_GT(expected.size(), 0u) << "seed data produces no join results";
 
@@ -103,47 +99,19 @@ TEST_F(SpatialJoinApiTest, AllSixMethodsAgreeOnPairSet) {
   }
 }
 
-TEST_F(SpatialJoinApiTest, FacadeMatchesLegacyEntryPointCounts) {
-  // Each facade run must report exactly the result count of the legacy
-  // entry point it wraps (same data, fresh storage each time).
-  JoinOptions opts;
-  opts.memory_budget_bytes = 1 << 20;
-  opts.num_tiles = 256;
-
-  uint64_t legacy_counts[3];
-  {
-    StorageEnv env(512 * kPageSize);
-    auto r = LoadRelation(env.pool(), nullptr, "road", roads_);
-    ASSERT_TRUE(r.ok());
-    auto s = LoadRelation(env.pool(), nullptr, "hydro", hydro_);
-    ASSERT_TRUE(s.ok());
-    auto rtree = RtreeJoin(env.pool(), r->AsInput(), s->AsInput(),
-                           SpatialPredicate::kIntersects, opts);
-    ASSERT_TRUE(rtree.ok()) << rtree.status().ToString();
-    legacy_counts[0] = rtree->results;
-    // Legacy INL convention: index the smaller input (S), probe with R.
-    auto inl = IndexedNestedLoopsJoin(env.pool(), s->AsInput(), r->AsInput(),
-                                      SpatialPredicate::kIntersects, opts,
-                                      /*sink=*/{},
-                                      /*preexisting_index=*/nullptr,
-                                      /*indexed_is_left=*/false);
-    ASSERT_TRUE(inl.ok()) << inl.status().ToString();
-    legacy_counts[1] = inl->results;
-    SpatialHashJoinOptions hash_opts;
-    hash_opts.join = opts;
-    auto hash = SpatialHashJoin(env.pool(), r->AsInput(), s->AsInput(),
-                                SpatialPredicate::kIntersects, hash_opts);
-    ASSERT_TRUE(hash.ok()) << hash.status().ToString();
-    legacy_counts[2] = hash->results;
-  }
-
-  const JoinMethod methods[3] = {JoinMethod::kRtree, JoinMethod::kInl,
-                                 JoinMethod::kSpatialHash};
-  for (int i = 0; i < 3; ++i) {
-    StorageEnv env(512 * kPageSize);
-    const JoinResult result = RunFacade(&env, BaseSpec(methods[i]), nullptr);
-    EXPECT_EQ(result.num_results, legacy_counts[i])
-        << "method " << JoinMethodName(methods[i]);
+TEST_F(SpatialJoinApiTest, ResultsAreDeterministicAcrossEnvironments) {
+  // Same data, fresh storage: every method must report identical counts on
+  // repeat runs (the facade owns all remaining join entry points, so this
+  // pins down end-to-end reproducibility).
+  for (const JoinMethod m : {JoinMethod::kRtree, JoinMethod::kInl,
+                             JoinMethod::kSpatialHash}) {
+    uint64_t counts[2];
+    for (int i = 0; i < 2; ++i) {
+      StorageEnv env(512 * kPageSize);
+      counts[i] = RunFacade(&env, BaseSpec(m), nullptr).num_results;
+    }
+    EXPECT_EQ(counts[0], counts[1]) << "method " << JoinMethodName(m);
+    EXPECT_GT(counts[0], 0u);
   }
 }
 
@@ -173,6 +141,28 @@ TEST_F(SpatialJoinApiTest, ResultCarriesMetricsDelta) {
   EXPECT_EQ(result.metrics.counter("join.runs.pbsm"), 1u);
 }
 
+TEST_F(SpatialJoinApiTest, AdaptiveRefineReportsCellFilterMetrics) {
+  StorageEnv env(512 * kPageSize);
+  JoinSpec spec = BaseSpec(JoinMethod::kPbsm);
+  spec.options.refine = {.mode = RefineMode::kAdaptive};
+  PairSet adaptive_pairs;
+  const JoinResult result = RunFacade(&env, spec, &adaptive_pairs);
+
+  StorageEnv exact_env(512 * kPageSize);
+  PairSet exact_pairs;
+  RunFacade(&exact_env, BaseSpec(JoinMethod::kPbsm), &exact_pairs);
+  EXPECT_EQ(adaptive_pairs, exact_pairs);
+
+  // Every candidate is either settled by the cell filter or fell back.
+  const uint64_t skipped = result.metrics.counter("refinement.skipped_exact");
+  const uint64_t fallbacks =
+      result.metrics.counter("refinement.exact_fallbacks");
+  EXPECT_EQ(skipped, result.metrics.counter("refinement.true_hits") +
+                         result.metrics.counter("refinement.cell_rejects") +
+                         result.metrics.counter("refinement.approx_accepted"));
+  EXPECT_GT(skipped + fallbacks, 0u);
+}
+
 TEST_F(SpatialJoinApiTest, TraceSpansCoverJoinPhases) {
   Tracer& tracer = Tracer::Global();
   tracer.Clear();
@@ -185,6 +175,51 @@ TEST_F(SpatialJoinApiTest, TraceSpansCoverJoinPhases) {
   }
   EXPECT_TRUE(found_join);
   EXPECT_TRUE(found_refinement);
+}
+
+TEST_F(SpatialJoinApiTest, AdaptiveRefineEmitsSubSpans) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  StorageEnv env(512 * kPageSize);
+  JoinSpec spec = BaseSpec(JoinMethod::kPbsm);
+  spec.options.refine = {.mode = RefineMode::kAdaptive};
+  RunFacade(&env, spec, nullptr);
+  bool found_cell_filter = false;
+  for (const SpanRecord& span : tracer.FinishedSpans()) {
+    if (span.name == "refine/cell_filter") found_cell_filter = true;
+  }
+  EXPECT_TRUE(found_cell_filter);
+}
+
+TEST_F(SpatialJoinApiTest, CancelledAdaptiveJoinStillFlushesRefineSubSpans) {
+  // Regression: a Canceller abort mid-refinement returns from inside the
+  // cell-filter loop while its sub-span is still open; the executor must
+  // flush open spans before surfacing kCancelled, or the trace loses the
+  // whole refine subtree exactly on the runs one wants to debug.
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  StorageEnv env(512 * kPageSize);
+  auto r = LoadRelation(env.pool(), nullptr, "road", roads_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto s = LoadRelation(env.pool(), nullptr, "hydro", hydro_);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+
+  Canceller canceller;
+  JoinSpec spec = BaseSpec(JoinMethod::kPbsm);
+  spec.options.refine = {.mode = RefineMode::kAdaptive};
+  spec.options.cancel = &canceller;
+  // Cancel from the sink: the first emitted pair proves the join is inside
+  // the refinement loop, so the abort lands mid-cell-filter.
+  spec.sink = [&canceller](Oid, Oid) { canceller.Cancel(); };
+  const auto result = SpatialJoin(env.pool(), r->AsInput(), s->AsInput(), spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+
+  bool found_cell_filter = false;
+  for (const SpanRecord& span : tracer.FinishedSpans()) {
+    if (span.name == "refine/cell_filter") found_cell_filter = true;
+  }
+  EXPECT_TRUE(found_cell_filter);
 }
 
 TEST_F(SpatialJoinApiTest, PreexistingIndexIsUsed) {

@@ -1,11 +1,9 @@
-#include "core/zorder_join.h"
-
 #include <gtest/gtest.h>
 
 #include <set>
 #include <utility>
 
-#include "core/pbsm_join.h"
+#include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "datagen/sequoia_gen.h"
 #include "datagen/tiger_gen.h"
@@ -15,6 +13,27 @@ namespace pbsm {
 namespace {
 
 using PairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+/// Runs the facade and unwraps the cost breakdown.
+Result<JoinCostBreakdown> RunJoin(BufferPool* pool, const JoinInput& r,
+                                  const JoinInput& s, const JoinSpec& spec) {
+  PBSM_ASSIGN_OR_RETURN(JoinResult result, SpatialJoin(pool, r, s, spec));
+  return std::move(result.breakdown);
+}
+
+ResultSink Collect(PairSet* out) {
+  return [out](Oid r, Oid s) { out->emplace(r.Encode(), s.Encode()); };
+}
+
+JoinSpec ZOrderSpec(uint32_t max_level, uint32_t max_cells, PairSet* out) {
+  JoinSpec spec;
+  spec.method = JoinMethod::kZOrder;
+  spec.zorder.max_level = max_level;
+  spec.zorder.max_cells_per_object = max_cells;
+  spec.options.memory_budget_bytes = 1 << 20;
+  if (out != nullptr) spec.sink = Collect(out);
+  return spec;
+}
 
 class ZOrderJoinTest : public ::testing::Test {
  protected:
@@ -31,15 +50,12 @@ class ZOrderJoinTest : public ::testing::Test {
     roads_ = std::make_unique<StoredRelation>(std::move(roads));
     hydro_ = std::make_unique<StoredRelation>(std::move(hydro));
 
-    JoinOptions opts;
-    opts.memory_budget_bytes = 1 << 20;
+    JoinSpec spec;
+    spec.options.memory_budget_bytes = 1 << 20;
+    spec.sink = Collect(&expected_);
     PBSM_ASSERT_OK_AND_ASSIGN(
         const JoinCostBreakdown cost,
-        PbsmJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-                 SpatialPredicate::kIntersects, opts,
-                 [&](Oid r, Oid s) {
-                   expected_.emplace(r.Encode(), s.Encode());
-                 }));
+        RunJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(), spec));
     (void)cost;
     ASSERT_GT(expected_.size(), 0u);
   }
@@ -52,16 +68,11 @@ class ZOrderJoinTest : public ::testing::Test {
 TEST_F(ZOrderJoinTest, MatchesPbsmAcrossResolutions) {
   for (const uint32_t level : {4u, 8u, 12u}) {
     for (const uint32_t cells : {1u, 4u, 16u}) {
-      ZOrderJoinOptions opts;
-      opts.max_level = level;
-      opts.max_cells_per_object = cells;
-      opts.join.memory_budget_bytes = 1 << 20;
       PairSet got;
       PBSM_ASSERT_OK_AND_ASSIGN(
           const JoinCostBreakdown cost,
-          ZOrderJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-                     SpatialPredicate::kIntersects, opts,
-                     [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); }));
+          RunJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                  ZOrderSpec(level, cells, &got)));
       EXPECT_EQ(got, expected_) << "level=" << level << " cells=" << cells;
       EXPECT_EQ(cost.results, expected_.size());
       // The z filter may over-approximate but never under-approximates.
@@ -75,14 +86,10 @@ TEST_F(ZOrderJoinTest, FinerGridsFilterBetterButCostMoreElements) {
   uint64_t coarse_candidates = 0, fine_candidates = 0;
   uint64_t coarse_replication = 0, fine_replication = 0;
   for (const bool fine : {false, true}) {
-    ZOrderJoinOptions opts;
-    opts.max_level = fine ? 12 : 4;
-    opts.max_cells_per_object = fine ? 16 : 1;
-    opts.join.memory_budget_bytes = 1 << 20;
     PBSM_ASSERT_OK_AND_ASSIGN(
         const JoinCostBreakdown cost,
-        ZOrderJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-                   SpatialPredicate::kIntersects, opts));
+        RunJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
+                ZOrderSpec(fine ? 12 : 4, fine ? 16 : 1, nullptr)));
     if (fine) {
       fine_candidates = cost.candidates;
       fine_replication = cost.replicated;
@@ -96,16 +103,12 @@ TEST_F(ZOrderJoinTest, FinerGridsFilterBetterButCostMoreElements) {
 }
 
 TEST_F(ZOrderJoinTest, TinyBudgetSpillsAndStillMatches) {
-  ZOrderJoinOptions opts;
-  opts.max_level = 10;
-  opts.max_cells_per_object = 8;
-  opts.join.memory_budget_bytes = 16 << 10;
   PairSet got;
+  JoinSpec spec = ZOrderSpec(10, 8, &got);
+  spec.options.memory_budget_bytes = 16 << 10;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown cost,
-      ZOrderJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(),
-                 SpatialPredicate::kIntersects, opts,
-                 [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); }));
+      RunJoin(env_->pool(), roads_->AsInput(), hydro_->AsInput(), spec));
   (void)cost;
   EXPECT_EQ(got, expected_);
 }
@@ -116,14 +119,11 @@ TEST(ZOrderJoinValidationTest, RejectsBadLevels) {
   PBSM_ASSERT_OK_AND_ASSIGN(
       const StoredRelation rel,
       LoadRelation(env.pool(), nullptr, "r", gen.GenerateRoads(10)));
-  ZOrderJoinOptions opts;
-  opts.max_level = 0;
-  EXPECT_FALSE(ZOrderJoin(env.pool(), rel.AsInput(), rel.AsInput(),
-                          SpatialPredicate::kIntersects, opts)
+  EXPECT_FALSE(RunJoin(env.pool(), rel.AsInput(), rel.AsInput(),
+                       ZOrderSpec(0, 4, nullptr))
                    .ok());
-  opts.max_level = 40;
-  EXPECT_FALSE(ZOrderJoin(env.pool(), rel.AsInput(), rel.AsInput(),
-                          SpatialPredicate::kIntersects, opts)
+  EXPECT_FALSE(RunJoin(env.pool(), rel.AsInput(), rel.AsInput(),
+                       ZOrderSpec(40, 4, nullptr))
                    .ok());
 }
 
@@ -136,23 +136,22 @@ TEST(ZOrderJoinValidationTest, ContainmentPredicateWorks) {
   PBSM_ASSERT_OK_AND_ASSIGN(
       const StoredRelation islands,
       LoadRelation(env.pool(), nullptr, "island", gen.GenerateIslands(200)));
-  JoinOptions jopts;
-  jopts.memory_budget_bytes = 1 << 20;
   PairSet expected;
+  JoinSpec ref_spec;
+  ref_spec.predicate = SpatialPredicate::kContains;
+  ref_spec.options.memory_budget_bytes = 1 << 20;
+  ref_spec.sink = Collect(&expected);
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown ref,
-      PbsmJoin(env.pool(), polys.AsInput(), islands.AsInput(),
-               SpatialPredicate::kContains, jopts,
-               [&](Oid r, Oid s) { expected.emplace(r.Encode(), s.Encode()); }));
+      RunJoin(env.pool(), polys.AsInput(), islands.AsInput(), ref_spec));
   (void)ref;
-  ZOrderJoinOptions opts;
-  opts.join = jopts;
+
   PairSet got;
+  JoinSpec spec = ZOrderSpec(8, 4, &got);
+  spec.predicate = SpatialPredicate::kContains;
   PBSM_ASSERT_OK_AND_ASSIGN(
       const JoinCostBreakdown cost,
-      ZOrderJoin(env.pool(), polys.AsInput(), islands.AsInput(),
-                 SpatialPredicate::kContains, opts,
-                 [&](Oid r, Oid s) { got.emplace(r.Encode(), s.Encode()); }));
+      RunJoin(env.pool(), polys.AsInput(), islands.AsInput(), spec));
   (void)cost;
   EXPECT_EQ(got, expected);
 }
