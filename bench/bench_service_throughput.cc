@@ -1,5 +1,5 @@
 // Closed-loop throughput/latency driver for the join service (see
-// DESIGN.md "Service layer"). Three experiments:
+// DESIGN.md "Service layer" and "Sharded service"). Four experiments:
 //
 //   1. Planner validation: on the Figure 7 (road x hydrography) and
 //      Figure 8 (road x rail) pairs, measure every method cold through the
@@ -10,25 +10,49 @@
 //   3. Closed-loop throughput: 1/4/8 client threads issue a mixed
 //      workload (alternating dataset pairs, priorities, planner-routed and
 //      forced-method queries) back-to-back; reports queries/sec and
-//      p50/p95/p99 latency, cold vs warm cache.
+//      p50/p95/p99 latency, cold vs warm cache. Admission-rejected
+//      attempts (kResourceExhausted) are retried after a backoff and are
+//      counted but EXCLUDED from the latency percentiles — a rejection
+//      returns in microseconds and would otherwise drag the tail metrics
+//      toward zero exactly when the service is saturated.
+//   4. Sharded scatter-gather sweep (--shards=1,4): the same closed loop
+//      through a JoinRouter over N spatial shards. Reports wall-clock
+//      throughput (ungated — a single-core host serializes the shard
+//      workers) and critical-path throughput (completed / sum of per-query
+//      max slice execution time, the wall-clock a host with >= N cores
+//      would approach). Gate: the largest shard count's critical-path
+//      throughput must be >= 1.5x the 1-shard run's.
 //
-// Emits one SERVICE_THROUGHPUT_JSON line (the recorded baseline lives in
-// bench/results/service_throughput_baseline.json) plus the standard
-// METRICS_JSON exit blob. Violating experiment 1 or 2 marks the bench
+// Emits one SERVICE_THROUGHPUT_JSON line, schema
+// pbsm.service_throughput.v2 (recorded baselines:
+// bench/results/service_throughput_baseline.json and
+// bench/results/sharded_service_baseline.json) plus the standard
+// METRICS_JSON exit blob. Violating experiment 1, 2 or 4 marks the bench
 // failed (non-zero exit, METRICS_JSON status "failed").
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
+#include "service/join_router.h"
 #include "service/join_service.h"
+#include "service/shard_manager.h"
 
 namespace pbsm {
 namespace bench {
+
+/// Shard counts for experiment 4, settable via --shards=1,4.
+std::vector<uint32_t>& ShardCounts() {
+  static std::vector<uint32_t> counts = {1, 4};
+  return counts;
+}
+
 namespace {
 
 struct Latencies {
@@ -57,6 +81,36 @@ JoinResponse MustExecute(JoinService* service, JoinRequest request) {
   return std::move(response).value();
 }
 
+/// Closed-loop client accounting: completion latencies plus the number of
+/// admission rejections retried along the way.
+struct ClientStats {
+  Latencies lat;
+  uint64_t rejected = 0;
+};
+
+/// Executes `request` until it is admitted and completes, retrying
+/// admission rejections after a short backoff. Only the successful
+/// attempt's latency is recorded: a rejection never entered the queue, so
+/// its (near-zero) turnaround is not service latency and would corrupt the
+/// percentiles. Any other error aborts the bench.
+template <typename Target>
+JoinResponse ExecuteClosedLoop(Target* target, const JoinRequest& request,
+                               ClientStats* stats) {
+  for (;;) {
+    Stopwatch watch;
+    auto response = target->Execute(request);
+    if (response.ok()) {
+      stats->lat.Add(watch.ElapsedSeconds());
+      return std::move(response).value();
+    }
+    PBSM_CHECK(response.status().code() == StatusCode::kResourceExhausted)
+        << response.status().ToString();
+    ++stats->rejected;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+
 int Run() {
   const double scale = ScaleFromEnv();
   PrintTitle("Service throughput: scheduler + planner + index cache");
@@ -80,7 +134,7 @@ int Run() {
       service.RegisterDataset("hydro", &hydro->heap, hydro->info).ok());
   PBSM_CHECK(service.RegisterDataset("rail", &rail->heap, rail->info).ok());
 
-  std::string json = "{\"schema\":\"pbsm.service_throughput.v1\",";
+  std::string json = "{\"schema\":\"pbsm.service_throughput.v2\",";
   char buf[256];
   std::snprintf(buf, sizeof(buf), "\"scale\":%.3f,\"workers\":%u,", scale,
                 config.num_workers);
@@ -199,7 +253,7 @@ int Run() {
   for (const int clients : {1, 4, 8}) {
     for (const bool warm : {false, true}) {
       if (!warm) service.cache().Clear();
-      std::vector<Latencies> per_client(clients);
+      std::vector<ClientStats> per_client(clients);
       Stopwatch wall;
       std::vector<std::thread> threads;
       threads.reserve(clients);
@@ -215,9 +269,7 @@ int Run() {
             if (kind == 1) request.method = JoinMethod::kRtree;
             request.priority = (c + q) % 2 == 0 ? QueryPriority::kInteractive
                                                 : QueryPriority::kBatch;
-            Stopwatch watch;
-            (void)MustExecute(&service, request);
-            per_client[c].Add(watch.ElapsedSeconds());
+            (void)ExecuteClosedLoop(&service, request, &per_client[c]);
           }
         });
       }
@@ -225,8 +277,10 @@ int Run() {
       const double elapsed = wall.ElapsedSeconds();
 
       Latencies all;
-      for (Latencies& l : per_client) {
-        for (double s : l.seconds) all.Add(s);
+      uint64_t rejected = 0;
+      for (ClientStats& s : per_client) {
+        for (double sec : s.lat.seconds) all.Add(sec);
+        rejected += s.rejected;
       }
       const double qps =
           static_cast<double>(clients * kQueriesPerClient) / elapsed;
@@ -234,20 +288,164 @@ int Run() {
       const double p95 = all.Percentile(0.95);
       const double p99 = all.Percentile(0.99);
       std::printf("  %d client(s), %s cache: %5.2f q/s  p50=%.3fs "
-                  "p95=%.3fs p99=%.3fs\n",
-                  clients, warm ? "warm" : "cold", qps, p50, p95, p99);
+                  "p95=%.3fs p99=%.3fs  (%llu rejected)\n",
+                  clients, warm ? "warm" : "cold", qps, p50, p95, p99,
+                  (unsigned long long)rejected);
       std::snprintf(buf, sizeof(buf),
                     "%s{\"clients\":%d,\"warm\":%s,\"queries\":%d,"
                     "\"throughput_qps\":%.3f,\"p50_s\":%.4f,\"p95_s\":%.4f,"
-                    "\"p99_s\":%.4f}",
+                    "\"p99_s\":%.4f,\"rejected\":%llu}",
                     first_config ? "" : ",", clients,
                     warm ? "true" : "false", clients * kQueriesPerClient,
-                    qps, p50, p95, p99);
+                    qps, p50, p95, p99, (unsigned long long)rejected);
       json += buf;
       first_config = false;
     }
   }
   json += "],";
+
+  // -------------------------------------------------------------------
+  // 4. Sharded scatter-gather sweep: the closed loop through a JoinRouter.
+  // -------------------------------------------------------------------
+  json += "\"sharded\":[";
+  PrintTitle("sharded scatter-gather sweep (road x hydro, pbsm)");
+  constexpr int kShardClients = 2;
+  constexpr int kQueriesPerShardClient = 3;
+  struct SweepPoint {
+    uint32_t shards = 0;
+    double wall_qps = 0.0;
+    double critical_qps = 0.0;
+  };
+  std::vector<SweepPoint> sweep;
+  for (const uint32_t num_shards : ShardCounts()) {
+    ShardManagerConfig shard_config;
+    shard_config.num_shards = num_shards;
+    ShardManager shards(shard_config);
+    PBSM_CHECK(shards.RegisterDataset("road", &road->heap, road->info).ok());
+    PBSM_CHECK(
+        shards.RegisterDataset("hydro", &hydro->heap, hydro->info).ok());
+    JoinRouterConfig router_config;
+    router_config.queue_capacity = 128;
+    router_config.join_defaults.memory_budget_bytes = 8ull << 20;
+    JoinRouter router(&shards, router_config);
+
+    struct PerShard {
+      uint64_t subjoins = 0;
+      uint64_t results = 0;
+      uint64_t stolen = 0;
+      double exec_seconds = 0.0;
+      double cpu_seconds = 0.0;
+    };
+    std::vector<PerShard> per_shard(num_shards);
+    std::vector<ClientStats> stats(kShardClients);
+    double critical_seconds = 0.0;
+    std::mutex agg_mutex;
+    Stopwatch wall;
+    std::vector<std::thread> threads;
+    threads.reserve(kShardClients);
+    for (int c = 0; c < kShardClients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int q = 0; q < kQueriesPerShardClient; ++q) {
+          JoinRequest request;
+          request.r_dataset = "road";
+          request.s_dataset = "hydro";
+          request.method = JoinMethod::kPbsm;
+          const JoinResponse response =
+              ExecuteClosedLoop(&router, request, &stats[c]);
+          std::lock_guard<std::mutex> lock(agg_mutex);
+          // Critical path = the query's slowest slice, measured in worker
+          // CPU time: wall time is inflated by time-sharing when the host
+          // has fewer cores than shards (slice cpu_seconds is exact with
+          // the router's serial sub-join default).
+          double critical = 0.0;
+          for (const ShardSliceStats& slice : response.shard_slices) {
+            critical = std::max(critical, slice.cpu_seconds);
+            PerShard& agg = per_shard[slice.shard];
+            ++agg.subjoins;
+            agg.results += slice.num_results;
+            agg.stolen += slice.stolen ? 1 : 0;
+            agg.exec_seconds += slice.exec_seconds;
+            agg.cpu_seconds += slice.cpu_seconds;
+          }
+          critical_seconds += critical;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double elapsed = wall.ElapsedSeconds();
+    router.Shutdown(/*drain=*/true);
+
+    const int completed = kShardClients * kQueriesPerShardClient;
+    uint64_t rejected = 0;
+    for (const ClientStats& s : stats) rejected += s.rejected;
+    SweepPoint point;
+    point.shards = num_shards;
+    point.wall_qps = static_cast<double>(completed) / elapsed;
+    point.critical_qps =
+        critical_seconds > 0.0
+            ? static_cast<double>(completed) / critical_seconds
+            : 0.0;
+    sweep.push_back(point);
+    std::printf("  %u shard(s): wall %5.2f q/s, critical-path %5.2f q/s "
+                "(%llu rejected)\n",
+                num_shards, point.wall_qps, point.critical_qps,
+                (unsigned long long)rejected);
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"shards\":%u,\"queries\":%d,"
+                  "\"throughput_wall_qps\":%.3f,"
+                  "\"throughput_critical_qps\":%.3f,\"rejected\":%llu,"
+                  "\"per_shard\":[",
+                  sweep.size() > 1 ? "," : "", num_shards, completed,
+                  point.wall_qps, point.critical_qps,
+                  (unsigned long long)rejected);
+    json += buf;
+    for (uint32_t i = 0; i < num_shards; ++i) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"shard\":%u,\"subjoins\":%llu,\"results\":%llu,"
+                    "\"stolen\":%llu,\"exec_seconds\":%.4f,"
+                    "\"cpu_seconds\":%.4f}",
+                    i > 0 ? "," : "", i,
+                    (unsigned long long)per_shard[i].subjoins,
+                    (unsigned long long)per_shard[i].results,
+                    (unsigned long long)per_shard[i].stolen,
+                    per_shard[i].exec_seconds, per_shard[i].cpu_seconds);
+      json += buf;
+    }
+    json += "]}";
+  }
+  json += "],";
+
+  // The gate compares the largest shard count against the 1-shard run on
+  // CRITICAL-PATH throughput: wall-clock on a single-core host serializes
+  // the shard workers and says nothing about scatter-gather scaling.
+  json += "\"sharded_gate\":";
+  const SweepPoint* base = nullptr;
+  for (const SweepPoint& p : sweep) {
+    if (p.shards == 1) base = &p;
+  }
+  if (base != nullptr && sweep.size() > 1 && sweep.back().shards > 1) {
+    const SweepPoint& top = sweep.back();
+    const double critical_ratio =
+        base->critical_qps > 0.0 ? top.critical_qps / base->critical_qps
+                                 : 0.0;
+    const double wall_ratio =
+        base->wall_qps > 0.0 ? top.wall_qps / base->wall_qps : 0.0;
+    const bool pass = critical_ratio >= 1.5;
+    std::printf("  gate: %u-shard critical-path throughput %.2fx 1-shard "
+                "(wall %.2fx, ungated) -> %s\n",
+                top.shards, critical_ratio, wall_ratio,
+                pass ? "ok (>= 1.5x)" : "VIOLATION (< 1.5x)");
+    if (!pass) ok = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"baseline_shards\":1,\"target_shards\":%u,"
+                  "\"critical_ratio\":%.3f,\"wall_ratio\":%.3f,"
+                  "\"threshold\":1.5,\"pass\":%s},",
+                  top.shards, critical_ratio, wall_ratio,
+                  pass ? "true" : "false");
+    json += buf;
+  } else {
+    json += "{\"skipped\":true},";
+  }
   std::snprintf(buf, sizeof(buf),
                 "\"cache_hits\":%llu,\"cache_misses\":%llu,\"status\":"
                 "\"%s\"}",
@@ -268,5 +466,25 @@ int Run() {
 
 int main(int argc, char** argv) {
   pbsm::bench::ParseBenchArgs(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--shards=";
+    if (arg.rfind(prefix, 0) != 0) continue;
+    std::vector<uint32_t> counts;
+    std::string list = arg.substr(prefix.size());
+    size_t pos = 0;
+    while (pos < list.size()) {
+      const size_t comma = list.find(',', pos);
+      const std::string item =
+          list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      const int n = std::atoi(item.c_str());
+      PBSM_CHECK(n > 0) << "bad --shards entry: " << item;
+      counts.push_back(static_cast<uint32_t>(n));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    PBSM_CHECK(!counts.empty()) << "empty --shards list";
+    pbsm::bench::ShardCounts() = std::move(counts);
+  }
   return pbsm::bench::Run();
 }

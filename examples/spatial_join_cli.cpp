@@ -5,15 +5,23 @@
 //   ./examples/spatial_join_cli R.wkt S.wkt [intersects|contains]
 //                               [pbsm|parallel_pbsm|rtree|inl|spatial_hash|zorder]
 //                               [--refine-mode=exact|adaptive|approximate]
-//                               [--fault-profile=SPEC]
+//                               [--fault-profile=SPEC] [--shards=N]
 //
 // Service mode (long-running, planner + index cache; see DESIGN.md
-// "Service layer"):
+// "Service layer" and "Sharded service"):
 //   ./examples/spatial_join_cli serve R.wkt S.wkt [--workers=N] [--queue=N]
+//                               [--shards=N]
 // then issue commands on stdin, one per line:
 //   join <intersects|contains> [auto|pbsm|...] [timeout_seconds]
 //   stats
 //   quit
+//
+// --shards=N > 1 runs the join through the sharded scatter-gather path
+// (ShardManager + JoinRouter): the universe is cut into N spatial strips,
+// each with its own buffer pool and index cache, and every query scatters
+// one sub-join per strip. Results and exit codes are identical to the
+// single-shard path — sharding is a throughput/isolation knob, not a
+// semantic one. In serve mode --workers then means workers PER SHARD.
 //
 // Each input file holds one WKT geometry per line (POINT / LINESTRING /
 // POLYGON; '#' lines are comments). One-shot mode prints the result as
@@ -38,10 +46,15 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <mutex>
+
 #include "core/spatial_join.h"
 #include "datagen/loader.h"
 #include "geom/wkt.h"
+#include "service/join_router.h"
 #include "service/join_service.h"
+#include "service/shard_manager.h"
 
 int RunCli(int argc, const char** argv);
 
@@ -60,9 +73,10 @@ void PrintUsage(std::FILE* out) {
       "                        [pbsm|parallel_pbsm|rtree|inl|spatial_hash|"
       "zorder]\n"
       "                        [--refine-mode=exact|adaptive|approximate]\n"
-      "                        [--fault-profile=SPEC]\n"
+      "                        [--fault-profile=SPEC] [--shards=N]\n"
       "       spatial_join_cli serve R.wkt S.wkt [--workers=N] [--queue=N]\n"
-      "                        [--refine-mode=MODE] [--fault-profile=SPEC]\n");
+      "                        [--refine-mode=MODE] [--fault-profile=SPEC]\n"
+      "                        [--shards=N]\n");
 }
 
 /// Flags shared by both modes, parsed strictly: any unrecognised --flag is
@@ -71,6 +85,8 @@ struct CliFlags {
   std::string fault_profile;
   uint32_t workers = 2;
   size_t queue_capacity = 64;
+  /// > 1 routes the join through the sharded scatter-gather path.
+  uint32_t shards = 1;
   /// Refinement strategy: unset = the library default (exact). In serve
   /// mode this becomes each request's refine_mode override, so the
   /// planner's cost model follows it too.
@@ -101,7 +117,8 @@ bool ParseArgs(int argc, const char** argv, CliFlags* flags,
         return false;
       }
       flags->refine_mode = *mode;
-    } else if (name == "--workers" || name == "--queue") {
+    } else if (name == "--workers" || name == "--queue" ||
+               name == "--shards") {
       char* end = nullptr;
       const unsigned long n = std::strtoul(value.c_str(), &end, 10);
       if (value.empty() || end == nullptr || *end != '\0' || n == 0) {
@@ -111,8 +128,10 @@ bool ParseArgs(int argc, const char** argv, CliFlags* flags,
       }
       if (name == "--workers") {
         flags->workers = static_cast<uint32_t>(n);
-      } else {
+      } else if (name == "--queue") {
         flags->queue_capacity = static_cast<size_t>(n);
+      } else {
+        flags->shards = static_cast<uint32_t>(n);
       }
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", name.c_str());
@@ -169,6 +188,113 @@ int RunDemo() {
   return RunCli(5, argv);
 }
 
+/// Sharded serve loop: joins scatter over a JoinRouter instead of queueing
+/// on a JoinService. `auto` still routes through the cost-based planner —
+/// but per shard, so methods can differ across strips of one query.
+int ServeSharded(const CliFlags& flags, const StoredRelation& r,
+                 const StoredRelation& s) {
+  ShardManagerConfig shard_config;
+  shard_config.num_shards = flags.shards;
+  ShardManager shards(shard_config);
+  Status reg = shards.RegisterDataset("R", &r.heap, r.info);
+  if (reg.ok()) reg = shards.RegisterDataset("S", &s.heap, s.info);
+  if (!reg.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", reg.ToString().c_str());
+    return kExitRuntime;
+  }
+  JoinRouterConfig router_config;
+  router_config.workers_per_shard = flags.workers;
+  router_config.queue_capacity = flags.queue_capacity;
+  JoinRouter router(&shards, router_config);
+
+  std::printf("sharded layout: %s\n", shards.layout().ToString().c_str());
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream iss(line);
+    std::string cmd;
+    iss >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "stats") {
+      for (uint32_t i = 0; i < shards.num_shards(); ++i) {
+        const ShardManager::Shard& shard = shards.shard(i);
+        std::printf("shard %u: cache %zu entries, %llu hits, %llu misses; "
+                    "queue depth %zu\n",
+                    i, shard.cache->size(),
+                    (unsigned long long)shard.cache->hits(),
+                    (unsigned long long)shard.cache->misses(),
+                    router.queue_depth(i));
+      }
+      std::fflush(stdout);
+      continue;
+    }
+
+    if (cmd != "join") {
+      std::printf("ERR unknown command '%s'\n", cmd.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+
+    std::string pred_name = "intersects", method_name = "auto";
+    double timeout = 0.0;
+    iss >> pred_name >> method_name >> timeout;
+
+    JoinRequest request;
+    request.r_dataset = "R";
+    request.s_dataset = "S";
+    request.timeout_seconds = timeout;
+    request.refine_mode = flags.refine_mode;
+    if (pred_name == "intersects") {
+      request.predicate = SpatialPredicate::kIntersects;
+    } else if (pred_name == "contains") {
+      request.predicate = SpatialPredicate::kContains;
+    } else {
+      std::printf("ERR unknown predicate '%s'\n", pred_name.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (method_name != "auto") {
+      const auto method = ParseJoinMethod(method_name);
+      if (!method.has_value()) {
+        std::printf("ERR unknown method '%s'\n", method_name.c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      request.method = *method;
+    }
+
+    auto response = router.Execute(std::move(request));
+    if (!response.ok()) {
+      std::printf("ERR %s\n", response.status().ToString().c_str());
+    } else {
+      double critical = 0.0;
+      for (const ShardSliceStats& slice : response->shard_slices) {
+        critical = std::max(critical, slice.exec_seconds);
+      }
+      std::printf("OK %llu results shards=%zu%s exec=%.4fs critical=%.4fs\n",
+                  (unsigned long long)response->num_results,
+                  response->shard_slices.size(),
+                  response->planner_chosen ? " (planned)" : "",
+                  response->exec_seconds, critical);
+      for (const ShardSliceStats& slice : response->shard_slices) {
+        std::printf("  shard %u: %llu results method=%.*s %.4fs%s%s\n",
+                    slice.shard, (unsigned long long)slice.num_results,
+                    (int)JoinMethodName(slice.method).size(),
+                    JoinMethodName(slice.method).data(), slice.exec_seconds,
+                    slice.stolen ? " (stolen)" : "",
+                    slice.speculative ? " (speculative)" : "");
+      }
+    }
+    std::fflush(stdout);
+  }
+
+  router.Shutdown(/*drain=*/true);
+  return kExitOk;
+}
+
 /// `serve` mode: loads both relations once, then answers join commands
 /// from stdin through a JoinService — repeated index-method joins hit the
 /// service's index cache, and `auto` routes through the cost-based planner.
@@ -204,6 +330,18 @@ int RunServe(const CliFlags& flags, const std::string& r_path,
     std::fprintf(stderr, "load failed: %s\n",
                  (!r.ok() ? r.status() : s.status()).ToString().c_str());
     return kExitRuntime;
+  }
+
+  if (flags.shards > 1) {
+    std::printf("serving R=%s (%llu) S=%s (%llu) over %u shards; commands: "
+                "join <pred> [method|auto] [timeout_s] | stats | quit\n",
+                r_path.c_str(), (unsigned long long)r->info.cardinality,
+                s_path.c_str(), (unsigned long long)s->info.cardinality,
+                flags.shards);
+    std::fflush(stdout);
+    const int rc = ServeSharded(flags, *r, *s);
+    std::filesystem::remove_all(dir);
+    return rc;
   }
 
   JoinServiceConfig config;
@@ -392,6 +530,53 @@ int RunCli(int argc, const char** argv) {
     std::printf("%llu %llu\n", (unsigned long long)r_line,
                 (unsigned long long)s_line);
   };
+
+  if (flags.shards > 1) {
+    // Sharded one-shot: scatter over a router. The router's sinks hand back
+    // GLOBAL oids (local->global translation), so the line-number sink works
+    // unchanged — but it may now be called from several shard workers at
+    // once, hence the lock.
+    ShardManagerConfig shard_config;
+    shard_config.num_shards = flags.shards;
+    ShardManager shards(shard_config);
+    Status reg = shards.RegisterDataset("R", &r->heap, r->info);
+    if (reg.ok()) reg = shards.RegisterDataset("S", &s->heap, s->info);
+    if (!reg.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", reg.ToString().c_str());
+      return kExitRuntime;
+    }
+    JoinRouterConfig router_config;
+    JoinRouter router(&shards, router_config);
+    std::mutex sink_mutex;
+    JoinRequest request;
+    request.r_dataset = "R";
+    request.s_dataset = "S";
+    request.predicate = pred;
+    request.method = *method;
+    request.refine_mode = flags.refine_mode;
+    request.sink = [&](Oid ro, Oid so) {
+      std::lock_guard<std::mutex> lock(sink_mutex);
+      sink(ro, so);
+    };
+    auto response = router.Execute(std::move(request));
+    router.Shutdown(/*drain=*/true);
+    if (!response.ok()) {
+      std::fprintf(stderr, "join failed: %s\n",
+                   response.status().ToString().c_str());
+      return kExitRuntime;
+    }
+    std::fprintf(stderr, "# %s %s: %llu results over %zu shards\n",
+                 algo.c_str(), pred_name.c_str(),
+                 (unsigned long long)response->num_results,
+                 response->shard_slices.size());
+    for (const ShardSliceStats& slice : response->shard_slices) {
+      std::fprintf(stderr, "#   shard %-4u %llu results, %.4fs%s\n",
+                   slice.shard, (unsigned long long)slice.num_results,
+                   slice.exec_seconds, slice.stolen ? " (stolen)" : "");
+    }
+    std::filesystem::remove_all(dir);
+    return kExitOk;
+  }
 
   JoinSpec spec;
   spec.method = *method;

@@ -1,6 +1,7 @@
 #ifndef PBSM_COMMON_BOUNDED_QUEUE_H_
 #define PBSM_COMMON_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -63,6 +64,18 @@ class BoundedQueue {
   /// Non-blocking Pop: nullopt when nothing is queued.
   std::optional<T> TryPop() {
     std::lock_guard<std::mutex> lock(mutex_);
+    return PopLocked();
+  }
+
+  /// Pop with a bounded wait: blocks up to `timeout` for an item, then
+  /// returns whatever is available (nullopt on timeout, or once closed and
+  /// empty). This is the shard workers' idle beat — a short wait on the home
+  /// queue before scanning sibling queues for work to steal, so an idle
+  /// worker neither spins nor sleeps through a steal opportunity.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_cv_.wait_for(lock, timeout, [this] { return size_ > 0 || closed_; });
     return PopLocked();
   }
 

@@ -115,4 +115,17 @@ double SpatialHistogram::EstimateWindowCount(const Rect& window) const {
   return estimate;
 }
 
+std::vector<double> SpatialHistogram::ColumnLoads() const {
+  std::vector<double> loads(nx_, 0.0);
+  for (uint32_t cy = 0; cy < ny_; ++cy) {
+    for (uint32_t cx = 0; cx < nx_; ++cx) {
+      const Cell& cell = cells_[static_cast<size_t>(cy) * nx_ + cx];
+      if (cell.count == 0) continue;
+      const double span = cell_w_ > 0 ? 1.0 + cell.avg_w() / cell_w_ : 1.0;
+      loads[cx] += static_cast<double>(cell.count) * span;
+    }
+  }
+  return loads;
+}
+
 }  // namespace pbsm

@@ -58,6 +58,17 @@ class SpatialHistogram {
   /// Estimated number of features whose MBR overlaps `window`.
   double EstimateWindowCount(const Rect& window) const;
 
+  /// Per-column replication-aware load, the input to spatial shard
+  /// assignment (ComputeShardLayout): for each of the nx grid columns, the
+  /// count of features centered there weighted by the expected number of
+  /// column-width strips one feature's MBR spans (1 + avg_w / cell_w).
+  /// Cutting strip boundaries so these loads balance equalizes the
+  /// *replicated* tuple volume each strip receives, not just its area.
+  std::vector<double> ColumnLoads() const;
+
+  double cell_width() const { return cell_w_; }
+  double cell_height() const { return cell_h_; }
+
   uint64_t total_count() const { return total_count_; }
   uint32_t nx() const { return nx_; }
   uint32_t ny() const { return ny_; }

@@ -1,0 +1,108 @@
+#include "core/spatial_sharding.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pbsm {
+
+ShardLayout::ShardLayout(const Rect& universe, std::vector<double> boundaries)
+    : universe_(universe), boundaries_(std::move(boundaries)) {
+  PBSM_CHECK(std::is_sorted(boundaries_.begin(), boundaries_.end()))
+      << "shard boundaries must be ascending";
+}
+
+Rect ShardLayout::Extent(uint32_t shard) const {
+  PBSM_CHECK(shard < num_shards());
+  const double lo = shard == 0 ? universe_.xlo : boundaries_[shard - 1];
+  const double hi =
+      shard == num_shards() - 1 ? universe_.xhi : boundaries_[shard];
+  return Rect(lo, universe_.ylo, hi, universe_.yhi);
+}
+
+uint32_t ShardLayout::OwnerOfX(double x) const {
+  return static_cast<uint32_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), x) -
+      boundaries_.begin());
+}
+
+ShardLayout::ShardRange ShardLayout::Overlapping(const Rect& mbr) const {
+  if (mbr.empty()) return ShardRange{0, 0};
+  return ShardRange{OwnerOfX(mbr.xlo), OwnerOfX(mbr.xhi)};
+}
+
+uint32_t ShardLayout::PairOwner(const Rect& r, const Rect& s) const {
+  return OwnerOfX(std::max(r.xlo, s.xlo));
+}
+
+uint32_t ShardLayout::PairOwner(const Rect& r, const Rect& s,
+                                const Rect& w) const {
+  return OwnerOfX(std::max(std::max(r.xlo, s.xlo), w.xlo));
+}
+
+std::string ShardLayout::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u strips @ [%.6g", num_shards(),
+                universe_.xlo);
+  std::string out = buf;
+  for (const double b : boundaries_) {
+    std::snprintf(buf, sizeof(buf), " | %.6g", b);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), " | %.6g]", universe_.xhi);
+  out += buf;
+  return out;
+}
+
+ShardLayout ComputeShardLayout(const SpatialHistogram& hist,
+                               uint32_t num_shards) {
+  const Rect& universe = hist.universe();
+  if (num_shards <= 1 || hist.total_count() == 0) {
+    return ShardLayout(universe, {});
+  }
+  const std::vector<double> loads = hist.ColumnLoads();
+  double total = 0.0;
+  for (const double l : loads) total += l;
+  if (total <= 0.0) return UniformShardLayout(universe, num_shards);
+
+  // One forward scan over the columns: for each equal-load target, cut at
+  // the crossing column, interpolating linearly inside it. Interpolation
+  // keeps cuts distinct even when one heavy column crosses several targets
+  // (extreme skew can still collapse cuts; such near-empty strips are legal
+  // and short-circuited by the router).
+  std::vector<double> boundaries;
+  boundaries.reserve(num_shards - 1);
+  const double cell_w = hist.cell_width();
+  double cum = 0.0;
+  size_t j = 0;
+  for (uint32_t k = 1; k < num_shards; ++k) {
+    const double target = total * static_cast<double>(k) / num_shards;
+    while (j < loads.size() && cum + loads[j] < target) cum += loads[j++];
+    double frac = 1.0;
+    if (j < loads.size() && loads[j] > 0.0) {
+      frac = (target - cum) / loads[j];
+    }
+    const double edge =
+        universe.xlo + cell_w * (static_cast<double>(j) + frac);
+    boundaries.push_back(
+        boundaries.empty() ? edge : std::max(edge, boundaries.back()));
+  }
+  return ShardLayout(universe, std::move(boundaries));
+}
+
+ShardLayout UniformShardLayout(const Rect& universe, uint32_t num_shards) {
+  if (num_shards <= 1 || universe.empty() || universe.width() <= 0.0) {
+    return ShardLayout(universe, {});
+  }
+  std::vector<double> boundaries;
+  boundaries.reserve(num_shards - 1);
+  for (uint32_t k = 1; k < num_shards; ++k) {
+    boundaries.push_back(universe.xlo +
+                         universe.width() * static_cast<double>(k) /
+                             num_shards);
+  }
+  return ShardLayout(universe, std::move(boundaries));
+}
+
+}  // namespace pbsm

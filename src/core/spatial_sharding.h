@@ -1,0 +1,99 @@
+#ifndef PBSM_CORE_SPATIAL_SHARDING_H_
+#define PBSM_CORE_SPATIAL_SHARDING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/selectivity.h"
+#include "geom/rect.h"
+
+namespace pbsm {
+
+/// Static spatial shard layout of the sharded join service: N vertical
+/// strips over the universe, cut at `boundaries` along x. Each object is
+/// replicated into every strip its MBR overlaps (exactly the tile
+/// replication of the PBSM partitioner, at shard granularity), and result
+/// pairs are deduplicated by *ownership*, not by a merge: a pair belongs to
+/// the one shard whose half-open x-range contains the pair's reference
+/// corner, max(r.xlo, s.xlo) — the two-layer corner-class rule
+/// (Tsitsigkos et al.) collapsed to one dimension.
+///
+/// Why this is exact: if r and s intersect then max(r.xlo, s.xlo) lies in
+/// both x-intervals (1-D Helly), so both objects are replicated into the
+/// owning strip — the pair is *found* there (completeness) — and the owner
+/// is unique, so no other shard may emit it (no duplicates). For
+/// window-restricted joins the reference corner is additionally clamped by
+/// the window's low x edge: max(r.xlo, s.xlo, w.xlo) lies in r ∩ s ∩ w, so
+/// the owner is always one of the strips the window overlaps and the router
+/// may dispatch sub-joins to those strips only.
+///
+/// Strips are half-open [b_{i-1}, b_i); the first and last extend to ±inf
+/// for routing purposes so objects drifting past the layout universe (a
+/// dataset registered after the layout was frozen) still land in a shard.
+class ShardLayout {
+ public:
+  /// Single-shard layout (no boundaries; shard 0 owns everything).
+  ShardLayout() = default;
+
+  /// `boundaries` are the interior strip edges, ascending (size = shards-1).
+  ShardLayout(const Rect& universe, std::vector<double> boundaries);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(boundaries_.size()) + 1;
+  }
+  const Rect& universe() const { return universe_; }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  /// Display extent of strip `shard`: its x-range clipped to the layout
+  /// universe, full universe y-range. Routing ignores the clipping (first
+  /// and last strips are unbounded); this is for stats and window clipping.
+  Rect Extent(uint32_t shard) const;
+
+  /// The shard whose half-open strip [b_{i-1}, b_i) contains x.
+  uint32_t OwnerOfX(double x) const;
+
+  /// Inclusive range of shards whose strips `mbr` overlaps — the shards a
+  /// registered object is replicated into, and the dispatch set of a
+  /// window-restricted request.
+  struct ShardRange {
+    uint32_t first = 0;
+    uint32_t last = 0;
+    uint32_t count() const { return last - first + 1; }
+  };
+  ShardRange Overlapping(const Rect& mbr) const;
+
+  /// The unique shard that owns (emits) the pair (r, s): the strip holding
+  /// the pair's reference corner max(r.xlo, s.xlo).
+  uint32_t PairOwner(const Rect& r, const Rect& s) const;
+
+  /// Window-restricted ownership: reference corner clamped by w.xlo, so the
+  /// owner is always inside Overlapping(w) (see class comment).
+  uint32_t PairOwner(const Rect& r, const Rect& s, const Rect& w) const;
+
+  /// "4 strips @ [x0 | b1 | b2 | b3 | x1]" for logs and `serve` stats.
+  std::string ToString() const;
+
+ private:
+  Rect universe_;
+  std::vector<double> boundaries_;  // Ascending interior edges.
+};
+
+/// Computes a load-balanced layout of `num_shards` strips from `hist`:
+/// column loads are the replication-aware weights of
+/// SpatialHistogram::ColumnLoads(), and each cut is placed (interpolating
+/// within the crossing column) so every strip receives an equal share of
+/// the total replicated-MBR load — balancing work per shard, not area.
+/// Degenerate inputs (empty histogram, num_shards <= 1) yield fewer or
+/// single strips; pathological skew may produce near-empty strips, which
+/// the router short-circuits.
+ShardLayout ComputeShardLayout(const SpatialHistogram& hist,
+                               uint32_t num_shards);
+
+/// Equal-width fallback when no histogram is available.
+ShardLayout UniformShardLayout(const Rect& universe, uint32_t num_shards);
+
+}  // namespace pbsm
+
+#endif  // PBSM_CORE_SPATIAL_SHARDING_H_

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "service/shard_manager.h"
 
 namespace pbsm {
 
@@ -136,6 +137,71 @@ PlanChoice PlanJoin(const PlannerSide& r, const PlannerSide& s,
   choice.method = choice.alternatives.front().method;
   choice.estimated_seconds = choice.alternatives.front().estimated_seconds;
   return choice;
+}
+
+std::string ShardedPlan::ToString() const {
+  std::string out;
+  for (const ShardSlicePlan& slice : slices) {
+    char line[160];
+    if (slice.r_cardinality == 0 || slice.s_cardinality == 0) {
+      std::snprintf(line, sizeof(line), "shard%u: empty slice (%llu x %llu)\n",
+                    slice.shard,
+                    static_cast<unsigned long long>(slice.r_cardinality),
+                    static_cast<unsigned long long>(slice.s_cardinality));
+    } else {
+      std::snprintf(
+          line, sizeof(line), "shard%u: %s est=%.3fs (%llu x %llu)\n",
+          slice.shard,
+          std::string(JoinMethodName(slice.choice.method)).c_str(),
+          slice.choice.estimated_seconds,
+          static_cast<unsigned long long>(slice.r_cardinality),
+          static_cast<unsigned long long>(slice.s_cardinality));
+    }
+    out += line;
+  }
+  char totals[96];
+  std::snprintf(totals, sizeof(totals),
+                "critical path %.3fs, serial %.3fs over %zu shards",
+                critical_path_seconds, serial_seconds, slices.size());
+  out += totals;
+  return out;
+}
+
+Result<ShardedPlan> PlanShardedJoin(const ShardManager& shards,
+                                    const std::string& r_dataset,
+                                    const std::string& s_dataset,
+                                    uint32_t num_threads,
+                                    const PlannerCosts& costs,
+                                    double index_fill_factor) {
+  ShardedPlan plan;
+  plan.slices.reserve(shards.num_shards());
+  for (uint32_t i = 0; i < shards.num_shards(); ++i) {
+    PBSM_ASSIGN_OR_RETURN(const ShardManager::ShardDatasetRef r,
+                          shards.FindDataset(i, r_dataset));
+    PBSM_ASSIGN_OR_RETURN(const ShardManager::ShardDatasetRef s,
+                          shards.FindDataset(i, s_dataset));
+    ShardSlicePlan slice;
+    slice.shard = i;
+    slice.r_cardinality = r->info.cardinality;
+    slice.s_cardinality = s->info.cardinality;
+    if (r->info.cardinality > 0 && s->info.cardinality > 0) {
+      const ShardManager::Shard& shard = shards.shard(i);
+      PlannerSide pr{&r->info,
+                     r->histogram.has_value() ? &*r->histogram : nullptr,
+                     shard.cache->Contains(JoinInput{r->heap.get(), r->info},
+                                           index_fill_factor)};
+      PlannerSide ps{&s->info,
+                     s->histogram.has_value() ? &*s->histogram : nullptr,
+                     shard.cache->Contains(JoinInput{s->heap.get(), s->info},
+                                           index_fill_factor)};
+      slice.choice = PlanJoin(pr, ps, num_threads, costs);
+      plan.critical_path_seconds = std::max(plan.critical_path_seconds,
+                                            slice.choice.estimated_seconds);
+      plan.serial_seconds += slice.choice.estimated_seconds;
+    }
+    plan.slices.push_back(std::move(slice));
+  }
+  return plan;
 }
 
 }  // namespace pbsm

@@ -93,6 +93,41 @@ PlanChoice PlanJoin(const PlannerSide& r, const PlannerSide& s,
                     uint32_t num_threads = 0,
                     const PlannerCosts& costs = PlannerCosts());
 
+class ShardManager;
+
+/// Plan of one shard's sub-join within a sharded query.
+struct ShardSlicePlan {
+  uint32_t shard = 0;
+  uint64_t r_cardinality = 0;
+  uint64_t s_cardinality = 0;
+  PlanChoice choice;  ///< Default-initialized when the slice pair is empty.
+};
+
+/// The router's scatter as the planner sees it: one independently costed
+/// plan per shard. Methods may differ across shards — each slice is costed
+/// from that shard's own statistics and index-cache state.
+struct ShardedPlan {
+  std::vector<ShardSlicePlan> slices;
+  /// max over slices of estimated_seconds — the scatter's estimated
+  /// latency on a host with one core per shard.
+  double critical_path_seconds = 0.0;
+  /// sum over slices — the estimated single-core (work) cost.
+  double serial_seconds = 0.0;
+
+  /// One line per shard plus the critical-path/serial totals.
+  std::string ToString() const;
+};
+
+/// Costs r JOIN s per shard of `shards` (shard-aware costing: each slice's
+/// histogram, cardinalities, and cache warmth). Empty slice pairs get a
+/// zero-cost entry. `index_fill_factor` must match what the router will
+/// run with, so cache-warmth checks hit the same entries.
+Result<ShardedPlan> PlanShardedJoin(
+    const ShardManager& shards, const std::string& r_dataset,
+    const std::string& s_dataset, uint32_t num_threads = 0,
+    const PlannerCosts& costs = PlannerCosts(),
+    double index_fill_factor = JoinOptions().index_fill_factor);
+
 }  // namespace pbsm
 
 #endif  // PBSM_SERVICE_JOIN_PLANNER_H_

@@ -1,0 +1,599 @@
+#include "service/join_router.h"
+
+#include <algorithm>
+#include <ctime>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/trace.h"
+#include "core/spatial_sharding.h"
+
+namespace pbsm {
+
+namespace {
+
+std::chrono::steady_clock::duration ToDuration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+double SecondsBetween(std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// CPU time consumed by the calling thread, for the contention-immune
+/// ShardSliceStats::cpu_seconds (worker threads time-share cores, so a
+/// sub-join's wall time says nothing about its work on a loaded host).
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RouterQuery.
+// ---------------------------------------------------------------------------
+
+const Result<JoinResponse>& RouterQuery::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+bool RouterQuery::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+void RouterQuery::Cancel() {
+  canceller_.Cancel(Status::Cancelled("query cancelled by client"));
+}
+
+// ---------------------------------------------------------------------------
+// JoinRouter.
+// ---------------------------------------------------------------------------
+
+JoinRouter::JoinRouter(ShardManager* shards, JoinRouterConfig config)
+    : shards_(shards), config_(std::move(config)) {
+  const uint32_t n = shards_->num_shards();
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  submitted_ = metrics.GetCounter("service.shard.queries.submitted");
+  completed_ = metrics.GetCounter("service.shard.queries.completed");
+  failed_ = metrics.GetCounter("service.shard.queries.failed");
+  cancelled_ = metrics.GetCounter("service.shard.queries.cancelled");
+  rejected_ = metrics.GetCounter("service.shard.queries.rejected");
+  subjoins_ = metrics.GetCounter("service.shard.subjoins");
+  stolen_ = metrics.GetCounter("service.shard.stolen_partitions");
+  redispatches_ = metrics.GetCounter("service.shard.redispatches");
+  border_filtered_ = metrics.GetCounter("service.shard.border_filtered");
+  planned_ = metrics.GetCounter("service.shard.subjoins_planned");
+
+  queues_.reserve(n);
+  queue_depth_gauges_.reserve(n);
+  shard_latency_us_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<BoundedQueue<SubJoinRef>>(
+        std::max<size_t>(config_.queue_capacity, 1), /*num_priorities=*/2));
+    const std::string prefix = "service.shard." + std::to_string(i);
+    queue_depth_gauges_.push_back(metrics.GetGauge(prefix + ".queue_depth"));
+    shard_latency_us_.push_back(metrics.GetHistogram(prefix + ".latency_us"));
+  }
+
+  const uint32_t per_shard = std::max(1u, config_.workers_per_shard);
+  workers_.reserve(static_cast<size_t>(n) * per_shard);
+  for (uint32_t shard = 0; shard < n; ++shard) {
+    for (uint32_t w = 0; w < per_shard; ++w) {
+      workers_.emplace_back([this, shard] { WorkerLoop(shard); });
+    }
+  }
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+JoinRouter::~JoinRouter() { Shutdown(/*drain=*/false); }
+
+Result<std::shared_ptr<RouterQuery>> JoinRouter::Submit(JoinRequest request) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("router is shutting down");
+  }
+  if (request.timeout_seconds < 0) {
+    return Status::InvalidArgument("negative timeout");
+  }
+  // Validate dataset names once up front (registration is all-or-nothing,
+  // so shard 0 speaks for every shard).
+  PBSM_RETURN_IF_ERROR(shards_->FindDataset(0, request.r_dataset).status());
+  PBSM_RETURN_IF_ERROR(shards_->FindDataset(0, request.s_dataset).status());
+
+  // Dispatch set: every strip, or — windowed — only the strips the window
+  // overlaps. Border pairs stay complete because the ownership corner is
+  // clamped by the window's left edge (see ShardLayout::PairOwner).
+  const ShardLayout layout = shards_->layout();
+  uint32_t first = 0;
+  uint32_t last = shards_->num_shards() - 1;
+  if (request.window.has_value() && !request.window->empty()) {
+    const ShardLayout::ShardRange range = layout.Overlapping(*request.window);
+    first = std::min(range.first, last);
+    last = std::min(range.last, last);
+  }
+
+  auto query = std::make_shared<RouterQuery>();
+  query->request_ = std::move(request);
+  query->submit_time_ = std::chrono::steady_clock::now();
+  const uint32_t num_subs = last - first + 1;
+  query->remaining_ = num_subs;
+  query->response_.shard_slices.reserve(num_subs);
+  if (query->request_.method.has_value()) {
+    query->response_.method = *query->request_.method;
+  }
+
+  TraceSpan span("router/scatter");
+  std::vector<SubJoinRef> subs;
+  subs.reserve(num_subs);
+  for (uint32_t shard = first; shard <= last; ++shard) {
+    auto sub = std::make_shared<SubJoin>();
+    sub->query = query;
+    sub->shard = shard;
+    sub->enqueue_time = query->submit_time_;
+    subs.push_back(std::move(sub));
+  }
+  const size_t priority = static_cast<size_t>(query->request_.priority);
+  for (const SubJoinRef& sub : subs) {
+    if (queues_[sub->shard]->TryPush(sub, priority)) {
+      UpdateQueueGauge(sub->shard);
+      continue;
+    }
+    // Backpressure rejects the query whole: withdraw the scatter by
+    // poisoning every sub-join's claim. A worker may already have claimed
+    // an earlier one — the cancel stops it at its next check, and the
+    // orphaned gather state dies with the last SubJoinRef.
+    for (const SubJoinRef& poisoned : subs) {
+      poisoned->claimed.store(true, std::memory_order_release);
+    }
+    query->canceller_.Cancel(Status::Cancelled("scatter withdrawn"));
+    rejected_->Add();
+    return Status::ResourceExhausted(
+        "shard " + std::to_string(sub->shard) + " queue full (" +
+        std::to_string(queues_[sub->shard]->capacity()) +
+        " sub-joins); retry with backoff");
+  }
+  submitted_->Add();
+
+  {
+    std::lock_guard<std::mutex> lock(running_mutex_);
+    running_.erase(
+        std::remove_if(
+            running_.begin(), running_.end(),
+            [](const std::weak_ptr<RouterQuery>& w) { return w.expired(); }),
+        running_.end());
+    running_.push_back(query);
+  }
+
+  const bool want_deadline = query->request_.timeout_seconds > 0;
+  const bool want_watch = config_.speculative_deadline_seconds > 0;
+  if (want_deadline || want_watch) {
+    std::lock_guard<std::mutex> lock(monitor_mutex_);
+    if (want_deadline) {
+      deadlines_.emplace(
+          query->submit_time_ + ToDuration(query->request_.timeout_seconds),
+          query);
+    }
+    if (want_watch) {
+      for (const SubJoinRef& sub : subs) watchlist_.emplace_back(sub);
+    }
+    monitor_cv_.notify_one();
+  }
+  return query;
+}
+
+Result<JoinResponse> JoinRouter::Execute(JoinRequest request) {
+  PBSM_ASSIGN_OR_RETURN(const std::shared_ptr<RouterQuery> query,
+                        Submit(std::move(request)));
+  return query->Wait();
+}
+
+void JoinRouter::WorkerLoop(uint32_t home_shard) {
+  const auto poll = ToDuration(std::max(config_.steal_poll_seconds, 1e-4));
+  BoundedQueue<SubJoinRef>& home = *queues_[home_shard];
+  while (true) {
+    SubJoinRef sub;
+    bool stolen = false;
+    if (std::optional<SubJoinRef> own = home.PopFor(poll)) {
+      sub = std::move(*own);
+      UpdateQueueGauge(home_shard);
+    } else if (config_.enable_stealing) {
+      // Idle beat elapsed with an empty home queue: steal from the deepest
+      // sibling (partition stealing — the straggler's backlog drains on
+      // this otherwise-idle worker).
+      uint32_t victim = home_shard;
+      size_t deepest = 0;
+      for (uint32_t i = 0; i < queues_.size(); ++i) {
+        if (i == home_shard) continue;
+        const size_t depth = queues_[i]->size();
+        if (depth > deepest) {
+          deepest = depth;
+          victim = i;
+        }
+      }
+      if (victim != home_shard) {
+        if (std::optional<SubJoinRef> theft = queues_[victim]->TryPop()) {
+          sub = std::move(*theft);
+          stolen = true;
+          UpdateQueueGauge(victim);
+        }
+      }
+    }
+    if (sub == nullptr) {
+      if (home.closed()) {
+        if (AllQueuesEmpty()) return;
+        // Draining shutdown with work left on sibling queues: yield the
+        // core to whoever is finishing it.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
+    // Claim-or-skip: steal, speculative re-dispatch, and withdrawal all
+    // race on this exchange, so the sub-join settles exactly once.
+    if (sub->claimed.exchange(true, std::memory_order_acq_rel)) continue;
+    RunSubJoin(sub, stolen);
+  }
+}
+
+void JoinRouter::MonitorLoop() {
+  const bool speculate = config_.speculative_deadline_seconds > 0;
+  const auto spec_deadline = ToDuration(
+      speculate ? config_.speculative_deadline_seconds : 0.0);
+  std::unique_lock<std::mutex> lock(monitor_mutex_);
+  while (true) {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    auto now = std::chrono::steady_clock::now();
+    auto wake = now + std::chrono::hours(1);
+    if (!deadlines_.empty()) wake = std::min(wake, deadlines_.top().first);
+    if (speculate && !watchlist_.empty()) {
+      // Scan a few times per speculative deadline so a straggler is
+      // re-dispatched soon after it crosses the threshold.
+      wake = std::min(wake, now + std::max(spec_deadline / 4,
+                                           ToDuration(0.0005)));
+    }
+    monitor_cv_.wait_until(lock, wake);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    now = std::chrono::steady_clock::now();
+
+    // 1. Fire expired query timeouts.
+    while (!deadlines_.empty() && deadlines_.top().first <= now) {
+      std::weak_ptr<RouterQuery> weak = deadlines_.top().second;
+      deadlines_.pop();
+      lock.unlock();
+      if (QueryRef query = weak.lock(); query != nullptr && !query->done()) {
+        query->canceller_.Cancel(Status::Cancelled(
+            "query exceeded its " +
+            std::to_string(query->request_.timeout_seconds) + "s timeout"));
+      }
+      lock.lock();
+    }
+
+    if (!speculate) continue;
+
+    // 2. Speculative re-dispatch: a sub-join still unclaimed past the
+    // deadline gets a copy pushed onto the shallowest sibling queue. The
+    // original and the copy race for the claim (exactly-once).
+    const size_t scan = watchlist_.size();
+    for (size_t i = 0; i < scan; ++i) {
+      std::weak_ptr<SubJoin> weak = std::move(watchlist_.front());
+      watchlist_.pop_front();
+      SubJoinRef sub = weak.lock();
+      if (sub == nullptr || sub->claimed.load(std::memory_order_acquire) ||
+          sub->redispatched.load(std::memory_order_acquire)) {
+        continue;  // Settled, running, or already re-dispatched: drop.
+      }
+      if (now - sub->enqueue_time < spec_deadline) {
+        watchlist_.push_back(std::move(weak));  // Not yet a straggler.
+        continue;
+      }
+      uint32_t target = sub->shard;
+      size_t shallowest = SIZE_MAX;
+      for (uint32_t q = 0; q < queues_.size(); ++q) {
+        if (q == sub->shard) continue;
+        const size_t depth = queues_[q]->size();
+        if (depth < shallowest) {
+          shallowest = depth;
+          target = q;
+        }
+      }
+      if (target == sub->shard) continue;  // Single shard: nowhere to go.
+      sub->redispatched.store(true, std::memory_order_release);
+      const size_t priority =
+          static_cast<size_t>(sub->query->request_.priority);
+      lock.unlock();
+      if (queues_[target]->TryPush(sub, priority)) {
+        redispatches_->Add();
+        UpdateQueueGauge(target);
+      }
+      lock.lock();
+    }
+  }
+}
+
+bool JoinRouter::AllQueuesEmpty() const {
+  for (const auto& queue : queues_) {
+    if (queue->size() > 0) return false;
+  }
+  return true;
+}
+
+void JoinRouter::RunSubJoin(const SubJoinRef& sub, bool stolen) {
+  const QueryRef& query = sub->query;
+  if (stolen) stolen_->Add();
+  if (!draining_.load(std::memory_order_acquire) ||
+      query->canceller_.is_cancelled()) {
+    CompleteSub(sub,
+                query->canceller_.is_cancelled()
+                    ? query->canceller_.CancellationStatus()
+                    : Status::Cancelled("router shut down"),
+                nullptr);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(query->mutex_);
+    if (!query->started_) {
+      query->started_ = true;
+      query->first_start_ = std::chrono::steady_clock::now();
+    }
+  }
+  TraceSpan span("router/subjoin");
+  ShardSliceStats slice;
+  slice.shard = sub->shard;
+  slice.stolen = stolen;
+  slice.speculative = sub->redispatched.load(std::memory_order_acquire);
+  const auto start = std::chrono::steady_clock::now();
+  const double cpu_start = ThreadCpuSeconds();
+  const Status status = ExecuteSubJoin(query, sub->shard, &slice);
+  slice.cpu_seconds = ThreadCpuSeconds() - cpu_start;
+  const auto end = std::chrono::steady_clock::now();
+  slice.exec_seconds = SecondsBetween(start, end);
+  shard_latency_us_[sub->shard]->Record(
+      static_cast<uint64_t>(slice.exec_seconds * 1e6));
+  if (!status.ok()) {
+    // First real error wins and cancels every sibling shard; kCancelled is
+    // ignored by Report so it can never mask the root cause.
+    query->canceller_.Report(status);
+    CompleteSub(sub, status, nullptr);
+    return;
+  }
+  CompleteSub(sub, status, &slice);
+}
+
+Status JoinRouter::ExecuteSubJoin(const QueryRef& query, uint32_t shard_id,
+                                  ShardSliceStats* slice) {
+  const JoinRequest& request = query->request_;
+  ShardManager::Shard& shard = shards_->shard(shard_id);
+  PBSM_ASSIGN_OR_RETURN(const ShardManager::ShardDatasetRef r,
+                        shards_->FindDataset(shard_id, request.r_dataset));
+  PBSM_ASSIGN_OR_RETURN(const ShardManager::ShardDatasetRef s,
+                        shards_->FindDataset(shard_id, request.s_dataset));
+  slice->method = request.method.value_or(JoinMethod::kPbsm);
+  if (r->info.cardinality == 0 || s->info.cardinality == 0) {
+    return Status::OK();  // Empty slice: this strip contributes nothing.
+  }
+
+  JoinSpec spec;
+  spec.predicate = request.predicate;
+  spec.options = config_.join_defaults;
+  spec.options.cancel = &query->canceller_;
+  if (request.refine_mode.has_value()) {
+    spec.options.refine.mode = *request.refine_mode;
+  }
+
+  // Shard-aware plan: this shard's slice statistics and THIS shard's index
+  // cache state — a warm shard may run kRtree while a cold sibling picks
+  // kPbsm for the same query.
+  if (request.method.has_value()) {
+    spec.method = *request.method;
+  } else {
+    PlannerSide pr{&r->info,
+                   r->histogram.has_value() ? &*r->histogram : nullptr,
+                   shard.cache->Contains(JoinInput{r->heap.get(), r->info},
+                                         spec.options.index_fill_factor)};
+    PlannerSide ps{&s->info,
+                   s->histogram.has_value() ? &*s->histogram : nullptr,
+                   shard.cache->Contains(JoinInput{s->heap.get(), s->info},
+                                         spec.options.index_fill_factor)};
+    PlannerCosts costs;
+    costs.dedup_mode = spec.options.dedup_mode;
+    costs.refine_mode = spec.options.refine.mode;
+    const PlanChoice plan =
+        PlanJoin(pr, ps, config_.join_defaults.num_threads, costs);
+    spec.method = plan.method;
+    if (spec.options.refine.mode != RefineMode::kExact &&
+        spec.options.refine.grid_order == 0) {
+      spec.options.refine.grid_order = plan.grid_order;
+    }
+    planned_->Add();
+    std::lock_guard<std::mutex> lock(query->mutex_);
+    query->response_.planner_chosen = true;
+    if (query->response_.plan.empty()) {
+      query->response_.plan =
+          "shard" + std::to_string(shard_id) + ": " + plan.ToString();
+    }
+  }
+  slice->method = spec.method;
+
+  // Index-method sub-joins go through this shard's private cache.
+  IndexCache::TreeRef r_tree;
+  IndexCache::TreeRef s_tree;
+  const JoinInput r_input{r->heap.get(), r->info};
+  const JoinInput s_input{s->heap.get(), s->info};
+  if (spec.method == JoinMethod::kRtree) {
+    PBSM_ASSIGN_OR_RETURN(
+        r_tree, shard.cache->GetOrBuild(r_input,
+                                        spec.options.index_fill_factor));
+    PBSM_ASSIGN_OR_RETURN(
+        s_tree, shard.cache->GetOrBuild(s_input,
+                                        spec.options.index_fill_factor));
+    spec.r_index = r_tree.get();
+    spec.s_index = s_tree.get();
+  } else if (spec.method == JoinMethod::kInl) {
+    if (r->info.cardinality <= s->info.cardinality) {
+      PBSM_ASSIGN_OR_RETURN(
+          r_tree, shard.cache->GetOrBuild(r_input,
+                                          spec.options.index_fill_factor));
+      spec.r_index = r_tree.get();
+    } else {
+      PBSM_ASSIGN_OR_RETURN(
+          s_tree, shard.cache->GetOrBuild(s_input,
+                                          spec.options.index_fill_factor));
+      spec.s_index = s_tree.get();
+    }
+  }
+
+  // Slice sink: window filter, border-ownership dedup, local -> global OID
+  // translation. The ownership test is the two-layer rule lifted to shard
+  // granularity — with both MBRs replicated into the owner strip, dropping
+  // every non-owner copy leaves each pair exactly once across the gather.
+  const ShardLayout layout = shards_->layout();
+  const ShardManager::ShardDataset* rd = r.get();
+  const ShardManager::ShardDataset* sd = s.get();
+  const std::optional<Rect> window = request.window;
+  const ResultSink user_sink = request.sink;
+  uint64_t results = 0;
+  uint64_t border_dropped = 0;
+  spec.sink = [&, shard_id](Oid ro, Oid so) {
+    const auto rit = rd->mbrs.find(ro.Encode());
+    const auto sit = sd->mbrs.find(so.Encode());
+    if (rit == rd->mbrs.end() || sit == sd->mbrs.end()) return;
+    if (window.has_value() && (!rit->second.Intersects(*window) ||
+                               !sit->second.Intersects(*window))) {
+      return;
+    }
+    const uint32_t owner =
+        window.has_value()
+            ? layout.PairOwner(rit->second, sit->second, *window)
+            : layout.PairOwner(rit->second, sit->second);
+    if (owner != shard_id) {
+      ++border_dropped;
+      return;
+    }
+    ++results;
+    if (user_sink) {
+      user_sink(rd->local_to_global.at(ro.Encode()),
+                sd->local_to_global.at(so.Encode()));
+    }
+  };
+
+  PBSM_RETURN_IF_ERROR(
+      SpatialJoin(shard.pool.get(), r_input, s_input, spec).status());
+  slice->num_results = results;
+  if (border_dropped > 0) border_filtered_->Add(border_dropped);
+  return Status::OK();
+}
+
+void JoinRouter::CompleteSub(const SubJoinRef& sub, const Status& status,
+                             const ShardSliceStats* slice) {
+  const QueryRef& query = sub->query;
+  subjoins_->Add();
+  bool finished = false;
+  {
+    std::lock_guard<std::mutex> lock(query->mutex_);
+    if (query->done_) return;
+    if (slice != nullptr) {
+      query->response_.shard_slices.push_back(*slice);
+      query->response_.num_results += slice->num_results;
+      if (query->response_.shard_slices.size() == 1 &&
+          !query->request_.method.has_value()) {
+        query->response_.method = slice->method;
+      }
+    }
+    if (!status.ok() && query->first_bad_.ok()) query->first_bad_ = status;
+    PBSM_CHECK(query->remaining_ > 0);
+    finished = (--query->remaining_ == 0);
+  }
+  if (!finished) return;
+
+  // Gather complete. remaining_ hit zero, so no other thread touches the
+  // query's state past this point (Cancel only trips the canceller).
+  // Status priority: canceller (first real error or the external cancel
+  // reason) > first non-OK sub status > OK.
+  Status final_status = Status::OK();
+  if (query->canceller_.is_cancelled()) {
+    final_status = query->canceller_.CancellationStatus();
+  } else {
+    std::lock_guard<std::mutex> lock(query->mutex_);
+    final_status = query->first_bad_;
+  }
+  if (final_status.ok()) {
+    completed_->Add();
+  } else if (final_status.code() == StatusCode::kCancelled) {
+    cancelled_->Add();
+  } else {
+    failed_->Add();
+  }
+  {
+    std::lock_guard<std::mutex> lock(query->mutex_);
+    if (final_status.ok()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (query->started_) {
+        query->response_.queue_seconds =
+            SecondsBetween(query->submit_time_, query->first_start_);
+        query->response_.exec_seconds =
+            SecondsBetween(query->first_start_, now);
+      }
+      query->result_ = query->response_;
+    } else {
+      query->result_ = final_status;
+    }
+    query->done_ = true;
+  }
+  query->done_cv_.notify_all();
+}
+
+void JoinRouter::UpdateQueueGauge(uint32_t shard) {
+  queue_depth_gauges_[shard]->Set(
+      static_cast<int64_t>(queues_[shard]->size()));
+}
+
+void JoinRouter::Shutdown(bool drain) {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (shutdown_complete_) return;
+  draining_.store(drain, std::memory_order_release);
+  stopping_.store(true, std::memory_order_release);
+  for (auto& queue : queues_) queue->Close();
+  if (!drain) {
+    // Fail everything still queued and cancel everything running.
+    for (auto& queue : queues_) {
+      for (const SubJoinRef& sub : queue->Drain()) {
+        if (!sub->claimed.exchange(true, std::memory_order_acq_rel)) {
+          CompleteSub(sub,
+                      Status::Cancelled("router shut down before the "
+                                        "sub-join ran"),
+                      nullptr);
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(running_mutex_);
+    for (const std::weak_ptr<RouterQuery>& weak : running_) {
+      if (QueryRef query = weak.lock()) {
+        query->canceller_.Cancel(Status::Cancelled("router shut down"));
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(monitor_mutex_);
+    monitor_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (monitor_.joinable()) monitor_.join();
+  for (uint32_t i = 0; i < queues_.size(); ++i) {
+    queue_depth_gauges_[i]->Set(0);
+  }
+  shutdown_complete_ = true;
+}
+
+}  // namespace pbsm

@@ -68,6 +68,23 @@ struct JoinRequest {
   ResultSink sink;
 };
 
+/// Per-shard execution record of one scatter-gathered (sharded) query —
+/// what the JoinRouter appends to the response for each sub-join.
+struct ShardSliceStats {
+  uint32_t shard = 0;          ///< The shard whose slices were joined.
+  JoinMethod method = JoinMethod::kPbsm;
+  uint64_t num_results = 0;    ///< After window + border-ownership filters.
+  double exec_seconds = 0.0;   ///< This sub-join's execution wall time.
+  /// CPU time the executing worker thread spent on this sub-join. With
+  /// serial sub-joins (the router's num_threads=1 default) this is the
+  /// slice's full work, immune to time-sharing with sibling workers — the
+  /// number the bench's critical-path throughput is computed from. With
+  /// intra-sub-join threads it undercounts (pool threads are not metered).
+  double cpu_seconds = 0.0;
+  bool stolen = false;         ///< Executed by a sibling shard's worker.
+  bool speculative = false;    ///< Ran via speculative re-dispatch.
+};
+
 /// What a completed query reports back.
 struct JoinResponse {
   JoinMethod method = JoinMethod::kPbsm;
@@ -76,6 +93,13 @@ struct JoinResponse {
   uint64_t num_results = 0;
   double queue_seconds = 0.0;  ///< Submission to admission.
   double exec_seconds = 0.0;   ///< Admission to completion.
+
+  /// Sharded execution only (JoinRouter): one record per dispatched
+  /// sub-join, in completion order. max(exec_seconds) over the slices is
+  /// the query's shard-parallel critical path — the latency an
+  /// unconstrained multi-core host would see; the throughput bench gates
+  /// on it. Empty for single-service (JoinService) execution.
+  std::vector<ShardSliceStats> shard_slices;
 };
 
 /// Ticket for one submitted query. Created by JoinService::Submit; callers

@@ -42,6 +42,25 @@ inline IdPairSet BruteForceJoin(const std::vector<Tuple>& r,
   return out;
 }
 
+/// Window-restricted oracle: the brute-force pairs whose MBRs BOTH
+/// intersect `window` — the window semantics of the service and router
+/// paths (filtering happens on MBRs, not exact geometry).
+inline IdPairSet WindowOracle(const std::vector<Tuple>& r,
+                              const std::vector<Tuple>& s,
+                              SpatialPredicate pred, const Rect& window) {
+  std::map<uint64_t, Rect> r_mbrs, s_mbrs;
+  for (const Tuple& t : r) r_mbrs[t.id] = t.geometry.Mbr();
+  for (const Tuple& t : s) s_mbrs[t.id] = t.geometry.Mbr();
+  IdPairSet out;
+  for (const auto& [rid, sid] : BruteForceJoin(r, s, pred)) {
+    if (r_mbrs.at(rid).Intersects(window) &&
+        s_mbrs.at(sid).Intersects(window)) {
+      out.emplace(rid, sid);
+    }
+  }
+  return out;
+}
+
 /// Scans `heap` and returns the OID -> tuple-id mapping, so sink pairs
 /// (which carry OIDs) can be translated back into id space.
 inline Result<std::map<uint64_t, uint64_t>> OidToIdMap(const HeapFile& heap) {

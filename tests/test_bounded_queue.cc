@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
 #include <thread>
@@ -132,6 +133,47 @@ TEST(BoundedQueueTest, ConcurrentProducersAndConsumers) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(seen.size(),
             static_cast<size_t>(kProducers) * kPerProducer);
+}
+
+TEST(BoundedQueueTest, PopForReturnsQueuedItemImmediately) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(7));
+  const auto item = queue.PopFor(std::chrono::milliseconds(50));
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 7);
+}
+
+TEST(BoundedQueueTest, PopForTimesOutEmptyWithoutClosing) {
+  BoundedQueue<int> queue(4);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.PopFor(std::chrono::milliseconds(10)).has_value());
+  // Must have actually waited (no immediate empty-return on an open queue).
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(5));
+  EXPECT_FALSE(queue.closed());
+}
+
+TEST(BoundedQueueTest, PopForWakesOnPush) {
+  BoundedQueue<int> queue(4);
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(queue.TryPush(42));
+  });
+  // Far longer than the push delay: a wake-on-push (not a timeout) path.
+  const auto item = queue.PopFor(std::chrono::seconds(10));
+  producer.join();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 42);
+}
+
+TEST(BoundedQueueTest, PopForReturnsEmptyOnClosedQueue) {
+  BoundedQueue<int> queue(4);
+  queue.Close();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.PopFor(std::chrono::seconds(10)).has_value());
+  // Closed + empty returns immediately, not after the timeout.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
 }
 
 }  // namespace

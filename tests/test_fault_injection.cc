@@ -12,11 +12,17 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
 #include "datagen/tiger_gen.h"
+#include "service/join_router.h"
+#include "service/shard_manager.h"
 #include "tests/join_test_harness.h"
 #include "tests/test_util.h"
 
@@ -451,6 +457,190 @@ TEST_F(JoinFaultTest, ParallelJoinReportsFirstRealErrorNotCancellation) {
       << got.status().ToString();
   EXPECT_NE(got.status().code(), StatusCode::kCancelled);
   EXPECT_EQ(env.pool()->pinned_frames(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded service: faults on one shard's private DiskManager. The router
+// must surface the faulty shard's real error (cancelling siblings without
+// letting their kCancelled mask it), retry transient faults away, and keep
+// dead shards outside a window's dispatch set from affecting the query.
+// ---------------------------------------------------------------------------
+
+/// Global relations plus a ShardManager with both registered, mirroring the
+/// service tests' environment.
+struct ShardedEnv {
+  StorageEnv storage{512 * kPageSize};
+  std::optional<StoredRelation> road, hydro;
+  std::optional<ShardManager> shards;
+  std::map<uint64_t, uint64_t> road_ids, hydro_ids;  // Global OID -> id.
+};
+
+/// Loads the fixture relations and registers them into `num_shards` shards.
+/// Small per-shard pools force sub-joins to perform real disk reads (so an
+/// armed injector actually fires); callers arm injectors AFTER this returns,
+/// so registration I/O is never faulted.
+void StartSharded(ShardedEnv* env, const std::vector<Tuple>& roads,
+                  const std::vector<Tuple>& hydro, uint32_t num_shards,
+                  size_t shard_pool_bytes,
+                  IoRetryPolicy retry = IoRetryPolicy()) {
+  auto road = LoadRelation(env->storage.pool(), nullptr, "road", roads);
+  ASSERT_TRUE(road.ok()) << road.status().ToString();
+  env->road.emplace(std::move(road).value());
+  auto hydro_rel = LoadRelation(env->storage.pool(), nullptr, "hydro", hydro);
+  ASSERT_TRUE(hydro_rel.ok()) << hydro_rel.status().ToString();
+  env->hydro.emplace(std::move(hydro_rel).value());
+
+  ShardManagerConfig config;
+  config.num_shards = num_shards;
+  config.shard_pool_bytes = shard_pool_bytes;
+  config.io_retry = retry;
+  env->shards.emplace(config);
+  PBSM_ASSERT_OK(env->shards->RegisterDataset("road", &env->road->heap,
+                                              env->road->info));
+  PBSM_ASSERT_OK(env->shards->RegisterDataset("hydro", &env->hydro->heap,
+                                              env->hydro->info));
+  PBSM_ASSERT_OK_AND_ASSIGN(env->road_ids, OidToIdMap(env->road->heap));
+  PBSM_ASSERT_OK_AND_ASSIGN(env->hydro_ids, OidToIdMap(env->hydro->heap));
+}
+
+/// Thread-safe collecting sink (router sinks fire concurrently from shard
+/// workers) that translates global-OID pairs back into tuple-id space.
+struct CollectingSink {
+  std::mutex mutex;
+  std::vector<std::pair<uint64_t, uint64_t>> raw;
+
+  ResultSink Sink() {
+    return [this](Oid ro, Oid so) {
+      std::lock_guard<std::mutex> lock(mutex);
+      raw.emplace_back(ro.Encode(), so.Encode());
+    };
+  }
+
+  IdPairSet ToIds(const ShardedEnv& env) {
+    std::lock_guard<std::mutex> lock(mutex);
+    IdPairSet out;
+    for (const auto& [ro, so] : raw) {
+      out.emplace(env.road_ids.at(ro), env.hydro_ids.at(so));
+    }
+    return out;
+  }
+};
+
+TEST_F(JoinFaultTest, ShardedPermanentFaultOnOneShardCancelsSiblings) {
+  ShardedEnv env;
+  StartSharded(&env, roads_, hydro_, /*num_shards=*/4,
+               /*shard_pool_bytes=*/8 * kPageSize);
+  ASSERT_TRUE(env.shards.has_value());
+
+  PBSM_ASSERT_OK_AND_ASSIGN(auto injector,
+                            FaultInjector::Parse("seed=11;read=1"));
+  env.shards->shard(1).disk->set_fault_injector(injector);
+
+  JoinRouter router(&*env.shards, JoinRouterConfig());
+  JoinRequest request;
+  request.r_dataset = "road";
+  request.s_dataset = "hydro";
+  request.method = JoinMethod::kPbsm;
+
+  const auto got = router.Execute(request);
+  ASSERT_FALSE(got.ok()) << "query survived a dead shard disk";
+  // The faulty shard's real error wins the gather; the sibling sub-joins it
+  // cancelled must not mask it with kCancelled.
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError)
+      << got.status().ToString();
+  EXPECT_GT(injector->injected_faults(), 0u);
+  // The failed scatter leaks nothing: every shard pool fully unpinned.
+  EXPECT_EQ(env.shards->total_pinned_frames(), 0u);
+
+  // Heal the disk: the same router must now answer exactly.
+  env.shards->shard(1).disk->set_fault_injector(nullptr);
+  CollectingSink sink;
+  JoinRequest healthy = request;
+  healthy.sink = sink.Sink();
+  PBSM_ASSERT_OK_AND_ASSIGN(const JoinResponse response,
+                            router.Execute(healthy));
+  EXPECT_EQ(sink.ToIds(env), expected_);
+  EXPECT_EQ(response.num_results, expected_.size());
+  EXPECT_EQ(env.shards->total_pinned_frames(), 0u);
+  router.Shutdown();
+}
+
+TEST_F(JoinFaultTest, ShardedTransientFaultsAreRetriedTransparently) {
+  IoRetryPolicy retry;
+  retry.max_attempts = 8;
+  retry.backoff_us = 1;
+  ShardedEnv env;
+  StartSharded(&env, roads_, hydro_, /*num_shards=*/4,
+               /*shard_pool_bytes=*/8 * kPageSize, retry);
+  ASSERT_TRUE(env.shards.has_value());
+
+  // A shard slice reads far fewer pages than a whole-relation join, so the
+  // per-read rate is higher than the unsharded test's 5%; 8 retry attempts
+  // still make an unrecovered read a ~1.5e-5 event per I/O.
+  PBSM_ASSERT_OK_AND_ASSIGN(auto injector,
+                            FaultInjector::Parse("seed=11;read=0.25"));
+  env.shards->shard(1).disk->set_fault_injector(injector);
+
+  JoinRouter router(&*env.shards, JoinRouterConfig());
+  CollectingSink sink;
+  JoinRequest request;
+  request.r_dataset = "road";
+  request.s_dataset = "hydro";
+  request.method = JoinMethod::kPbsm;
+  request.sink = sink.Sink();
+
+  PBSM_ASSERT_OK_AND_ASSIGN(const JoinResponse response,
+                            router.Execute(request));
+  EXPECT_EQ(sink.ToIds(env), expected_);
+  EXPECT_EQ(response.num_results, expected_.size());
+  // The scenario must actually have exercised the fault + retry path.
+  EXPECT_GT(injector->injected_faults(), 0u);
+  EXPECT_EQ(env.shards->total_pinned_frames(), 0u);
+  router.Shutdown();
+}
+
+TEST_F(JoinFaultTest, ShardedFaultOutsideWindowDispatchDoesNotAffectQuery) {
+  ShardedEnv env;
+  StartSharded(&env, roads_, hydro_, /*num_shards=*/4,
+               /*shard_pool_bytes=*/8 * kPageSize);
+  ASSERT_TRUE(env.shards.has_value());
+
+  // Kill shard 0's disk outright, then query a window strictly inside
+  // shard 2's strip: the scatter must never dispatch to (or read from) the
+  // dead shard.
+  PBSM_ASSERT_OK_AND_ASSIGN(auto injector,
+                            FaultInjector::Parse("seed=11;read=1"));
+  env.shards->shard(0).disk->set_fault_injector(injector);
+
+  const ShardLayout layout = env.shards->layout();
+  const Rect strip = layout.Extent(2);
+  const double margin = strip.width() / 4.0;
+  const Rect window(strip.xlo + margin, strip.ylo, strip.xhi - margin,
+                    strip.yhi);
+
+  JoinRouter router(&*env.shards, JoinRouterConfig());
+  CollectingSink sink;
+  JoinRequest request;
+  request.r_dataset = "road";
+  request.s_dataset = "hydro";
+  request.method = JoinMethod::kPbsm;
+  request.window = window;
+  request.sink = sink.Sink();
+
+  PBSM_ASSERT_OK_AND_ASSIGN(const JoinResponse response,
+                            router.Execute(request));
+  ASSERT_EQ(response.shard_slices.size(), 1u);
+  EXPECT_EQ(response.shard_slices[0].shard, 2u);
+
+  const IdPairSet expected =
+      WindowOracle(roads_, hydro_, SpatialPredicate::kIntersects, window);
+  EXPECT_GT(expected.size(), 0u) << "degenerate window; widen the strip";
+  EXPECT_EQ(sink.ToIds(env), expected);
+  EXPECT_EQ(response.num_results, expected.size());
+  EXPECT_EQ(injector->injected_faults(), 0u)
+      << "the dead shard's disk was read";
+  EXPECT_EQ(env.shards->total_pinned_frames(), 0u);
+  router.Shutdown();
 }
 
 }  // namespace

@@ -10,11 +10,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "datagen/tiger_gen.h"
+#include "service/join_router.h"
+#include "service/shard_manager.h"
 #include "tests/join_test_harness.h"
 #include "tests/test_util.h"
 
@@ -129,6 +134,169 @@ TEST_F(JoinDifferentialTest, AllMethodsMatchBruteForceOracleAcrossSweep) {
         }
       }
     }
+  }
+}
+
+/// Runs one request through the router with a thread-safe collecting sink
+/// (router sinks fire concurrently from shard workers) and translates the
+/// emitted GLOBAL oids back into tuple-id space.
+Result<IdPairSet> RunShardedToIdPairs(JoinRouter* router, JoinRequest request,
+                                      const std::map<uint64_t, uint64_t>& r_ids,
+                                      const std::map<uint64_t, uint64_t>& s_ids,
+                                      uint64_t* num_results = nullptr) {
+  std::mutex mutex;
+  std::vector<std::pair<Oid, Oid>> raw;
+  request.sink = [&mutex, &raw](Oid ro, Oid so) {
+    std::lock_guard<std::mutex> lock(mutex);
+    raw.emplace_back(ro, so);
+  };
+  PBSM_ASSIGN_OR_RETURN(const JoinResponse response,
+                        router->Execute(std::move(request)));
+  if (num_results != nullptr) *num_results = response.num_results;
+  IdPairSet out;
+  for (const auto& [ro, so] : raw) {
+    out.emplace(r_ids.at(ro.Encode()), s_ids.at(so.Encode()));
+  }
+  return out;
+}
+
+// The sharded scatter-gather axis: for every shard count, every method, and
+// both dedup schemes, the gathered pair MULTISET must equal the single-shard
+// oracle — no pair lost at a shard border, none emitted twice (the sink
+// count equals the set size, so duplicates cannot hide).
+TEST_F(JoinDifferentialTest, ShardedScatterGatherMatchesOracleAcrossShardCounts) {
+  const std::vector<SweepCase> sweep = MakeSweep();
+  // The first three sweep cases give predicate/clustering variety; the full
+  // six would double runtime without new border geometry.
+  for (size_t ci = 0; ci < 3 && ci < sweep.size(); ++ci) {
+    const SweepCase& c = sweep[ci];
+    SCOPED_TRACE(c.Describe());
+    TigerGenerator::Params params;
+    params.seed = c.dataset_seed;
+    params.universe = Rect(params.universe.xlo, params.universe.ylo,
+                           params.universe.xlo + params.universe.width() / 8,
+                           params.universe.ylo + params.universe.height() / 8);
+    TigerGenerator gen(params);
+    const std::vector<Tuple> roads = gen.GenerateRoads(c.r_count);
+    const std::vector<Tuple> hydro = gen.GenerateHydrography(c.s_count);
+    const IdPairSet expected = BruteForceJoin(roads, hydro, c.pred);
+
+    StorageEnv env(1024 * kPageSize);
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const StoredRelation r,
+        LoadRelation(env.pool(), nullptr, "road", roads, c.clustered));
+    PBSM_ASSERT_OK_AND_ASSIGN(
+        const StoredRelation s,
+        LoadRelation(env.pool(), nullptr, "hydro", hydro, c.clustered));
+    PBSM_ASSERT_OK_AND_ASSIGN(const auto r_ids, OidToIdMap(r.heap));
+    PBSM_ASSERT_OK_AND_ASSIGN(const auto s_ids, OidToIdMap(s.heap));
+
+    for (const uint32_t num_shards : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE("shards=" + std::to_string(num_shards));
+      ShardManagerConfig shard_config;
+      shard_config.num_shards = num_shards;
+      ShardManager shards(shard_config);
+      PBSM_ASSERT_OK(shards.RegisterDataset("road", &r.heap, r.info));
+      PBSM_ASSERT_OK(shards.RegisterDataset("hydro", &s.heap, s.info));
+
+      for (const DedupMode dedup : {DedupMode::kTwoLayer, DedupMode::kMerge}) {
+        SCOPED_TRACE(DedupModeName(dedup));
+        JoinRouterConfig router_config;
+        router_config.join_defaults.memory_budget_bytes = 1 << 20;
+        router_config.join_defaults.num_tiles = c.num_tiles;
+        router_config.join_defaults.num_threads = c.num_threads;
+        router_config.join_defaults.dedup_mode = dedup;
+        JoinRouter router(&shards, router_config);
+        int method_index = 0;
+        for (const JoinMethod method : AllJoinMethods()) {
+          SCOPED_TRACE(JoinMethodName(method));
+          JoinRequest request;
+          request.r_dataset = "road";
+          request.s_dataset = "hydro";
+          request.predicate = c.pred;
+          request.method = method;
+          // Rotate the refinement strategy so both modes see every shard
+          // count without doubling the sweep.
+          request.refine_mode = (method_index++ + static_cast<int>(ci)) % 2
+                                    ? RefineMode::kAdaptive
+                                    : RefineMode::kExact;
+          uint64_t num_results = 0;
+          PBSM_ASSERT_OK_AND_ASSIGN(
+              const IdPairSet got,
+              RunShardedToIdPairs(&router, std::move(request), r_ids, s_ids,
+                                  &num_results));
+          EXPECT_EQ(got, expected);
+          EXPECT_EQ(num_results, expected.size())
+              << "sink count != distinct pairs: a border pair was duplicated";
+        }
+        router.Shutdown(/*drain=*/true);
+      }
+    }
+  }
+}
+
+// Windows centered ON the shard boundaries — the adversarial case for
+// window-clipped dispatch: pairs whose unclamped reference corner lies in a
+// strip the window does not cover must still be emitted exactly once, by an
+// overlapping shard (the clamped-corner ownership rule).
+TEST_F(JoinDifferentialTest, ShardedBorderStraddlingWindowsMatchOracle) {
+  const SweepCase c = MakeSweep()[0];
+  TigerGenerator::Params params;
+  params.seed = c.dataset_seed;
+  params.universe = Rect(params.universe.xlo, params.universe.ylo,
+                         params.universe.xlo + params.universe.width() / 8,
+                         params.universe.ylo + params.universe.height() / 8);
+  TigerGenerator gen(params);
+  const std::vector<Tuple> roads = gen.GenerateRoads(250);
+  const std::vector<Tuple> hydro = gen.GenerateHydrography(150);
+
+  StorageEnv env(1024 * kPageSize);
+  PBSM_ASSERT_OK_AND_ASSIGN(const StoredRelation r,
+                            LoadRelation(env.pool(), nullptr, "road", roads));
+  PBSM_ASSERT_OK_AND_ASSIGN(const StoredRelation s,
+                            LoadRelation(env.pool(), nullptr, "hydro", hydro));
+  PBSM_ASSERT_OK_AND_ASSIGN(const auto r_ids, OidToIdMap(r.heap));
+  PBSM_ASSERT_OK_AND_ASSIGN(const auto s_ids, OidToIdMap(s.heap));
+
+  for (const uint32_t num_shards : {2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    ShardManagerConfig shard_config;
+    shard_config.num_shards = num_shards;
+    ShardManager shards(shard_config);
+    PBSM_ASSERT_OK(shards.RegisterDataset("road", &r.heap, r.info));
+    PBSM_ASSERT_OK(shards.RegisterDataset("hydro", &s.heap, s.info));
+    const ShardLayout layout = shards.layout();
+    JoinRouter router(&shards, {});
+
+    // One window straddling each interior boundary, plus the full universe
+    // as a degenerate "window that clips nothing".
+    std::vector<Rect> windows;
+    const double half_w = layout.universe().width() / (4.0 * num_shards);
+    for (const double b : layout.boundaries()) {
+      windows.emplace_back(b - half_w, layout.universe().ylo, b + half_w,
+                           layout.universe().yhi);
+    }
+    windows.push_back(layout.universe());
+
+    for (const Rect& window : windows) {
+      SCOPED_TRACE("window.x=[" + std::to_string(window.xlo) + ", " +
+                   std::to_string(window.xhi) + "]");
+      const IdPairSet expected =
+          WindowOracle(roads, hydro, SpatialPredicate::kIntersects, window);
+      JoinRequest request;
+      request.r_dataset = "road";
+      request.s_dataset = "hydro";
+      request.method = JoinMethod::kPbsm;
+      request.window = window;
+      uint64_t num_results = 0;
+      PBSM_ASSERT_OK_AND_ASSIGN(
+          const IdPairSet got,
+          RunShardedToIdPairs(&router, std::move(request), r_ids, s_ids,
+                              &num_results));
+      EXPECT_EQ(got, expected);
+      EXPECT_EQ(num_results, expected.size());
+    }
+    router.Shutdown(/*drain=*/true);
   }
 }
 

@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <set>
 
 #include "core/selectivity.h"
+#include "datagen/tiger_gen.h"
+#include "service/shard_manager.h"
+#include "tests/join_test_harness.h"
+#include "tests/test_util.h"
 
 namespace pbsm {
 namespace {
@@ -146,6 +152,112 @@ TEST(PlanJoinTest, OverrideCostsSteerTheChoice) {
   costs.hash_per_tuple = 1e-12;  // Make hashing essentially free.
   const PlanChoice choice = PlanJoin({&r_info}, {&s_info}, 1, costs);
   EXPECT_EQ(choice.method, JoinMethod::kSpatialHash);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded planning: one plan per shard slice, costed from that shard's own
+// slice statistics and index-cache state.
+// ---------------------------------------------------------------------------
+
+class PlanShardedJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TigerGenerator::Params params;
+    params.seed = 42;
+    params.universe = Rect(params.universe.xlo, params.universe.ylo,
+                           params.universe.xlo + params.universe.width() / 8,
+                           params.universe.ylo + params.universe.height() / 8);
+    TigerGenerator gen(params);
+    roads_ = gen.GenerateRoads(1200);
+    hydro_ = gen.GenerateHydrography(500);
+
+    auto road = LoadRelation(storage_.pool(), nullptr, "road", roads_);
+    ASSERT_TRUE(road.ok()) << road.status().ToString();
+    road_.emplace(std::move(road).value());
+    auto hydro = LoadRelation(storage_.pool(), nullptr, "hydro", hydro_);
+    ASSERT_TRUE(hydro.ok()) << hydro.status().ToString();
+    hydro_rel_.emplace(std::move(hydro).value());
+
+    ShardManagerConfig config;
+    config.num_shards = 4;
+    shards_.emplace(config);
+    PBSM_ASSERT_OK(
+        shards_->RegisterDataset("road", &road_->heap, road_->info));
+    PBSM_ASSERT_OK(
+        shards_->RegisterDataset("hydro", &hydro_rel_->heap,
+                                 hydro_rel_->info));
+  }
+
+  /// Bulk-builds the cached R-trees over both of `shard`'s slices, at the
+  /// fill factor PlanShardedJoin checks by default.
+  void WarmShard(uint32_t shard) {
+    const double fill = JoinOptions().index_fill_factor;
+    for (const std::string& name : {std::string("road"),
+                                    std::string("hydro")}) {
+      PBSM_ASSERT_OK_AND_ASSIGN(const auto dataset,
+                                shards_->FindDataset(shard, name));
+      PBSM_ASSERT_OK(shards_->shard(shard)
+                         .cache
+                         ->GetOrBuild(
+                             JoinInput{dataset->heap.get(), dataset->info},
+                             fill)
+                         .status());
+    }
+  }
+
+  StorageEnv storage_{4096 * kPageSize};
+  std::vector<Tuple> roads_, hydro_;
+  std::optional<StoredRelation> road_, hydro_rel_;
+  std::optional<ShardManager> shards_;
+};
+
+TEST_F(PlanShardedJoinTest, CoversEverySliceWithAggregateTotals) {
+  PBSM_ASSERT_OK_AND_ASSIGN(const ShardedPlan plan,
+                            PlanShardedJoin(*shards_, "road", "hydro"));
+  ASSERT_EQ(plan.slices.size(), 4u);
+  double max_est = 0.0, sum_est = 0.0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    const ShardSlicePlan& slice = plan.slices[i];
+    EXPECT_EQ(slice.shard, i);
+    ASSERT_GT(slice.r_cardinality, 0u);
+    ASSERT_GT(slice.s_cardinality, 0u);
+    EXPECT_EQ(slice.choice.alternatives.size(), 6u);
+    EXPECT_GT(slice.choice.estimated_seconds, 0.0);
+    max_est = std::max(max_est, slice.choice.estimated_seconds);
+    sum_est += slice.choice.estimated_seconds;
+  }
+  EXPECT_DOUBLE_EQ(plan.critical_path_seconds, max_est);
+  EXPECT_DOUBLE_EQ(plan.serial_seconds, sum_est);
+  EXPECT_GE(plan.serial_seconds, plan.critical_path_seconds);
+  EXPECT_NE(plan.ToString().find("critical path"), std::string::npos);
+}
+
+TEST_F(PlanShardedJoinTest, WarmShardPlansRtreeWhileColdSiblingsDoNot) {
+  PBSM_ASSERT_OK_AND_ASSIGN(const ShardedPlan cold,
+                            PlanShardedJoin(*shards_, "road", "hydro"));
+  for (const ShardSlicePlan& slice : cold.slices) {
+    EXPECT_NE(slice.choice.method, JoinMethod::kRtree)
+        << "shard " << slice.shard << " planned a cold index build";
+  }
+
+  WarmShard(1);
+  PBSM_ASSERT_OK_AND_ASSIGN(const ShardedPlan warm,
+                            PlanShardedJoin(*shards_, "road", "hydro"));
+  EXPECT_EQ(warm.slices[1].choice.method, JoinMethod::kRtree);
+  EXPECT_LT(warm.slices[1].choice.estimated_seconds,
+            cold.slices[1].choice.estimated_seconds);
+  // Shard-aware costing: the siblings' caches are untouched, so their
+  // slices keep their cold plans.
+  for (const uint32_t i : {0u, 2u, 3u}) {
+    EXPECT_EQ(warm.slices[i].choice.method, cold.slices[i].choice.method);
+    EXPECT_NE(warm.slices[i].choice.method, JoinMethod::kRtree);
+  }
+}
+
+TEST_F(PlanShardedJoinTest, UnknownDatasetIsNotFound) {
+  const auto plan = PlanShardedJoin(*shards_, "road", "nope");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

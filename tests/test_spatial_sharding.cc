@@ -1,0 +1,189 @@
+#include "core/spatial_sharding.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/selectivity.h"
+#include "geom/rect.h"
+
+namespace pbsm {
+namespace {
+
+TEST(ShardLayoutTest, DefaultIsSingleShard) {
+  ShardLayout layout;
+  EXPECT_EQ(layout.num_shards(), 1u);
+  EXPECT_EQ(layout.OwnerOfX(-1e18), 0u);
+  EXPECT_EQ(layout.OwnerOfX(1e18), 0u);
+  const auto range = layout.Overlapping(Rect(0, 0, 1, 1));
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.last, 0u);
+}
+
+TEST(ShardLayoutTest, OwnerOfXHalfOpenStrips) {
+  ShardLayout layout(Rect(0, 0, 100, 100), {25.0, 50.0, 75.0});
+  EXPECT_EQ(layout.num_shards(), 4u);
+  EXPECT_EQ(layout.OwnerOfX(0.0), 0u);
+  EXPECT_EQ(layout.OwnerOfX(24.999), 0u);
+  EXPECT_EQ(layout.OwnerOfX(25.0), 1u);  // Boundary belongs to the right.
+  EXPECT_EQ(layout.OwnerOfX(50.0), 2u);
+  EXPECT_EQ(layout.OwnerOfX(75.0), 3u);
+  // Outer strips are unbounded for routing.
+  EXPECT_EQ(layout.OwnerOfX(-10.0), 0u);
+  EXPECT_EQ(layout.OwnerOfX(1000.0), 3u);
+}
+
+TEST(ShardLayoutTest, OverlappingCoversReplicationRange) {
+  ShardLayout layout(Rect(0, 0, 100, 100), {25.0, 50.0, 75.0});
+  auto range = layout.Overlapping(Rect(10, 0, 20, 1));
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.last, 0u);
+  range = layout.Overlapping(Rect(20, 0, 60, 1));  // Straddles two cuts.
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.last, 2u);
+  range = layout.Overlapping(Rect(-5, 0, 105, 1));
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.last, 3u);
+}
+
+TEST(ShardLayoutTest, ExtentsTileTheUniverse) {
+  const Rect universe(0, 0, 100, 40);
+  ShardLayout layout(universe, {30.0, 60.0});
+  const Rect e0 = layout.Extent(0);
+  const Rect e1 = layout.Extent(1);
+  const Rect e2 = layout.Extent(2);
+  EXPECT_DOUBLE_EQ(e0.xlo, 0.0);
+  EXPECT_DOUBLE_EQ(e0.xhi, 30.0);
+  EXPECT_DOUBLE_EQ(e1.xlo, 30.0);
+  EXPECT_DOUBLE_EQ(e1.xhi, 60.0);
+  EXPECT_DOUBLE_EQ(e2.xlo, 60.0);
+  EXPECT_DOUBLE_EQ(e2.xhi, 100.0);
+  EXPECT_DOUBLE_EQ(e1.ylo, 0.0);
+  EXPECT_DOUBLE_EQ(e1.yhi, 40.0);
+}
+
+// The load-bearing invariant behind duplicate-free scatter-gather: for any
+// intersecting pair, the owner strip overlaps BOTH rectangles (so both are
+// replicated there and the pair is found), and ownership is a function, so
+// exactly one strip emits it.
+TEST(ShardLayoutTest, PairOwnerIsUniqueAndOverlapsBothSides) {
+  ShardLayout layout(Rect(0, 0, 100, 100), {20.0, 45.0, 80.0});
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> pos(-5.0, 100.0);
+  std::uniform_real_distribution<double> len(0.0, 30.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double rx = pos(rng), sx = pos(rng);
+    const Rect r(rx, 0, rx + len(rng), 1);
+    const Rect s(sx, 0, sx + len(rng), 1);
+    if (!r.Intersects(s)) continue;
+    const uint32_t owner = layout.PairOwner(r, s);
+    const auto rr = layout.Overlapping(r);
+    const auto sr = layout.Overlapping(s);
+    EXPECT_GE(owner, rr.first);
+    EXPECT_LE(owner, rr.last);
+    EXPECT_GE(owner, sr.first);
+    EXPECT_LE(owner, sr.last);
+  }
+}
+
+// Windowed ownership must stay inside the window's dispatch set even when
+// the unclamped reference corner falls in a strip left of the window.
+TEST(ShardLayoutTest, WindowedPairOwnerStaysInDispatchSet) {
+  ShardLayout layout(Rect(0, 0, 100, 100), {25.0, 50.0, 75.0});
+  // Both rects start in strip 0 but reach into strip 2; the window only
+  // covers strips 2..3.
+  const Rect r(10, 0, 60, 1);
+  const Rect s(12, 0, 65, 1);
+  const Rect window(55, 0, 90, 1);
+  EXPECT_EQ(layout.PairOwner(r, s), 0u);  // Unwindowed owner: strip 0.
+  const uint32_t owner = layout.PairOwner(r, s, window);
+  const auto dispatch = layout.Overlapping(window);
+  EXPECT_GE(owner, dispatch.first);
+  EXPECT_LE(owner, dispatch.last);
+  EXPECT_EQ(owner, 2u);  // Clamped corner max(10, 12, 55) = 55.
+}
+
+TEST(ShardLayoutTest, UniformLayoutSplitsEqually) {
+  const ShardLayout layout = UniformShardLayout(Rect(0, 0, 100, 10), 4);
+  ASSERT_EQ(layout.num_shards(), 4u);
+  ASSERT_EQ(layout.boundaries().size(), 3u);
+  EXPECT_DOUBLE_EQ(layout.boundaries()[0], 25.0);
+  EXPECT_DOUBLE_EQ(layout.boundaries()[1], 50.0);
+  EXPECT_DOUBLE_EQ(layout.boundaries()[2], 75.0);
+}
+
+TEST(ComputeShardLayoutTest, BalancesSkewedLoad) {
+  // 90% of the mass in the left tenth of the universe: balanced cuts must
+  // land far left of the uniform ones.
+  const Rect universe(0, 0, 100, 100);
+  SpatialHistogram hist(universe, 64, 8);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> left(0.0, 10.0);
+  std::uniform_real_distribution<double> right(10.0, 100.0);
+  std::uniform_real_distribution<double> y(0.0, 99.0);
+  for (int i = 0; i < 9000; ++i) {
+    const double x = left(rng), yy = y(rng);
+    hist.Add(Rect(x, yy, x + 0.5, yy + 0.5));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double x = right(rng), yy = y(rng);
+    hist.Add(Rect(x, yy, x + 0.5, yy + 0.5));
+  }
+  const ShardLayout layout = ComputeShardLayout(hist, 4);
+  ASSERT_EQ(layout.num_shards(), 4u);
+  // First three quarters of the load sit inside [0, 10): every cut < 15.
+  EXPECT_LT(layout.boundaries()[0], 15.0);
+  EXPECT_LT(layout.boundaries()[1], 15.0);
+  EXPECT_LT(layout.boundaries()[2], 15.0);
+  // Cuts are strictly increasing even under this skew.
+  EXPECT_LT(layout.boundaries()[0], layout.boundaries()[1]);
+  EXPECT_LT(layout.boundaries()[1], layout.boundaries()[2]);
+}
+
+TEST(ComputeShardLayoutTest, UniformDataGivesRoughlyUniformCuts) {
+  const Rect universe(0, 0, 100, 100);
+  SpatialHistogram hist(universe, 64, 8);
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> pos(0.0, 99.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = pos(rng), y = pos(rng);
+    hist.Add(Rect(x, y, x + 0.5, y + 0.5));
+  }
+  const ShardLayout layout = ComputeShardLayout(hist, 4);
+  ASSERT_EQ(layout.boundaries().size(), 3u);
+  EXPECT_NEAR(layout.boundaries()[0], 25.0, 5.0);
+  EXPECT_NEAR(layout.boundaries()[1], 50.0, 5.0);
+  EXPECT_NEAR(layout.boundaries()[2], 75.0, 5.0);
+}
+
+TEST(ComputeShardLayoutTest, EmptyHistogramFallsBackToSingleStrip) {
+  SpatialHistogram hist(Rect(0, 0, 10, 10), 8, 8);
+  const ShardLayout layout = ComputeShardLayout(hist, 4);
+  EXPECT_GE(layout.num_shards(), 1u);
+  // Whatever the fallback produced, routing must still cover everything.
+  const auto range = layout.Overlapping(Rect(-5, -5, 15, 15));
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.last, layout.num_shards() - 1);
+}
+
+TEST(ColumnLoadsTest, WideObjectsWeighMoreThanPoints) {
+  const Rect universe(0, 0, 100, 100);
+  SpatialHistogram narrow(universe, 10, 10);
+  SpatialHistogram wide(universe, 10, 10);
+  for (int i = 0; i < 100; ++i) {
+    narrow.Add(Rect(50, 50, 50.1, 50.1));
+    wide.Add(Rect(20, 50, 80, 50.1));  // Spans 6 columns.
+  }
+  const std::vector<double> n_loads = narrow.ColumnLoads();
+  const std::vector<double> w_loads = wide.ColumnLoads();
+  double n_total = 0, w_total = 0;
+  for (double v : n_loads) n_total += v;
+  for (double v : w_loads) w_total += v;
+  // Replication-aware: the wide set's total load is several times larger
+  // even though the object count is identical.
+  EXPECT_GT(w_total, 3.0 * n_total);
+}
+
+}  // namespace
+}  // namespace pbsm
