@@ -1,11 +1,28 @@
 // Microbenchmarks for the R*-tree: insertion, window queries, bulk load.
+//
+// `bench_micro_rtree --compare-layouts` skips google-benchmark and instead
+// compares the in-memory node layouts end to end through WindowQuery: for
+// each workload it builds one tree per layout (AoS page scans, SoA double
+// ribbons, quantized uint16 ribbons), verifies every layout x kernel
+// combination returns the identical hit set on every probe (exit 1 on
+// mismatch), and times a fixed probe batch best-of-N. One
+// RTREE_COMPARE_JSON line is emitted; the checked-in baseline lives at
+// bench/results/simd_rtree_baseline.json and the CI perf-smoke job replays
+// this mode, gating best_speedup (scalar AoS vs the best vector ribbon
+// variant) on AVX2 hosts.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "core/sweep_kernel.h"
 #include "rtree/rstar_tree.h"
 
 namespace pbsm {
@@ -91,7 +108,178 @@ void BM_RTreePointProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_RTreePointProbe);
 
+// ---------------------------------------------------------------------------
+// --compare-layouts mode.
+// ---------------------------------------------------------------------------
+
+struct LayoutCase {
+  const char* label;
+  size_t n;            ///< Indexed entries.
+  double window;       ///< Probe window side length (0.5 = INL point probe).
+  size_t probes;
+};
+
+struct LayoutVariant {
+  const char* label;   ///< JSON key prefix, e.g. "soa_avx2".
+  NodeLayout layout;
+  SimdMode simd;
+};
+
+/// Best-of-k wall time for the full probe batch against one tree under one
+/// kernel. The warm-up rep also faults every touched page into the pool, so
+/// the AoS timing measures page *parsing*, not disk I/O — the quantity the
+/// ribbons eliminate.
+double TimeProbesMs(const RStarTree& tree, const std::vector<Rect>& windows,
+                    SimdMode simd, uint64_t* hits_out) {
+  constexpr int kReps = 5;
+  double best_ms = 1e300;
+  uint64_t total = 0;
+  std::vector<uint64_t> hits;
+  for (int rep = 0; rep <= kReps; ++rep) {  // Rep 0 is warmup.
+    uint64_t count = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Rect& w : windows) {
+      hits.clear();
+      PBSM_CHECK(tree.WindowQuery(w, &hits, simd).ok());
+      count += hits.size();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep > 0 && ms < best_ms) best_ms = ms;
+    total = count;
+  }
+  *hits_out = total;
+  return best_ms;
+}
+
+int RunCompareLayouts() {
+  const LayoutCase cases[] = {
+      {"probe-50k", 50000, 0.5, 4000},
+      {"window-50k", 50000, 10.0, 2000},
+      {"probe-200k", 200000, 0.5, 4000},
+  };
+  const LayoutVariant variants[] = {
+      {"aos_scalar", NodeLayout::kAos, SimdMode::kScalar},
+      {"soa_scalar", NodeLayout::kSoa, SimdMode::kScalar},
+      {"soa_avx2", NodeLayout::kSoa, SimdMode::kAvx2},
+      {"q16_scalar", NodeLayout::kSoaQuantized, SimdMode::kScalar},
+      {"q16_avx2", NodeLayout::kSoaQuantized, SimdMode::kAvx2},
+  };
+  const bool have_avx2 = Avx2Supported();
+  std::printf("Node-layout comparison (WindowQuery, warm buffer pool)\n");
+  std::printf("  avx2_compiled_in=%d avx2_supported=%d\n",
+              Avx2CompiledIn() ? 1 : 0, have_avx2 ? 1 : 0);
+
+  bool all_match = true;
+  double best_speedup = 0.0;
+  std::string cases_json = "[";
+  for (const LayoutCase& c : cases) {
+    bench::Workspace ws(8192 * kPageSize);
+    const auto entries = RandomEntries(c.n, 11);
+    std::vector<RStarTree> trees;  // One per layout, same page images.
+    for (const NodeLayout layout :
+         {NodeLayout::kAos, NodeLayout::kSoa, NodeLayout::kSoaQuantized}) {
+      auto tree = RStarTree::BulkLoad(
+          ws.pool(),
+          std::string(c.label) + "_" + std::string(NodeLayoutName(layout)) +
+              ".rtree",
+          entries, 0.75, layout);
+      PBSM_CHECK(tree.ok()) << tree.status().ToString();
+      PBSM_CHECK(tree->layout() == layout);
+      trees.push_back(std::move(*tree));
+    }
+    auto tree_for = [&trees](NodeLayout layout) -> const RStarTree& {
+      for (const RStarTree& t : trees) {
+        if (t.layout() == layout) return t;
+      }
+      PBSM_CHECK(false);
+      return trees[0];
+    };
+
+    std::vector<Rect> windows;
+    Rng rng(13);
+    for (size_t i = 0; i < c.probes; ++i) {
+      const double x = rng.UniformDouble(0, 1000 - c.window);
+      const double y = rng.UniformDouble(0, 1000 - c.window);
+      windows.emplace_back(x, y, x + c.window, y + c.window);
+    }
+
+    // Correctness first: every variant must return the identical hit set
+    // on every probe (sorted, since traversal order differs per layout).
+    bool match = true;
+    std::vector<uint64_t> want, got;
+    for (const Rect& w : windows) {
+      want.clear();
+      PBSM_CHECK(tree_for(NodeLayout::kAos)
+                     .WindowQuery(w, &want, SimdMode::kScalar)
+                     .ok());
+      std::sort(want.begin(), want.end());
+      for (const LayoutVariant& v : variants) {
+        got.clear();
+        PBSM_CHECK(tree_for(v.layout).WindowQuery(w, &got, v.simd).ok());
+        std::sort(got.begin(), got.end());
+        match = match && got == want;
+      }
+    }
+    all_match = all_match && match;
+
+    double ms[sizeof(variants) / sizeof(variants[0])];
+    uint64_t hits = 0;
+    std::string variants_json;
+    for (size_t vi = 0; vi < sizeof(variants) / sizeof(variants[0]); ++vi) {
+      const LayoutVariant& v = variants[vi];
+      ms[vi] = TimeProbesMs(tree_for(v.layout), windows, v.simd, &hits);
+      char field[96];
+      std::snprintf(field, sizeof(field), "%s\"%s_ms\":%.3f",
+                    vi > 0 ? "," : "", v.label, ms[vi]);
+      variants_json += field;
+    }
+    // The headline ratio: scalar AoS page scans vs the best vector ribbon.
+    const double best_simd_ms = std::min(ms[2], ms[4]);
+    const double speedup = best_simd_ms > 0 ? ms[0] / best_simd_ms : 0.0;
+    if (have_avx2 && speedup > best_speedup) best_speedup = speedup;
+    std::printf(
+        "  %-12s n=%-7zu probes=%-5zu hits=%-8llu aos=%8.2fms "
+        "soa=%8.2fms/%8.2fms q16=%8.2fms/%8.2fms speedup=%5.2fx %s\n",
+        c.label, c.n, c.probes, static_cast<unsigned long long>(hits), ms[0],
+        ms[1], ms[2], ms[3], ms[4], speedup, match ? "MATCH" : "MISMATCH");
+
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"label\":\"%s\",\"n\":%zu,\"probes\":%zu,"
+                  "\"window\":%.1f,\"hits\":%llu,%s,\"speedup\":%.3f,"
+                  "\"match\":%s}",
+                  cases_json.size() > 1 ? "," : "", c.label, c.n, c.probes,
+                  c.window, static_cast<unsigned long long>(hits),
+                  variants_json.c_str(), speedup, match ? "true" : "false");
+    cases_json += row;
+  }
+  cases_json += "]";
+
+  std::printf("  best_speedup=%.2fx %s\n", best_speedup,
+              all_match ? "(all hit sets match)" : "(HIT SET MISMATCH)");
+  std::printf(
+      "RTREE_COMPARE_JSON {\"schema\":\"pbsm.rtree_compare.v1\","
+      "\"host\":%s,\"avx2_supported\":%s,\"all_match\":%s,"
+      "\"best_speedup\":%.3f,\"cases\":%s}\n",
+      bench::HostInfoJson().c_str(), have_avx2 ? "true" : "false",
+      all_match ? "true" : "false", best_speedup, cases_json.c_str());
+  return all_match ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace pbsm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare-layouts") == 0) {
+      return pbsm::RunCompareLayouts();
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -41,9 +41,10 @@ Result<RStarTree> BuildIndexByBulkLoad(BufferPool* pool,
                                        const JoinInput& input,
                                        const std::string& index_name,
                                        double fill_factor,
-                                       size_t memory_budget) {
+                                       size_t memory_budget,
+                                       NodeLayout layout) {
   if (input.heap->num_records() == 0) {
-    return RStarTree::BulkLoad(pool, index_name, {}, fill_factor);
+    return RStarTree::BulkLoad(pool, index_name, {}, fill_factor, layout);
   }
 
   // The spatial sort key comes from the catalog universe (computed here if
@@ -92,7 +93,7 @@ Result<RStarTree> BuildIndexByBulkLoad(BufferPool* pool,
           *out = RTreeEntry{tuple.geometry.Mbr(), oid.Encode()};
           return true;
         },
-        fill_factor);
+        fill_factor, layout);
   }
 
   // Pass 2b: external sort of the key-pointers under the operator's memory
@@ -118,7 +119,7 @@ Result<RStarTree> BuildIndexByBulkLoad(BufferPool* pool,
         *out = keyed.entry;
         return true;
       },
-      fill_factor);
+      fill_factor, layout);
 }
 
 Result<RStarTree> BuildIndexByInserts(BufferPool* pool,

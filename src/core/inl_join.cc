@@ -28,7 +28,7 @@ Result<JoinCostBreakdown> IndexedNestedLoopsJoin(
         BuildIndexByBulkLoad(pool, indexed,
                              "inl_idx_" + indexed.info.name + ".rtree",
                              opts.index_fill_factor,
-                             opts.memory_budget_bytes));
+                             opts.memory_budget_bytes, opts.rtree_layout));
     built.emplace(std::move(tree));
     index = &*built;
   }

@@ -11,6 +11,7 @@
 #include "core/refinement_engine.h"
 #include "core/spatial_partitioner.h"
 #include "geom/predicates.h"
+#include "rtree/node_layout.h"
 #include "storage/catalog.h"
 #include "storage/heap_file.h"
 
@@ -72,6 +73,10 @@ struct JoinOptions {
 
   // --- Index construction (INL / R-tree join) ---
   double index_fill_factor = 0.75;
+  /// In-memory node layout of bulk-loaded trees (SoA ribbons / quantized
+  /// prefilter lanes; see rtree/node_layout.h). kAuto consults the
+  /// PBSM_RTREE_LAYOUT environment variable, defaulting to quantized.
+  NodeLayout rtree_layout = NodeLayout::kAuto;
 
   // --- Parallel execution (ParallelPbsmJoin; serial joins ignore it) ---
   /// Worker threads for the parallel executor. 0 = hardware concurrency.

@@ -178,10 +178,24 @@ size_t ScanWindowScalar(const SoaView& rects, double qxlo, double qylo,
   return hits;
 }
 
+size_t ScanWindowQ16Scalar(const SoaQ16View& rects, uint16_t wxlo,
+                           uint16_t wylo, uint16_t wxhi, uint16_t wyhi,
+                           uint32_t* out_idx, uint64_t* /*simd_lanes*/) {
+  size_t hits = 0;
+  for (size_t i = 0; i < rects.size; ++i) {
+    if (rects.xlo[i] <= wxhi && wxlo <= rects.xhi[i] &&
+        rects.ylo[i] <= wyhi && wylo <= rects.yhi[i]) {
+      out_idx[hits++] = static_cast<uint32_t>(i);
+    }
+  }
+  return hits;
+}
+
 // The scalar pair scan never reads past `lim`, so it already satisfies the
 // stricter scan_pairs_span contract (arbitrary mid-array spans).
 constexpr SweepKernelOps kScalarOps = {&ScanPairsScalar, &ScanWindowScalar,
-                                       &ScanPairsScalar};
+                                       &ScanPairsScalar,
+                                       &ScanWindowQ16Scalar};
 
 }  // namespace
 

@@ -91,6 +91,27 @@ struct SoaView {
 /// AVX2 vectors.
 inline constexpr size_t kSoaPad = 8;
 
+/// Raw view of one quantized (uint16) SoA rectangle set — the R-tree node
+/// ribbon's prefilter lanes (rtree/node_ribbon.h). Coordinates are grid
+/// cells relative to some node MBR; the quantization contract (entry lo
+/// floored, hi ceiled, query rounded outward on the same grid) makes the
+/// q16 intersection test a conservative superset of the exact double test.
+/// Every column must be readable up to the next multiple of kQ16Pad
+/// elements; tail lanes may hold garbage — kernels mask them by `size`
+/// (inverted-bound sentinels cannot exist in unsigned space, where a
+/// full-range query window matches everything).
+struct SoaQ16View {
+  const uint16_t* xlo = nullptr;
+  const uint16_t* xhi = nullptr;
+  const uint16_t* ylo = nullptr;
+  const uint16_t* yhi = nullptr;
+  size_t size = 0;
+};
+
+/// Quantized columns are padded to a multiple of this many elements — 16
+/// uint16 lanes = one 256-bit AVX2 vector.
+inline constexpr size_t kQ16Pad = 16;
+
 /// Owning 64-byte-aligned SoA rectangle buffer, reusable across calls
 /// (Assign only reallocates on growth). Works for any element type with an
 /// `mbr` rectangle and an `oid` or `handle` payload (KeyPointer,
@@ -177,6 +198,17 @@ using ScanWindowFn = size_t (*)(const SoaView& rects, double qxlo,
                                 double qylo, double qxhi, double qyhi,
                                 uint32_t* out_idx, uint64_t* simd_lanes);
 
+/// Quantized window scan: tests every element of `rects` against the
+/// closed query window [wxlo, wxhi] x [wylo, wyhi] in uint16 grid space and
+/// writes intersecting indices to `out_idx` (room for rects.size entries).
+/// The AVX2 path tests 16 rectangles per compare. This is the conservative
+/// prefilter of the quantized node ribbon — callers re-verify survivors
+/// against the exact double lanes. Returns the hit count.
+using ScanWindowQ16Fn = size_t (*)(const SoaQ16View& rects, uint16_t wxlo,
+                                   uint16_t wylo, uint16_t wxhi,
+                                   uint16_t wyhi, uint32_t* out_idx,
+                                   uint64_t* simd_lanes);
+
 struct SweepKernelOps {
   ScanPairsFn scan_pairs;
   ScanWindowFn scan_window;
@@ -185,6 +217,8 @@ struct SweepKernelOps {
   /// tail, so callers may stop a scan at an arbitrary run boundary (the
   /// two-layer mini-joins scan per-tile class runs inside one big SoA).
   ScanPairsFn scan_pairs_span;
+  /// Quantized node-scan prefilter (R-tree ribbons).
+  ScanWindowQ16Fn scan_window_q16;
 };
 
 /// The resolved implementation table for a kernel kind.

@@ -166,11 +166,66 @@ ScanResult ScanPairsSpanAvx2(const SoaView& other, size_t from, size_t lim,
   return res;
 }
 
+/// Unsigned 16-bit a <= b, lane-wise: min(a, b) == a. AVX2 has no unsigned
+/// compare, but it does have unsigned min.
+inline __m256i LeU16(__m256i a, __m256i b) {
+  return _mm256_cmpeq_epi16(_mm256_min_epu16(a, b), a);
+}
+
+/// Quantized window scan: 16 rectangles per iteration over the uint16
+/// lanes. Unlike the double kernels, tail lanes cannot be killed with
+/// sentinels — in unsigned grid space a full-range query window
+/// ([0, 65535] on both axes, i.e. a window covering the whole node MBR)
+/// matches every representable rectangle — so the final chunk's lanes at or
+/// past `size` are masked out of the match mask instead. Loads may read up
+/// to kQ16Pad - 1 elements past `size`; the ribbon pads its columns to a
+/// multiple of kQ16Pad.
+size_t ScanWindowQ16Avx2(const SoaQ16View& rects, uint16_t wxlo,
+                         uint16_t wylo, uint16_t wxhi, uint16_t wyhi,
+                         uint32_t* out_idx, uint64_t* simd_lanes) {
+  const __m256i vwxlo = _mm256_set1_epi16(static_cast<short>(wxlo));
+  const __m256i vwylo = _mm256_set1_epi16(static_cast<short>(wylo));
+  const __m256i vwxhi = _mm256_set1_epi16(static_cast<short>(wxhi));
+  const __m256i vwyhi = _mm256_set1_epi16(static_cast<short>(wyhi));
+  size_t hits = 0;
+  for (size_t k = 0; k < rects.size; k += 16) {
+    const __m256i xlo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(rects.xlo + k));
+    const __m256i xhi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(rects.xhi + k));
+    const __m256i ylo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(rects.ylo + k));
+    const __m256i yhi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(rects.yhi + k));
+    const __m256i x_ok =
+        _mm256_and_si256(LeU16(xlo, vwxhi), LeU16(vwxlo, xhi));
+    const __m256i y_ok =
+        _mm256_and_si256(LeU16(ylo, vwyhi), LeU16(vwylo, yhi));
+    // movemask gives 2 identical bits per uint16 lane (each lane is all
+    // ones or all zeros); keep the even bit of each pair.
+    uint32_t m = static_cast<uint32_t>(_mm256_movemask_epi8(
+                     _mm256_and_si256(x_ok, y_ok))) &
+                 0x55555555u;
+    const size_t valid = rects.size - k;
+    if (valid < 16) {
+      m &= (1u << (2 * valid)) - 1u;  // Mask tail lanes (garbage, not
+                                      // sentinels) out of the match set.
+    }
+    while (m != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(m));
+      m &= m - 1;
+      out_idx[hits++] = static_cast<uint32_t>(k + (b >> 1));
+    }
+  }
+  *simd_lanes += (rects.size + 15) / 16 * 16;
+  return hits;
+}
+
 }  // namespace
 
 extern const SweepKernelOps kAvx2Ops;
 const SweepKernelOps kAvx2Ops = {&ScanPairsAvx2, &ScanWindowAvx2,
-                                 &ScanPairsSpanAvx2};
+                                 &ScanPairsSpanAvx2, &ScanWindowQ16Avx2};
 
 }  // namespace sweep_internal
 }  // namespace pbsm

@@ -1,6 +1,7 @@
 #include "rtree/rstar_tree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <deque>
@@ -9,6 +10,7 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/sweep_kernel.h"
 #include "geom/hilbert.h"
 
@@ -30,6 +32,29 @@ double CenterDistanceSq(const Rect& a, const Rect& b) {
 /// Area enlargement needed for `mbr` to absorb `add`.
 double Enlargement(const Rect& mbr, const Rect& add) {
   return Rect::Union(mbr, add).Area() - mbr.Area();
+}
+
+/// Per-thread reusable working memory for WindowQuery: the traversal stack
+/// and the per-node hit-index buffer. Keeps the steady-state probe loop of
+/// indexed nested loops free of heap allocations.
+struct ProbeScratch {
+  std::vector<uint32_t> stack;
+  std::vector<uint32_t> idx;
+
+  static ProbeScratch& ThreadLocal() {
+    thread_local ProbeScratch scratch;
+    return scratch;
+  }
+};
+
+/// Probes run millions of times per join; give 1 in kSpanSampling of them a
+/// trace span so the phase shows up in exports without per-probe overhead.
+constexpr uint64_t kSpanSampling = 1024;
+
+bool SampleProbeSpan() {
+  if (!Tracer::Global().enabled()) return false;
+  static std::atomic<uint64_t> seq{0};
+  return (seq.fetch_add(1, std::memory_order_relaxed) % kSpanSampling) == 0;
 }
 
 }  // namespace
@@ -323,6 +348,7 @@ Status RStarTree::InsertAtLevel(const RTreeEntry& first_entry,
 }
 
 Status RStarTree::Insert(const Rect& mbr, uint64_t oid) {
+  InvalidateRibbons();
   std::vector<bool> reinsert_done(height_, false);
   PBSM_RETURN_IF_ERROR(
       InsertAtLevel(RTreeEntry{mbr, oid}, /*target_level=*/0,
@@ -343,6 +369,7 @@ struct DeleteOutcome {
 }  // namespace
 
 Status RStarTree::Delete(const Rect& mbr, uint64_t oid, bool* found) {
+  InvalidateRibbons();
   // Orphaned entries from dissolved nodes, tagged with the level of the
   // node they must be reinserted into (0 = leaf entries).
   std::vector<std::pair<RTreeEntry, uint16_t>> orphans;
@@ -436,23 +463,67 @@ Status RStarTree::Delete(const Rect& mbr, uint64_t oid, bool* found) {
 Status RStarTree::WindowQuery(const Rect& window, std::vector<uint64_t>* out,
                               SimdMode simd) const {
   const KernelKind kind = ResolveKernel(simd);
-  std::vector<uint32_t> stack = {root_page_};
+  std::optional<TraceSpan> span;
+  if (SampleProbeSpan()) span.emplace("rtree/window_query");
+  ProbeScratch& sc = ProbeScratch::ThreadLocal();
+  RibbonScanStats stats;
+  sc.stack.clear();
+  sc.stack.push_back(root_page_);
+
+  if (layout_ != NodeLayout::kAos) {
+    // Ribbon fast path: node entries are already transposed in memory, so
+    // the traversal never touches the BufferPool. Leaf hits are gathered in
+    // one batched append per node instead of per-hit push_back.
+    while (!sc.stack.empty()) {
+      const uint32_t page_no = sc.stack.back();
+      sc.stack.pop_back();
+      const NodeRibbon* rb = ribbon(page_no);
+      PBSM_CHECK(rb != nullptr) << "missing ribbon for page " << page_no;
+      if (sc.idx.size() < rb->count()) sc.idx.resize(rb->count());
+      const size_t n =
+          ScanRibbonWindow(*rb, window, kind, sc.idx.data(), &stats);
+      const uint64_t* handles = rb->handles();
+      if (rb->level() == 0) {
+        stats.leaf_hits += n;
+        const size_t base = out->size();
+        out->resize(base + n);
+        uint64_t* dst = out->data() + base;
+        for (size_t i = 0; i < n; ++i) dst[i] = handles[sc.idx[i]];
+      } else {
+        const size_t base = sc.stack.size();
+        sc.stack.resize(base + n);
+        uint32_t* dst = sc.stack.data() + base;
+        for (size_t i = 0; i < n; ++i) {
+          dst[i] = static_cast<uint32_t>(handles[sc.idx[i]]);
+        }
+      }
+    }
+    FlushRibbonScanStats(stats);
+    return Status::OK();
+  }
+
+  // AoS fallback: parse each node page through the BufferPool and scan the
+  // entry array (insert-built or mutated trees).
   std::vector<uint32_t> hits;
-  while (!stack.empty()) {
-    const uint32_t page_no = stack.back();
-    stack.pop_back();
+  while (!sc.stack.empty()) {
+    const uint32_t page_no = sc.stack.back();
+    sc.stack.pop_back();
     PBSM_ASSIGN_OR_RETURN(const Node node, LoadNode(page_no));
+    stats.nodes_scanned += 1;
+    stats.entries_tested += node.entries.size();
     hits.clear();
     OverlapScan(node.entries.data(), node.entries.size(), window, kind,
                 &hits);
     for (const uint32_t i : hits) {
       if (node.level == 0) {
+        stats.leaf_hits += 1;
         out->push_back(node.entries[i].handle);
       } else {
-        stack.push_back(static_cast<uint32_t>(node.entries[i].handle));
+        sc.stack.push_back(static_cast<uint32_t>(node.entries[i].handle));
       }
     }
   }
+  FlushRibbonScanStats(stats);
   return Status::OK();
 }
 
@@ -464,10 +535,37 @@ Status RStarTree::ReadNode(uint32_t page_no, uint16_t* level,
   return Status::OK();
 }
 
+Status RStarTree::BuildRibbons(NodeLayout layout) {
+  InvalidateRibbons();
+  const NodeLayout resolved = ResolveNodeLayout(layout);
+  if (resolved == NodeLayout::kAos) return Status::OK();
+  const bool quantized = (resolved == NodeLayout::kSoaQuantized);
+  // Single-threaded tree walk at build time, before the tree is shared;
+  // afterwards the ribbons are immutable. Pages are allocated contiguously
+  // from 0, so indexing the vector by page number stays dense.
+  std::vector<uint32_t> stack = {root_page_};
+  while (!stack.empty()) {
+    const uint32_t page_no = stack.back();
+    stack.pop_back();
+    PBSM_ASSIGN_OR_RETURN(const Node node, LoadNode(page_no));
+    if (page_no >= ribbons_.size()) ribbons_.resize(page_no + 1);
+    ribbons_[page_no].Build(node.entries.data(), node.entries.size(),
+                            node.level, quantized);
+    if (node.level > 0) {
+      for (const RTreeEntry& e : node.entries) {
+        stack.push_back(static_cast<uint32_t>(e.handle));
+      }
+    }
+  }
+  layout_ = resolved;
+  return Status::OK();
+}
+
 Result<RStarTree> RStarTree::BulkLoadSorted(BufferPool* pool,
                                             const std::string& name,
                                             const EntryStream& next,
-                                            double fill_factor) {
+                                            double fill_factor,
+                                            NodeLayout layout) {
   PBSM_CHECK(fill_factor > 0.0 && fill_factor <= 1.0);
   PBSM_ASSIGN_OR_RETURN(const FileId file, pool->disk()->CreateFile(name));
   RStarTree tree(pool, file);
@@ -511,6 +609,7 @@ Result<RStarTree> RStarTree::BulkLoadSorted(BufferPool* pool,
     PBSM_ASSIGN_OR_RETURN(tree.root_page_, tree.AllocNode(0, &root));
     PBSM_RETURN_IF_ERROR(tree.StoreNode(root));
     tree.height_ = 1;
+    PBSM_RETURN_IF_ERROR(tree.BuildRibbons(layout));
     return tree;
   }
 
@@ -521,6 +620,7 @@ Result<RStarTree> RStarTree::BulkLoadSorted(BufferPool* pool,
       // Single leaf: it is the root.
       tree.root_page_ = static_cast<uint32_t>(level_entries[0].handle);
       tree.height_ = 1;
+      PBSM_RETURN_IF_ERROR(tree.BuildRibbons(layout));
       return tree;
     }
     const bool is_root_level = level_entries.size() <= per_node;
@@ -539,19 +639,22 @@ Result<RStarTree> RStarTree::BulkLoadSorted(BufferPool* pool,
       }
     }
     if (is_root_level) {
-      tree.height_ = level + 1;
+      tree.height_ = static_cast<uint16_t>(level + 1);
+      PBSM_RETURN_IF_ERROR(tree.BuildRibbons(layout));
       return tree;
     }
     level_entries = std::move(next_level);
     ++level;
   }
+  PBSM_RETURN_IF_ERROR(tree.BuildRibbons(layout));
   return tree;
 }
 
 Result<RStarTree> RStarTree::BulkLoad(BufferPool* pool,
                                       const std::string& name,
                                       std::vector<RTreeEntry> entries,
-                                      double fill_factor) {
+                                      double fill_factor,
+                                      NodeLayout layout) {
   // Spatial sort: Hilbert value of the MBR center (paper §4.1).
   Rect universe;
   for (const RTreeEntry& e : entries) universe.Expand(e.mbr);
@@ -585,7 +688,7 @@ Result<RStarTree> RStarTree::BulkLoad(BufferPool* pool,
         *out = entries[index++];
         return true;
       },
-      fill_factor);
+      fill_factor, layout);
 }
 
 Result<RTreeStats> RStarTree::ComputeStats() const {

@@ -9,6 +9,8 @@
 #include "common/status.h"
 #include "core/plane_sweep_join.h"
 #include "geom/rect.h"
+#include "rtree/node_layout.h"
+#include "rtree/node_ribbon.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 
@@ -41,6 +43,12 @@ struct RTreeStats {
 ///    level, and the R* axis/distribution split otherwise;
 ///  * `BulkLoad` — Hilbert-sorted bottom-up packing, the Paradise mechanism
 ///    the paper insists on (§1: 109.9 s bulk load vs 864.5 s inserts).
+///
+/// Bulk-loaded trees additionally carry in-memory SoA "ribbons" of the node
+/// entries (rtree/node_ribbon.h) unless the layout knob says otherwise, so
+/// WindowQuery and the BKS93 tree join scan nodes with the vector kernels
+/// without re-parsing pages. Insert/Delete invalidate the ribbons and drop
+/// back to the AoS page-scan path.
 class RStarTree {
  public:
   /// Creates an empty tree in a new file `name`.
@@ -49,10 +57,13 @@ class RStarTree {
   /// Builds a tree by bulk loading. `entries` are leaf key-pointers; they
   /// are Hilbert-sorted by MBR center over their minimum cover, packed into
   /// leaves at `fill_factor`, and upper levels are packed the same way.
+  /// `layout` selects the in-memory node representation built alongside the
+  /// pages (rtree/node_layout.h); kAuto consults PBSM_RTREE_LAYOUT.
   /// Convenience wrapper over BulkLoadSorted for in-memory entry sets.
   static Result<RStarTree> BulkLoad(BufferPool* pool, const std::string& name,
                                     std::vector<RTreeEntry> entries,
-                                    double fill_factor = 0.75);
+                                    double fill_factor = 0.75,
+                                    NodeLayout layout = NodeLayout::kAuto);
 
   /// Yields the next entry in spatial sort order; false at end of stream.
   using EntryStream = std::function<Result<bool>(RTreeEntry*)>;
@@ -60,11 +71,14 @@ class RStarTree {
   /// Streaming bottom-up packer: consumes entries already in spatial sort
   /// order (e.g. from an external sort that respected the operator's memory
   /// budget) and packs leaves and upper levels at `fill_factor`. Only one
-  /// level of parent entries is held in memory.
+  /// level of parent entries is held in memory (plus, for non-AoS layouts,
+  /// the per-node ribbons built after packing).
   static Result<RStarTree> BulkLoadSorted(BufferPool* pool,
                                           const std::string& name,
                                           const EntryStream& next,
-                                          double fill_factor = 0.75);
+                                          double fill_factor = 0.75,
+                                          NodeLayout layout =
+                                              NodeLayout::kAuto);
 
   RStarTree(RStarTree&&) = default;
   RStarTree& operator=(RStarTree&&) = default;
@@ -94,6 +108,26 @@ class RStarTree {
                   std::vector<RTreeEntry>* entries) const;
 
   Result<RTreeStats> ComputeStats() const;
+
+  /// (Re)builds the in-memory node ribbons for the resolved layout by
+  /// walking the tree once; kAos clears them. Called by the bulk loaders;
+  /// exposed so a caller can re-accelerate a tree after mutations. Must not
+  /// race with concurrent readers — build before sharing the tree.
+  Status BuildRibbons(NodeLayout layout);
+
+  /// The in-memory node layout currently active (kAos when ribbons are
+  /// absent or were invalidated by Insert/Delete).
+  NodeLayout layout() const { return layout_; }
+
+  /// The ribbon of node `page_no`, or nullptr when none is built (AoS
+  /// layout, or a page this tree never ribboned). Ribbons are immutable
+  /// after the bulk load, so concurrent const readers need no locking.
+  const NodeRibbon* ribbon(uint32_t page_no) const {
+    if (page_no >= ribbons_.size() || !ribbons_[page_no].built()) {
+      return nullptr;
+    }
+    return &ribbons_[page_no];
+  }
 
   uint32_t root_page() const { return root_page_; }
   uint16_t height() const { return height_; }
@@ -146,11 +180,23 @@ class RStarTree {
                            std::vector<RTreeEntry>* group_a,
                            std::vector<RTreeEntry>* group_b);
 
+  /// Drops all ribbons and falls back to the AoS page-scan path; called by
+  /// the mutating operations (a single Insert/Delete restructures pages the
+  /// ribbons mirror).
+  void InvalidateRibbons() {
+    ribbons_.clear();
+    layout_ = NodeLayout::kAos;
+  }
+
   BufferPool* pool_ = nullptr;
   FileId file_ = kInvalidFileId;
   uint32_t root_page_ = 0;
   uint16_t height_ = 1;
   uint64_t num_entries_ = 0;
+  /// Active in-memory layout; ribbons_ is indexed by page number (bulk load
+  /// allocates pages contiguously from 0, so the vector is dense).
+  NodeLayout layout_ = NodeLayout::kAos;
+  std::vector<NodeRibbon> ribbons_;
 };
 
 }  // namespace pbsm

@@ -7,6 +7,7 @@
 #include "core/refinement_engine.h"
 #include "core/selectivity.h"
 #include "core/spatial_join.h"
+#include "rtree/node_layout.h"
 #include "storage/catalog.h"
 
 namespace pbsm {
@@ -58,6 +59,16 @@ struct PlannerCosts {
   double index_build_per_tuple_log = 1.2e-7;  ///< x n*log2(n), per side.
   double rtree_traverse_per_tuple = 3.0e-7;
   double inl_probe_log = 3.0e-6;         ///< x n_probe*log2(n_indexed).
+
+  /// Node layout the index methods will run with; mirrors
+  /// JoinOptions::rtree_layout (same default — kAuto resolves through
+  /// PBSM_RTREE_LAYOUT at costing time).
+  NodeLayout node_layout = NodeLayout::kAuto;
+  /// Discount on the index-scan terms (rtree traversal, INL probes) when
+  /// node scans run on the in-memory SoA ribbons instead of AoS page
+  /// parsing — calibrated from bench_micro_rtree --compare-layouts, where
+  /// the ribbon probe path runs at >= 2x the AoS path.
+  double simd_node_scan_factor = 0.5;
   double hash_per_tuple = 2.3e-6;
   double zorder_per_tuple = 2.0e-6;
   double zorder_candidate_inflation = 4.0;  ///< Z-cell false-positive factor.
