@@ -3,9 +3,15 @@
 //
 // One-shot join:
 //   ./examples/spatial_join_cli R.wkt S.wkt [intersects|contains]
-//                               [pbsm|parallel_pbsm|rtree|inl|spatial_hash|zorder]
+//                               [pbsm|parallel_pbsm|rtree|inl|spatial_hash|zorder|auto]
 //                               [--refine-mode=exact|adaptive|approximate]
 //                               [--fault-profile=SPEC] [--shards=N]
+//                               [--explain]
+//
+// --explain prints the planned operator tree with per-operator cost
+// estimates (the planner's cost table plus the exec-layer tree that would
+// run) and exits WITHOUT executing the join. The method operand may be
+// `auto` here, showing what the cost-based planner would pick.
 //
 // Service mode (long-running, planner + index cache; see DESIGN.md
 // "Service layer" and "Sharded service"):
@@ -13,6 +19,7 @@
 //                               [--shards=N]
 // then issue commands on stdin, one per line:
 //   join <intersects|contains> [auto|pbsm|...] [timeout_seconds]
+//   explain <intersects|contains> [auto|pbsm|...]
 //   stats
 //   quit
 //
@@ -51,7 +58,9 @@
 
 #include "core/spatial_join.h"
 #include "datagen/loader.h"
+#include "exec/plan_builder.h"
 #include "geom/wkt.h"
+#include "service/join_planner.h"
 #include "service/join_router.h"
 #include "service/join_service.h"
 #include "service/shard_manager.h"
@@ -71,9 +80,10 @@ void PrintUsage(std::FILE* out) {
       out,
       "usage: spatial_join_cli R.wkt S.wkt [intersects|contains]\n"
       "                        [pbsm|parallel_pbsm|rtree|inl|spatial_hash|"
-      "zorder]\n"
+      "zorder|auto]\n"
       "                        [--refine-mode=exact|adaptive|approximate]\n"
-      "                        [--fault-profile=SPEC] [--shards=N]\n"
+      "                        [--fault-profile=SPEC] [--shards=N] "
+      "[--explain]\n"
       "       spatial_join_cli serve R.wkt S.wkt [--workers=N] [--queue=N]\n"
       "                        [--refine-mode=MODE] [--fault-profile=SPEC]\n"
       "                        [--shards=N]\n");
@@ -91,6 +101,9 @@ struct CliFlags {
   /// mode this becomes each request's refine_mode override, so the
   /// planner's cost model follows it too.
   std::optional<RefineMode> refine_mode;
+  /// One-shot mode: print the planned operator tree with per-operator cost
+  /// estimates and exit without executing.
+  bool explain = false;
 };
 
 /// Splits argv into flags and positionals; false (usage error) on any
@@ -109,6 +122,12 @@ bool ParseArgs(int argc, const char** argv, CliFlags* flags,
         eq == std::string::npos ? "" : arg.substr(eq + 1);
     if (name == "--fault-profile") {
       flags->fault_profile = value;
+    } else if (name == "--explain") {
+      if (eq != std::string::npos) {
+        std::fprintf(stderr, "--explain takes no value\n");
+        return false;
+      }
+      flags->explain = true;
     } else if (name == "--refine-mode") {
       auto mode = ParseRefineMode(value);
       if (!mode.ok()) {
@@ -356,7 +375,8 @@ int RunServe(const CliFlags& flags, const std::string& r_path,
   }
 
   std::printf("serving R=%s (%llu) S=%s (%llu); commands: "
-              "join <pred> [method|auto] [timeout_s] | stats | quit\n",
+              "join <pred> [method|auto] [timeout_s] | "
+              "explain <pred> [method|auto] | stats | quit\n",
               r_path.c_str(), (unsigned long long)r->info.cardinality,
               s_path.c_str(), (unsigned long long)s->info.cardinality);
   std::fflush(stdout);
@@ -381,7 +401,7 @@ int RunServe(const CliFlags& flags, const std::string& r_path,
       continue;
     }
 
-    if (cmd != "join") {
+    if (cmd != "join" && cmd != "explain") {
       std::printf("ERR unknown command '%s'\n", cmd.c_str());
       std::fflush(stdout);
       continue;
@@ -413,6 +433,26 @@ int RunServe(const CliFlags& flags, const std::string& r_path,
         continue;
       }
       request.method = *method;
+    }
+
+    if (cmd == "explain") {
+      // Plan without executing: cost table, costed tree, exec-layer tree.
+      auto explained = service.Explain(request);
+      if (!explained.ok()) {
+        std::printf("ERR %s\n", explained.status().ToString().c_str());
+      } else {
+        std::printf("EXPLAIN method=%.*s%s\nplan: %s\n",
+                    (int)JoinMethodName(explained->method).size(),
+                    JoinMethodName(explained->method).data(),
+                    explained->planner_chosen ? " (planned)" : " (forced)",
+                    explained->plan.c_str());
+        if (!explained->cost_tree.empty()) {
+          std::printf("costed tree:\n%s\n", explained->cost_tree.c_str());
+        }
+        std::printf("operator tree:\n%s", explained->tree.c_str());
+      }
+      std::fflush(stdout);
+      continue;
     }
 
     auto response = service.Execute(std::move(request));
@@ -476,10 +516,21 @@ int RunCli(int argc, const char** argv) {
     std::fprintf(stderr, "unknown predicate '%s'\n", pred_name.c_str());
     return kExitUsage;
   }
-  const auto method = ParseJoinMethod(algo);
-  if (!method.has_value()) {
-    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
-    return kExitUsage;
+  std::optional<JoinMethod> method;
+  if (algo == "auto") {
+    // The one-shot join path runs a fixed method; `auto` only makes sense
+    // when just planning (--explain) or in serve mode (planner per query).
+    if (!flags.explain) {
+      std::fprintf(stderr,
+                   "method 'auto' needs --explain or serve mode\n");
+      return kExitUsage;
+    }
+  } else {
+    method = ParseJoinMethod(algo);
+    if (!method.has_value()) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+      return kExitUsage;
+    }
   }
 
   auto r_tuples = ReadWktFile(r_path);
@@ -513,6 +564,38 @@ int RunCli(int argc, const char** argv) {
     std::fprintf(stderr, "load failed: %s\n",
                  (!r.ok() ? r.status() : s.status()).ToString().c_str());
     return kExitRuntime;
+  }
+
+  if (flags.explain) {
+    // Plan only: the cost table, the planner's costed operator tree, and
+    // the exec-layer tree that would be driven. Nothing executes — no
+    // index builds, no heap scans beyond the load above.
+    JoinSpec spec;
+    spec.predicate = pred;
+    spec.options.memory_budget_bytes = 8 << 20;
+    spec.options.use_mer_filter = pred == SpatialPredicate::kContains;
+    if (flags.refine_mode.has_value()) {
+      spec.options.refine.mode = *flags.refine_mode;
+    }
+    PlannerCosts costs;
+    costs.dedup_mode = spec.options.dedup_mode;
+    costs.refine_mode = spec.options.refine.mode;
+    const PlannerSide pr{&r->info, nullptr, false};
+    const PlannerSide ps{&s->info, nullptr, false};
+    const PlanChoice plan = PlanJoin(pr, ps, 0, costs);
+    spec.method = method.value_or(plan.method);
+    std::printf("plan: %s\n", plan.ToString().c_str());
+    if (spec.method == plan.method) {
+      std::printf("costed tree:\n%s\n", plan.TreeString().c_str());
+    }
+    const std::unique_ptr<Operator> tree =
+        BuildJoinTree(r->AsInput(), s->AsInput(), spec);
+    std::printf("operator tree (%.*s):\n%s",
+                (int)JoinMethodName(spec.method).size(),
+                JoinMethodName(spec.method).data(),
+                DescribeTree(*tree).c_str());
+    std::filesystem::remove_all(dir);
+    return kExitOk;
   }
 
   // Result pairs are reported as input line numbers (tuple ids).

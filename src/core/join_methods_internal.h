@@ -5,12 +5,20 @@
 // are the functions the SpatialJoin facade (core/spatial_join.h) dispatches
 // to; they carry no tracing, metrics capture, or orientation handling of
 // their own. External callers — tests, benches, examples, the service —
-// go through the facade; only src/core/*.cc includes this header.
+// go through the facade; only src/core/*.cc and the operator engine in
+// src/exec/*.cc include this header.
+//
+// Each method exists in two granularities: the XxxJoin functions run
+// filter + refinement end to end (the legacy monolithic entry points), and
+// the XxxFilter functions run the filter step only, appending candidate
+// OID pairs to a caller-owned CandidateSorter — the form the exec layer's
+// FilterJoinOp wraps so refinement can live behind its own operator.
 
 #include "common/status.h"
 #include "core/join_cost.h"
 #include "core/join_options.h"
 #include "core/parallel_stats.h"
+#include "core/refinement.h"
 #include "rtree/rstar_tree.h"
 #include "storage/buffer_pool.h"
 
@@ -201,6 +209,60 @@ Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
                                      SpatialPredicate pred,
                                      const ZOrderJoinOptions& options,
                                      const ResultSink& sink = {});
+
+// --- Filter-only entry points (candidate producers) ---
+//
+// Each runs its method's filter phases (recorded into `*breakdown` under
+// the same phase names the monolithic function uses) and appends candidate
+// OID pairs to `*sorter` without calling Finish() on it. Pairs are in the
+// caller's (r, s) orientation. Cancellation is polled at the same points
+// as the monolithic paths.
+
+/// PBSM filter: partition both inputs, merge each partition pair with the
+/// plane sweep (§3.1/§3.4/§3.5). Phases "partition <r>", "partition <s>",
+/// "merge partitions".
+Status PbsmFilter(BufferPool* pool, const JoinInput& r, const JoinInput& s,
+                  const JoinOptions& opts, CandidateSorter* sorter,
+                  JoinCostBreakdown* breakdown);
+
+/// BKS93 tree-join filter: bulk loads missing indexes, runs the
+/// synchronized traversal, and drops any index it built before returning.
+/// Phases "build index <name>" (per missing side), "join trees".
+Status RtreeFilter(BufferPool* pool, const JoinInput& r, const JoinInput& s,
+                   const JoinOptions& opts, CandidateSorter* sorter,
+                   JoinCostBreakdown* breakdown,
+                   const RStarTree* r_index = nullptr,
+                   const RStarTree* s_index = nullptr);
+
+/// INL filter: builds (or reuses) the index over `indexed`, probes it with
+/// every `probing` tuple, and emits each window-query hit as a candidate
+/// pair — WITHOUT the inline exact test the monolithic INL performs, so
+/// the exec layer can refine behind the operator boundary. Pairs are
+/// emitted as (indexed, probing) when `emit_indexed_first`, else flipped —
+/// the caller passes the flag restoring its own (r, s) orientation. Any
+/// index built here is dropped before returning. Phases
+/// "build index <name>" (when building), "probe index".
+Status InlFilter(BufferPool* pool, const JoinInput& indexed,
+                 const JoinInput& probing, const JoinOptions& opts,
+                 CandidateSorter* sorter, JoinCostBreakdown* breakdown,
+                 const RStarTree* preexisting_index = nullptr,
+                 bool emit_indexed_first = true);
+
+/// Spatial hash filter (LR96): sample R, build bucket extents, partition
+/// both inputs, sweep each bucket pair. Phases "sample <r>",
+/// "partition <r>", "partition <s>", "merge buckets".
+Status SpatialHashFilter(BufferPool* pool, const JoinInput& r,
+                         const JoinInput& s,
+                         const SpatialHashJoinOptions& options,
+                         CandidateSorter* sorter,
+                         JoinCostBreakdown* breakdown);
+
+/// Z-order filter (Ore86/OM88): quadtree-decompose both inputs into sorted
+/// z-interval lists, merge with containment stacks. Phases
+/// "transform <r>", "transform <s>", "merge z-lists".
+Status ZOrderFilter(BufferPool* pool, const JoinInput& r, const JoinInput& s,
+                    const ZOrderJoinOptions& options, CandidateSorter* sorter,
+                    JoinCostBreakdown* breakdown);
 
 }  // namespace pbsm
 

@@ -9,6 +9,7 @@
 
 #include "common/stats.h"
 #include "core/plane_sweep_join.h"
+#include "core/spatial_join.h"
 #include "core/refinement.h"
 #include "core/spatial_partitioner.h"
 #include "core/sweep_kernel.h"
@@ -101,7 +102,7 @@ double ParallelPbsmReport::WorkerCostCov(double cpu_scale) const {
   return ComputeStats(costs).CoefficientOfVariation();
 }
 
-Result<ParallelPbsmReport> SimulateParallelPbsm(
+static Result<ParallelPbsmReport> SimulateParallelPbsmImpl(
     BufferPool* pool, const JoinInput& r, const JoinInput& s,
     SpatialPredicate pred, const ParallelPbsmOptions& options,
     const ResultSink& sink) {
@@ -240,6 +241,21 @@ Result<ParallelPbsmReport> SimulateParallelPbsm(
     if (inputs[w].s_heap.has_value()) {
       PBSM_RETURN_IF_ERROR(pool->DropFile(inputs[w].s_heap->file()));
     }
+  }
+  return report;
+}
+
+Result<ParallelPbsmReport> SimulateParallelPbsm(
+    BufferPool* pool, const JoinInput& r, const JoinInput& s,
+    SpatialPredicate pred, const ParallelPbsmOptions& options,
+    const ResultSink& sink) {
+  Result<ParallelPbsmReport> report =
+      SimulateParallelPbsmImpl(pool, r, s, pred, options, sink);
+  // This legacy entry point bypasses the SpatialJoin facade, so it must
+  // do the facade's failure accounting itself or failed simulations
+  // vanish from join.failures.* dashboards.
+  if (!report.ok()) {
+    CountJoinFailure(JoinMethod::kParallelPbsm, report.status());
   }
   return report;
 }

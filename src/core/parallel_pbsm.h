@@ -72,6 +72,13 @@ struct ParallelPbsmReport {
 /// serially on this machine while accounting each worker's CPU and I/O
 /// separately. Results are de-duplicated globally (an object pair can meet
 /// at several workers when both objects are replicated).
+///
+/// Legacy (deprecated for production use): this predates the SpatialJoin
+/// facade and is kept for the §5 cost-model benches. It carries no facade
+/// tracing or metrics of its own, except failure accounting — non-OK
+/// returns count into join.failures.parallel_pbsm /
+/// join.cancelled.parallel_pbsm via CountJoinFailure, like every
+/// facade-dispatched join.
 Result<ParallelPbsmReport> SimulateParallelPbsm(
     BufferPool* pool, const JoinInput& r, const JoinInput& s,
     SpatialPredicate pred, const ParallelPbsmOptions& options,

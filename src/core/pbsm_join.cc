@@ -237,11 +237,9 @@ Status MergePair(BufferPool* pool, SpoolFile* r_spool, SpoolFile* s_spool,
 
 }  // namespace
 
-Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
-                                   const JoinInput& s, SpatialPredicate pred,
-                                   const JoinOptions& opts,
-                                   const ResultSink& sink) {
-  JoinCostBreakdown breakdown;
+Status PbsmFilter(BufferPool* pool, const JoinInput& r, const JoinInput& s,
+                  const JoinOptions& opts, CandidateSorter* sorter,
+                  JoinCostBreakdown* breakdown) {
   DiskManager* disk = pool->disk();
 
   // The partitioning function must see both inputs, so the universe is the
@@ -260,8 +258,8 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
   const uint32_t num_tiles = std::max(opts.num_tiles, num_partitions);
   const SpatialPartitioner partitioner(universe, num_tiles, num_partitions,
                                        opts.mapping);
-  breakdown.num_partitions = num_partitions;
-  breakdown.num_tiles = partitioner.num_tiles();
+  breakdown->num_partitions = num_partitions;
+  breakdown->num_tiles = partitioner.num_tiles();
 
   // ---- Filter: partition both inputs. ----
   const bool two_layer = opts.dedup_mode == DedupMode::kTwoLayer;
@@ -277,29 +275,28 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
 
   {
     const std::string phase = "partition " + r.info.name;
-    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseCost& cost = breakdown->AddPhase(phase);
     PhaseTimer timer(disk, &cost, phase);
     PBSM_RETURN_IF_ERROR(
         two_layer ? PartitionInputClassed(*r.heap, partitioner, &r_spools,
-                                          &breakdown.replicated)
+                                          &breakdown->replicated)
                   : PartitionInput(*r.heap, partitioner, &r_spools,
-                                   &breakdown.replicated));
+                                   &breakdown->replicated));
   }
   {
     const std::string phase = "partition " + s.info.name;
-    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseCost& cost = breakdown->AddPhase(phase);
     PhaseTimer timer(disk, &cost, phase);
     PBSM_RETURN_IF_ERROR(
         two_layer ? PartitionInputClassed(*s.heap, partitioner, &s_spools,
-                                          &breakdown.replicated)
+                                          &breakdown->replicated)
                   : PartitionInput(*s.heap, partitioner, &s_spools,
-                                   &breakdown.replicated));
+                                   &breakdown->replicated));
   }
 
   // ---- Filter: merge each partition pair with the plane sweep. ----
-  CandidateSorter sorter(pool, opts.memory_budget_bytes, OidPairLess{});
   {
-    PhaseCost& cost = breakdown.AddPhase("merge partitions");
+    PhaseCost& cost = breakdown->AddPhase("merge partitions");
     PhaseTimer timer(disk, &cost, "merge partitions");
     for (uint32_t p = 0; p < num_partitions; ++p) {
       if (opts.cancel != nullptr && opts.cancel->is_cancelled()) {
@@ -310,13 +307,25 @@ Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
       }
       PBSM_RETURN_IF_ERROR(
           two_layer ? MergePairTwoLayer(&r_spools[p], &s_spools[p], opts,
-                                        &sorter, &breakdown)
+                                        sorter, breakdown)
                     : MergePair(pool, &r_spools[p], &s_spools[p], universe,
-                                opts, /*depth=*/0, &sorter, &breakdown));
+                                opts, /*depth=*/0, sorter, breakdown));
       PBSM_RETURN_IF_ERROR(r_spools[p].Drop());
       PBSM_RETURN_IF_ERROR(s_spools[p].Drop());
     }
   }
+  return Status::OK();
+}
+
+Result<JoinCostBreakdown> PbsmJoin(BufferPool* pool, const JoinInput& r,
+                                   const JoinInput& s, SpatialPredicate pred,
+                                   const JoinOptions& opts,
+                                   const ResultSink& sink) {
+  JoinCostBreakdown breakdown;
+  DiskManager* disk = pool->disk();
+
+  CandidateSorter sorter(pool, opts.memory_budget_bytes, OidPairLess{});
+  PBSM_RETURN_IF_ERROR(PbsmFilter(pool, r, s, opts, &sorter, &breakdown));
 
   // ---- Refinement. ----
   {

@@ -192,19 +192,16 @@ Status JoinNodes(const RStarTree& r_tree, uint32_t r_page,
 
 }  // namespace
 
-Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
-                                    const JoinInput& s, SpatialPredicate pred,
-                                    const JoinOptions& opts,
-                                    const ResultSink& sink,
-                                    const RStarTree* r_index,
-                                    const RStarTree* s_index) {
-  JoinCostBreakdown breakdown;
+Status RtreeFilter(BufferPool* pool, const JoinInput& r, const JoinInput& s,
+                   const JoinOptions& opts, CandidateSorter* sorter,
+                   JoinCostBreakdown* breakdown, const RStarTree* r_index,
+                   const RStarTree* s_index) {
   DiskManager* disk = pool->disk();
 
   std::optional<RStarTree> r_built, s_built;
   if (r_index == nullptr) {
     const std::string phase = "build index " + r.info.name;
-    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseCost& cost = breakdown->AddPhase(phase);
     PhaseTimer timer(disk, &cost, phase);
     PBSM_ASSIGN_OR_RETURN(
         RStarTree tree,
@@ -216,7 +213,7 @@ Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
   }
   if (s_index == nullptr) {
     const std::string phase = "build index " + s.info.name;
-    PhaseCost& cost = breakdown.AddPhase(phase);
+    PhaseCost& cost = breakdown->AddPhase(phase);
     PhaseTimer timer(disk, &cost, phase);
     PBSM_ASSIGN_OR_RETURN(
         RStarTree tree,
@@ -227,27 +224,43 @@ Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
     s_index = &*s_built;
   }
 
-  CandidateSorter sorter(pool, opts.memory_budget_bytes, OidPairLess{});
   {
-    PhaseCost& cost = breakdown.AddPhase("join trees");
+    PhaseCost& cost = breakdown->AddPhase("join trees");
     PhaseTimer timer(disk, &cost, "join trees");
     PBSM_RETURN_IF_ERROR(JoinNodes(*r_index, r_index->root_page(), *s_index,
-                                   s_index->root_page(), opts, &sorter,
-                                   &breakdown));
+                                   s_index->root_page(), opts, sorter,
+                                   breakdown));
   }
+
+  // Indexes built for this join are filter-local scratch: once the
+  // candidates are in the sorter, nothing downstream touches them.
+  if (r_built.has_value()) {
+    PBSM_RETURN_IF_ERROR(pool->DropFile(r_built->file()));
+  }
+  if (s_built.has_value()) {
+    PBSM_RETURN_IF_ERROR(pool->DropFile(s_built->file()));
+  }
+  return Status::OK();
+}
+
+Result<JoinCostBreakdown> RtreeJoin(BufferPool* pool, const JoinInput& r,
+                                    const JoinInput& s, SpatialPredicate pred,
+                                    const JoinOptions& opts,
+                                    const ResultSink& sink,
+                                    const RStarTree* r_index,
+                                    const RStarTree* s_index) {
+  JoinCostBreakdown breakdown;
+  DiskManager* disk = pool->disk();
+
+  CandidateSorter sorter(pool, opts.memory_budget_bytes, OidPairLess{});
+  PBSM_RETURN_IF_ERROR(RtreeFilter(pool, r, s, opts, &sorter, &breakdown,
+                                   r_index, s_index));
 
   {
     PhaseCost& cost = breakdown.AddPhase("refinement");
     PhaseTimer timer(disk, &cost, "refinement");
     PBSM_RETURN_IF_ERROR(RefineCandidates(&sorter, r, s, pred, opts, sink,
                                           &breakdown));
-  }
-
-  if (r_built.has_value()) {
-    PBSM_RETURN_IF_ERROR(pool->DropFile(r_built->file()));
-  }
-  if (s_built.has_value()) {
-    PBSM_RETURN_IF_ERROR(pool->DropFile(s_built->file()));
   }
   return breakdown;
 }

@@ -16,11 +16,12 @@
 
 namespace pbsm {
 
-Result<JoinCostBreakdown> SpatialHashJoin(
-    BufferPool* pool, const JoinInput& r, const JoinInput& s,
-    SpatialPredicate pred, const SpatialHashJoinOptions& options,
-    const ResultSink& sink) {
-  JoinCostBreakdown breakdown;
+Status SpatialHashFilter(BufferPool* pool, const JoinInput& r,
+                         const JoinInput& s,
+                         const SpatialHashJoinOptions& options,
+                         CandidateSorter* sorter,
+                         JoinCostBreakdown* bd) {
+  JoinCostBreakdown& breakdown = *bd;
   DiskManager* disk = pool->disk();
   const Rect universe = Rect::Union(r.info.universe, s.info.universe);
   if (universe.empty()) {
@@ -151,8 +152,6 @@ Result<JoinCostBreakdown> SpatialHashJoin(
   }
 
   // ---- Join each bucket pair with the plane sweep. ----
-  CandidateSorter sorter(pool, options.join.memory_budget_bytes,
-                         OidPairLess{});
   {
     PhaseCost& cost = breakdown.AddPhase("merge buckets");
     PhaseTimer timer(disk, &cost, "merge buckets");
@@ -163,7 +162,7 @@ Result<JoinCostBreakdown> SpatialHashJoin(
         Status append_status;
         auto batch_sink = [&](const OidPair* pairs, size_t n) {
           if (!append_status.ok()) return;
-          append_status = sorter.AddBatch(pairs, n);
+          append_status = sorter->AddBatch(pairs, n);
           breakdown.candidates += n;
         };
         // Chunked sweep: R side in memory-bounded chunks against S chunks
@@ -197,6 +196,20 @@ Result<JoinCostBreakdown> SpatialHashJoin(
       PBSM_RETURN_IF_ERROR(s_spools[b].Drop());
     }
   }
+  return Status::OK();
+}
+
+Result<JoinCostBreakdown> SpatialHashJoin(
+    BufferPool* pool, const JoinInput& r, const JoinInput& s,
+    SpatialPredicate pred, const SpatialHashJoinOptions& options,
+    const ResultSink& sink) {
+  JoinCostBreakdown breakdown;
+  DiskManager* disk = pool->disk();
+
+  CandidateSorter sorter(pool, options.join.memory_budget_bytes,
+                         OidPairLess{});
+  PBSM_RETURN_IF_ERROR(
+      SpatialHashFilter(pool, r, s, options, &sorter, &breakdown));
 
   // ---- Shared refinement. R is never replicated, but one S tuple can
   // meet the same R tuple through... it cannot: R lives in exactly one

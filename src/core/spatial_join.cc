@@ -1,12 +1,9 @@
 #include "core/spatial_join.h"
 
 #include <string>
-#include <utility>
 
 #include "common/logging.h"
-#include "common/stopwatch.h"
-#include "common/trace.h"
-#include "core/join_methods_internal.h"
+#include "common/metrics.h"
 
 namespace pbsm {
 
@@ -43,122 +40,20 @@ std::optional<JoinMethod> ParseJoinMethod(std::string_view name) {
   return std::nullopt;
 }
 
-namespace {
-
-/// Dispatches to the internal entry point for `spec.method`.
-Result<JoinCostBreakdown> Dispatch(BufferPool* pool, const JoinInput& r,
-                                   const JoinInput& s, const JoinSpec& spec) {
-  switch (spec.method) {
-    case JoinMethod::kPbsm:
-      return PbsmJoin(pool, r, s, spec.predicate, spec.options, spec.sink);
-
-    case JoinMethod::kParallelPbsm:
-      return ParallelPbsmJoin(pool, r, s, spec.predicate, spec.options,
-                              spec.sink, spec.parallel_stats);
-
-    case JoinMethod::kInl: {
-      // INL indexes one side and probes with the other. Prefer a side with
-      // a pre-existing index; otherwise index the smaller input (the
-      // paper's choice). The facade's contract is pred(r, s) and sink
-      // pairs oriented (r, s), so when s is the indexed side we flip the
-      // predicate orientation flag and swap the emitted pair (INL emits
-      // (indexed, probing)).
-      const bool index_s =
-          spec.s_index != nullptr ||
-          (spec.r_index == nullptr &&
-           s.info.cardinality < r.info.cardinality);
-      const JoinInput& indexed = index_s ? s : r;
-      const JoinInput& probing = index_s ? r : s;
-      const RStarTree* index = index_s ? spec.s_index : spec.r_index;
-      ResultSink oriented = spec.sink;
-      if (index_s && spec.sink) {
-        const ResultSink& user = spec.sink;
-        oriented = [&user](Oid a, Oid b) { user(b, a); };
-      }
-      return IndexedNestedLoopsJoin(pool, indexed, probing, spec.predicate,
-                                    spec.options, oriented, index,
-                                    /*indexed_is_left=*/!index_s);
-    }
-
-    case JoinMethod::kRtree:
-      return RtreeJoin(pool, r, s, spec.predicate, spec.options, spec.sink,
-                       spec.r_index, spec.s_index);
-
-    case JoinMethod::kSpatialHash: {
-      SpatialHashJoinOptions options;
-      options.num_buckets = spec.hash.num_buckets;
-      options.sample_fraction = spec.hash.sample_fraction;
-      options.join = spec.options;
-      return SpatialHashJoin(pool, r, s, spec.predicate, options, spec.sink);
-    }
-
-    case JoinMethod::kZOrder: {
-      ZOrderJoinOptions options;
-      options.max_level = spec.zorder.max_level;
-      options.max_cells_per_object = spec.zorder.max_cells_per_object;
-      options.join = spec.options;
-      return ZOrderJoin(pool, r, s, spec.predicate, options, spec.sink);
-    }
-  }
-  PBSM_CHECK(false) << "unknown JoinMethod "
-                    << static_cast<int>(spec.method);
+void CountJoinFailure(JoinMethod method, const Status& status) {
+  if (status.ok()) return;
+  // Cancellations are not failures: they are the service tearing down
+  // work on purpose, and alerting on them as errors would be noise.
+  const bool cancelled = status.code() == StatusCode::kCancelled;
+  MetricsRegistry::Global()
+      .GetCounter((cancelled ? "join.cancelled." : "join.failures.") +
+                  std::string(JoinMethodName(method)))
+      ->Add();
 }
 
-}  // namespace
-
-Result<JoinResult> SpatialJoin(BufferPool* pool, const JoinInput& r,
-                               const JoinInput& s, const JoinSpec& spec) {
-  MetricsRegistry& metrics = MetricsRegistry::Global();
-  const MetricsSnapshot before = metrics.Snapshot();
-  const std::string span_name =
-      "join/" + std::string(JoinMethodName(spec.method));
-  Stopwatch watch;
-
-  JoinResult result;
-  result.method = spec.method;
-  {
-    TraceSpan span(span_name);
-    // A query cancelled while queued (service timeout before dispatch)
-    // never starts executing.
-    if (spec.options.cancel != nullptr &&
-        spec.options.cancel->is_cancelled()) {
-      metrics
-          .GetCounter("join.cancelled." +
-                      std::string(JoinMethodName(spec.method)))
-          ->Add();
-      return spec.options.cancel->CancellationStatus();
-    }
-    Result<JoinCostBreakdown> dispatched = Dispatch(pool, r, s, spec);
-    if (!dispatched.ok()) {
-      // Cancellations are not failures: they are the service tearing down
-      // work on purpose, and alerting on them as errors would be noise.
-      const bool cancelled =
-          dispatched.status().code() == StatusCode::kCancelled;
-      metrics
-          .GetCounter((cancelled ? "join.cancelled." : "join.failures.") +
-                      std::string(JoinMethodName(spec.method)))
-          ->Add();
-      return dispatched.status();
-    }
-    result.breakdown = std::move(dispatched).value();
-  }
-  result.wall_seconds = watch.ElapsedSeconds();
-  result.num_results = result.breakdown.results;
-
-  // Mirror the breakdown's filter/refinement counters into the registry so
-  // metrics consumers see them without holding a JoinResult.
-  metrics.GetCounter("join.candidates")->Add(result.breakdown.candidates);
-  metrics.GetCounter("join.results")->Add(result.breakdown.results);
-  metrics.GetCounter("join.duplicates_removed")
-      ->Add(result.breakdown.duplicates_removed);
-  metrics.GetCounter("join.replicated")->Add(result.breakdown.replicated);
-  metrics.GetCounter("join.repartitioned_pairs")
-      ->Add(result.breakdown.repartitioned_pairs);
-  metrics.GetCounter(
-      "join.runs." + std::string(JoinMethodName(spec.method)))->Add();
-
-  result.metrics = metrics.Snapshot().Delta(before);
-  return result;
-}
+// The SpatialJoin facade itself lives in src/exec/spatial_join.cc: it
+// builds and drives an operator tree (or dispatches to the monolithic
+// entry points under JoinEngine::kMonolith), which the core library cannot
+// do without depending on the exec layer above it.
 
 }  // namespace pbsm

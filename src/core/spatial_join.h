@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/metrics.h"
 #include "common/status.h"
@@ -32,6 +33,35 @@ std::string_view JoinMethodName(JoinMethod method);
 /// Inverse of JoinMethodName; nullopt on an unknown identifier.
 std::optional<JoinMethod> ParseJoinMethod(std::string_view name);
 
+/// Which execution engine the facade uses.
+enum class JoinEngine {
+  /// Pull-based operator tree (src/exec): FilterJoinOp -> RefineOp, with
+  /// selection pushdown and per-operator tracing/metrics. The default —
+  /// produces the exact result-pair set of the monolithic path.
+  kOperatorTree,
+  /// The legacy monolithic per-method entry points, kept as the
+  /// differential reference and for callers embedding the join in their
+  /// own pipelines.
+  kMonolith,
+};
+
+/// Window pushdown: only result pairs whose BOTH sides' MBRs intersect
+/// `window` are emitted to the sink. With the operator engine this runs as
+/// a SelectOp above the join; the monolithic engine applies it as a sink
+/// filter. The optional MBR maps skip the tuple fetch + parse per side;
+/// when null the side's MBR is read from its heap.
+struct WindowFilter {
+  Rect window;
+  const std::unordered_map<uint64_t, Rect>* r_mbrs = nullptr;
+  const std::unordered_map<uint64_t, Rect>* s_mbrs = nullptr;
+};
+
+/// Bumps "join.cancelled.<method>" for kCancelled statuses and
+/// "join.failures.<method>" for every other non-OK status; no-op on OK.
+/// The facade and the legacy non-facade entry points (SimulateParallelPbsm)
+/// both route their failure accounting through here.
+void CountJoinFailure(JoinMethod method, const Status& status);
+
 /// The complete specification of one spatial join: the algorithm, the exact
 /// predicate, the shared knobs, and per-algorithm option groups. Fields an
 /// algorithm does not use are ignored. The groups are plain nested structs
@@ -44,6 +74,16 @@ std::optional<JoinMethod> ParseJoinMethod(std::string_view name);
 struct JoinSpec {
   JoinMethod method = JoinMethod::kPbsm;
   SpatialPredicate predicate = SpatialPredicate::kIntersects;
+
+  /// Execution engine; kOperatorTree builds and drives a pull-based
+  /// operator tree, kMonolith calls the legacy per-method function.
+  /// Result pairs are identical either way.
+  JoinEngine engine = JoinEngine::kOperatorTree;
+
+  /// Optional window pushdown over the result pairs (see WindowFilter).
+  /// JoinResult.num_results still counts pre-window refined pairs; only
+  /// the sink sees the filtered stream.
+  std::optional<WindowFilter> window;
 
   /// Knobs shared by every algorithm (memory budget, tiles, thread count
   /// for the parallel executor, ...). Of note: options.dedup_mode selects

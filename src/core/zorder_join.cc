@@ -111,15 +111,13 @@ Status TransformInput(const HeapFile& heap, Decomposer* decomposer,
 
 }  // namespace
 
-Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
-                                     const JoinInput& s,
-                                     SpatialPredicate pred,
-                                     const ZOrderJoinOptions& options,
-                                     const ResultSink& sink) {
+Status ZOrderFilter(BufferPool* pool, const JoinInput& r, const JoinInput& s,
+                    const ZOrderJoinOptions& options, CandidateSorter* sorter,
+                    JoinCostBreakdown* bd) {
   if (options.max_level == 0 || options.max_level > 31) {
     return Status::InvalidArgument("max_level must be in [1, 31]");
   }
-  JoinCostBreakdown breakdown;
+  JoinCostBreakdown& breakdown = *bd;
   DiskManager* disk = pool->disk();
   const Rect universe = Rect::Union(r.info.universe, s.info.universe);
   if (universe.empty()) {
@@ -152,8 +150,7 @@ Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
       (r_elements - r.info.cardinality) + (s_elements - s.info.cardinality);
 
   // ---- 1-D merge with containment stacks. ----
-  CandidateSorter candidates(pool, options.join.memory_budget_bytes,
-                             OidPairLess{});
+  CandidateSorter& candidates = *sorter;
   {
     PhaseCost& cost = breakdown.AddPhase("merge z-lists");
     PhaseTimer timer(disk, &cost, "merge z-lists");
@@ -210,6 +207,21 @@ Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
     flush();
     PBSM_RETURN_IF_ERROR(append_status);
   }
+  return Status::OK();
+}
+
+Result<JoinCostBreakdown> ZOrderJoin(BufferPool* pool, const JoinInput& r,
+                                     const JoinInput& s,
+                                     SpatialPredicate pred,
+                                     const ZOrderJoinOptions& options,
+                                     const ResultSink& sink) {
+  JoinCostBreakdown breakdown;
+  DiskManager* disk = pool->disk();
+
+  CandidateSorter candidates(pool, options.join.memory_budget_bytes,
+                             OidPairLess{});
+  PBSM_RETURN_IF_ERROR(
+      ZOrderFilter(pool, r, s, options, &candidates, &breakdown));
 
   // ---- Shared refinement. ----
   {

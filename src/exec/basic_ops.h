@@ -1,0 +1,114 @@
+#ifndef PBSM_EXEC_BASIC_OPS_H_
+#define PBSM_EXEC_BASIC_OPS_H_
+
+// The non-join operators of the exec layer: heap scans, window selection,
+// projection, and count aggregation. The join operators live in
+// exec/join_ops.h.
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/join_options.h"
+#include "exec/operator.h"
+#include "geom/rect.h"
+#include "storage/heap_file.h"
+
+namespace pbsm {
+
+/// Heap scan producing one encoded OID per record (arity 1). With a
+/// `window`, each tuple is parsed and only those whose MBR intersects the
+/// window survive — the selection runs inside the scan (pushdown), so
+/// upstream operators never see the filtered-out rows.
+class ScanOp : public Operator {
+ public:
+  ScanOp(JoinInput input, std::optional<Rect> window = std::nullopt);
+
+  uint32_t arity() const override { return 1; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
+  Status CloseImpl() override;
+
+ private:
+  const JoinInput input_;
+  const std::optional<Rect> window_;
+  std::optional<HeapFile::Cursor> cursor_;
+  std::string record_;
+};
+
+/// Where SelectOp finds the MBR of one row column: a precomputed OID->MBR
+/// map (no I/O), or the column's heap (fetch + parse per row). A source
+/// with both members null leaves the column unconstrained.
+struct MbrSource {
+  const std::unordered_map<uint64_t, Rect>* mbrs = nullptr;
+  const HeapFile* heap = nullptr;
+};
+
+/// Window selection over any row stream: a row survives when every
+/// constrained column's MBR intersects `window`. Arity follows the child.
+class SelectOp : public Operator {
+ public:
+  /// `sources[i]` resolves column i; size must equal the child's arity.
+  SelectOp(std::unique_ptr<Operator> child, Rect window,
+           std::vector<MbrSource> sources);
+
+  uint32_t arity() const override { return child(0)->arity(); }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
+
+ private:
+  Result<bool> RowPasses(const uint64_t* row);
+
+  const Rect window_;
+  const std::vector<MbrSource> sources_;
+  RowBatch in_;
+  std::string record_;
+};
+
+/// Column projection (reorder / drop / duplicate columns).
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, std::vector<uint32_t> columns);
+
+  uint32_t arity() const override {
+    return static_cast<uint32_t>(columns_.size());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
+
+ private:
+  const std::vector<uint32_t> columns_;
+  RowBatch in_;
+};
+
+/// COUNT(*): drains the child and emits one arity-1 row holding the row
+/// count. The terminal operator of count-only plans (empty JoinSpec.sink).
+class CountAggOp : public Operator {
+ public:
+  explicit CountAggOp(std::unique_ptr<Operator> child);
+
+  uint32_t arity() const override { return 1; }
+
+  /// Valid after the (single) output batch has been produced.
+  uint64_t count() const { return count_; }
+
+ protected:
+  Status OpenImpl() override { return Status::OK(); }
+  Result<bool> NextImpl(RowBatch* out) override;
+
+ private:
+  RowBatch in_;
+  uint64_t count_ = 0;
+  bool emitted_ = false;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_EXEC_BASIC_OPS_H_

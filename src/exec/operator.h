@@ -1,0 +1,101 @@
+#ifndef PBSM_EXEC_OPERATOR_H_
+#define PBSM_EXEC_OPERATOR_H_
+
+// Pull-based operator interface (ROADMAP item 5, in the style of RDF-3X's
+// rts/operator layer): every relational piece of a spatial-join plan —
+// scans, the per-method candidate filters, refinement, selection pushdown,
+// projection, aggregation, nested multi-way joins — is an Operator with an
+// Open / Next-batch / Close life cycle, composed into trees by
+// exec/plan_builder.h.
+//
+// Operator contract:
+//  * Open(ctx) opens the children first, then the operator itself; it may
+//    be called exactly once. `ctx` must outlive the tree.
+//  * Next(out) returns true and fills `out` with >= 0 rows of the
+//    operator's arity, or false when the stream is exhausted (after which
+//    further calls keep returning false). Cancellation is polled at every
+//    Next — a tripped Canceller surfaces as its CancellationStatus with
+//    all open trace spans flushed.
+//  * Close() releases resources (cursors, sorters, buffered state); it is
+//    idempotent, safe after a failed Open or mid-stream abort, and closes
+//    children after the operator itself.
+//
+// Every Next is wrapped in an "exec/<op>" trace span and accounted into
+// the exec.<op>.batches / exec.<op>.rows_out / exec.<op>.ns counters.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/canceller.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/join_cost.h"
+#include "exec/row_batch.h"
+#include "storage/buffer_pool.h"
+
+namespace pbsm {
+
+/// Shared execution state of one operator tree.
+struct ExecContext {
+  BufferPool* pool = nullptr;
+  /// Polled at every batch boundary by Operator::Next. May be null.
+  Canceller* cancel = nullptr;
+  /// Target rows per batch (producers may emit less, never more).
+  size_t batch_rows = 4096;
+  /// Join operators record their phase costs and filter/refinement
+  /// counters here. May be null (counters are then kept per-operator and
+  /// dropped at Close).
+  JoinCostBreakdown* breakdown = nullptr;
+};
+
+/// Base class of every exec operator. Subclasses implement OpenImpl /
+/// NextImpl / CloseImpl; the base runs the shared per-batch machinery
+/// (cancellation, tracing, metrics) and the child life cycle.
+class Operator {
+ public:
+  /// `op` is the stable metric/span key ("scan", "filter_join", ...);
+  /// `detail` a human label for plan printing ("scan roads", ...).
+  Operator(std::string op, std::string detail);
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  Status Open(ExecContext* ctx);
+  Result<bool> Next(RowBatch* out);
+  Status Close();
+
+  /// Number of columns in every emitted row.
+  virtual uint32_t arity() const = 0;
+
+  const std::string& op() const { return op_; }
+  const std::string& detail() const { return detail_; }
+
+  Operator* AddChild(std::unique_ptr<Operator> child);
+  size_t num_children() const { return children_.size(); }
+  Operator* child(size_t i) const { return children_[i].get(); }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(RowBatch* out) = 0;
+  virtual Status CloseImpl() { return Status::OK(); }
+
+  ExecContext* ctx_ = nullptr;
+  std::vector<std::unique_ptr<Operator>> children_;
+
+ private:
+  const std::string op_;
+  const std::string detail_;
+  const std::string span_name_;
+  bool opened_ = false;
+  bool closed_ = false;
+  bool exhausted_ = false;
+  Counter* batches_;
+  Counter* rows_out_;
+  Counter* ns_;
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_EXEC_OPERATOR_H_

@@ -1,0 +1,68 @@
+#ifndef PBSM_EXEC_PLAN_BUILDER_H_
+#define PBSM_EXEC_PLAN_BUILDER_H_
+
+// Builds operator trees from join specifications and drives them: the glue
+// between the declarative JoinSpec / MultiwayJoinSpec world and the
+// pull-based operators of exec/join_ops.h.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spatial_join.h"
+#include "exec/operator.h"
+
+namespace pbsm {
+
+/// Receives every row the driven tree emits.
+using RowSink = std::function<void(const uint64_t* row, uint32_t arity)>;
+
+/// Builds the operator tree of one pairwise join:
+///
+///   [SelectOp (spec.window)] <- RefineOp <- FilterJoinOp(r, s)
+///
+/// (kParallelPbsm uses a single ParallelJoinOp instead of the
+/// filter/refine pair). spec.sink is ignored — the caller drives the tree
+/// and forwards rows itself.
+std::unique_ptr<Operator> BuildJoinTree(const JoinInput& r,
+                                        const JoinInput& s,
+                                        const JoinSpec& spec);
+
+/// One additional stage of a left-deep multi-way join: join `join_column`
+/// of the rows produced so far against `input` under `predicate`.
+struct MultiwayStage {
+  JoinInput input;
+  SpatialPredicate predicate = SpatialPredicate::kIntersects;
+  /// Column of the accumulated row to join on. Column k refers to the
+  /// relation at position k of [first, second, stages[0].input, ...].
+  uint32_t join_column = 0;
+};
+
+/// A left-deep multi-way join: `base` joins `first` with `second`
+/// (producing arity-2 rows), then each stage appends one column.
+struct MultiwayJoinSpec {
+  JoinInput first;
+  JoinInput second;
+  /// Method/options/predicate of the base pairwise join; sink and window
+  /// are ignored.
+  JoinSpec base;
+  std::vector<MultiwayStage> stages;
+};
+
+/// Builds base tree + one SpatialJoinOp per stage.
+std::unique_ptr<Operator> BuildMultiwayTree(const MultiwayJoinSpec& spec);
+
+/// Opens the tree, drains it into `sink` (which may be empty), and closes
+/// it — Close always runs, and the first error (open, next, or close) is
+/// returned.
+Status DriveTree(Operator* root, ExecContext* ctx, const RowSink& sink);
+
+/// Indented one-line-per-operator rendering of the tree, e.g.
+///   refine: refine roads x rails
+///     filter_join: pbsm filter roads x rails
+std::string DescribeTree(const Operator& root, int indent = 0);
+
+}  // namespace pbsm
+
+#endif  // PBSM_EXEC_PLAN_BUILDER_H_

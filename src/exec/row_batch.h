@@ -1,0 +1,44 @@
+#ifndef PBSM_EXEC_ROW_BATCH_H_
+#define PBSM_EXEC_ROW_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbsm {
+
+/// One batch of rows flowing between operators. A row is `arity` encoded
+/// OIDs (Oid::Encode values), row-major in one flat vector — a scan
+/// produces arity-1 rows, a pairwise join arity-2, each further join in a
+/// left-deep multi-way tree appends one column. Batches are reused across
+/// Next() calls (Reset keeps capacity), so steady-state execution does not
+/// allocate.
+struct RowBatch {
+  uint32_t arity = 0;
+  std::vector<uint64_t> data;
+
+  void Reset(uint32_t new_arity) {
+    arity = new_arity;
+    data.clear();
+  }
+  size_t num_rows() const {
+    return arity == 0 ? 0 : data.size() / arity;
+  }
+  bool empty() const { return data.empty(); }
+  void AppendRow(const uint64_t* row) {
+    data.insert(data.end(), row, row + arity);
+  }
+  void AppendRow1(uint64_t v) { data.push_back(v); }
+  void AppendRow2(uint64_t a, uint64_t b) {
+    data.push_back(a);
+    data.push_back(b);
+  }
+  const uint64_t* Row(size_t row) const { return data.data() + row * arity; }
+  uint64_t At(size_t row, uint32_t col) const {
+    return data[row * arity + col];
+  }
+};
+
+}  // namespace pbsm
+
+#endif  // PBSM_EXEC_ROW_BATCH_H_

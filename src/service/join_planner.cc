@@ -25,6 +25,19 @@ double BuildCost(const PlannerSide& side, const PlannerCosts& c) {
 
 }  // namespace
 
+std::string PlanChoice::TreeString() const {
+  std::string out;
+  for (const PlanOpEstimate& node : operator_tree) {
+    out.append(static_cast<size_t>(node.depth) * 2, ' ');
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " (rows~%.0f, est=%.4fs)\n",
+                  node.est_rows, node.est_seconds);
+    out += node.op + ": " + node.detail + buf;
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
 std::string PlanChoice::ToString() const {
   std::string out;
   for (size_t i = 0; i < alternatives.size(); ++i) {
@@ -146,6 +159,42 @@ PlanChoice PlanJoin(const PlannerSide& r, const PlannerSide& s,
                    });
   choice.method = choice.alternatives.front().method;
   choice.estimated_seconds = choice.alternatives.front().estimated_seconds;
+
+  // Render the chosen method as the operator tree BuildJoinTree will
+  // construct, splitting that method's total onto the operator that pays
+  // each term. `est_rows` out of the filter is the candidate estimate; the
+  // planner has no output-selectivity model, so refine reuses it as an
+  // upper bound.
+  const std::string pair_name = r.info->name + " x " + s.info->name;
+  const double filter_cost =
+      choice.estimated_seconds -
+      (choice.method == JoinMethod::kZOrder
+           ? refine * c.zorder_candidate_inflation
+           : refine);
+  switch (choice.method) {
+    case JoinMethod::kParallelPbsm:
+      choice.operator_tree.push_back({0, "parallel_join",
+                                      "parallel_pbsm " + pair_name, candidates,
+                                      choice.estimated_seconds});
+      break;
+    case JoinMethod::kZOrder:
+      choice.operator_tree.push_back({0, "refine", "refine " + pair_name,
+                                      candidates,
+                                      refine * c.zorder_candidate_inflation});
+      choice.operator_tree.push_back(
+          {1, "filter_join",
+           std::string(JoinMethodName(choice.method)) + " filter " + pair_name,
+           candidates * c.zorder_candidate_inflation, filter_cost});
+      break;
+    default:
+      choice.operator_tree.push_back(
+          {0, "refine", "refine " + pair_name, candidates, refine});
+      choice.operator_tree.push_back(
+          {1, "filter_join",
+           std::string(JoinMethodName(choice.method)) + " filter " + pair_name,
+           candidates, filter_cost});
+      break;
+  }
   return choice;
 }
 

@@ -28,6 +28,21 @@ struct MethodCost {
   double estimated_seconds = 0.0;
 };
 
+/// One operator of the planned tree, pre-order with explicit nesting depth
+/// (0 = root; a node's children follow it at depth + 1). `op` matches the
+/// exec-layer operator key (`refine`, `filter_join`, ...) so explain output
+/// lines up with the `exec.<op>.*` metrics the execution will emit.
+/// `est_rows` is the planner's row-count estimate flowing *out* of the
+/// operator — an upper bound for refine, whose output selectivity the
+/// planner does not model.
+struct PlanOpEstimate {
+  int depth = 0;
+  std::string op;
+  std::string detail;
+  double est_rows = 0.0;
+  double est_seconds = 0.0;
+};
+
 /// The planner's decision: the method to run plus the full cost table it
 /// was picked from (ascending by cost) and the shared candidate estimate.
 struct PlanChoice {
@@ -40,9 +55,15 @@ struct PlanChoice {
   /// rasterizes at the planner's precision instead of re-deriving it.
   uint32_t grid_order = 0;
   std::vector<MethodCost> alternatives;  ///< All six, cheapest first.
+  /// Pre-order operator tree the exec layer will build for the chosen
+  /// method, with the per-method cost split onto the operators that pay it.
+  std::vector<PlanOpEstimate> operator_tree;
 
   /// "pbsm(0.29s) > rtree(0.41s) > ..." for logs and `serve` explain.
   std::string ToString() const;
+  /// Indented one-operator-per-line rendering of `operator_tree` with the
+  /// per-operator row and cost estimates, for `--explain`.
+  std::string TreeString() const;
 };
 
 /// Cost-model coefficients (seconds per unit work), calibrated on the

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "exec/plan_builder.h"
 #include "storage/tuple.h"
 
 namespace pbsm {
@@ -130,6 +131,19 @@ Status JoinService::RegisterDataset(const std::string& name,
 }
 
 Status JoinService::DropDataset(const std::string& name) {
+  {
+    // A view's delta joins fetch counterpart tuples from the dataset heaps;
+    // dropping a referenced dataset would leave the view reading a heap the
+    // caller may now free. Make the dependency explicit instead.
+    std::lock_guard<std::mutex> lock(views_mutex_);
+    for (const auto& [view_name, entry] : views_) {
+      if (entry.r_dataset == name || entry.s_dataset == name) {
+        return Status::FailedPrecondition("dataset '" + name +
+                                          "' is referenced by view '" +
+                                          view_name + "'; drop the view first");
+      }
+    }
+  }
   DatasetRef dropped;
   {
     std::lock_guard<std::mutex> lock(datasets_mutex_);
@@ -205,6 +219,177 @@ Result<std::shared_ptr<JoinQuery>> JoinService::Submit(JoinRequest request) {
 Result<JoinResponse> JoinService::Execute(JoinRequest request) {
   PBSM_ASSIGN_OR_RETURN(const QueryRef query, Submit(std::move(request)));
   return query->Wait();
+}
+
+Result<ExplainResult> JoinService::Explain(const JoinRequest& request) const {
+  PBSM_ASSIGN_OR_RETURN(const DatasetRef r, FindDataset(request.r_dataset));
+  PBSM_ASSIGN_OR_RETURN(const DatasetRef s, FindDataset(request.s_dataset));
+  if (request.window.has_value() && (r->mbrs.empty() || s->mbrs.empty())) {
+    return Status::FailedPrecondition(
+        "window queries need datasets registered with build_stats");
+  }
+
+  JoinSpec spec;
+  spec.predicate = request.predicate;
+  spec.options = config_.join_defaults;
+  if (request.refine_mode.has_value()) {
+    spec.options.refine.mode = *request.refine_mode;
+  }
+
+  // Same planner call ExecuteJoin would make, including cache-warmth
+  // checks, so explain shows exactly what a Submit right now would run.
+  PlannerSide pr{&r->info, r->histogram.has_value() ? &*r->histogram : nullptr,
+                 cache_.Contains(JoinInput{r->heap, r->info},
+                                 config_.join_defaults.index_fill_factor)};
+  PlannerSide ps{&s->info, s->histogram.has_value() ? &*s->histogram : nullptr,
+                 cache_.Contains(JoinInput{s->heap, s->info},
+                                 config_.join_defaults.index_fill_factor)};
+  PlannerCosts costs;
+  costs.dedup_mode = spec.options.dedup_mode;
+  costs.refine_mode = spec.options.refine.mode;
+  const PlanChoice plan =
+      PlanJoin(pr, ps, config_.join_defaults.num_threads, costs);
+
+  ExplainResult out;
+  out.plan = plan.ToString();
+  if (request.method.has_value()) {
+    out.method = *request.method;
+    // The planner only costs the tree of its own choice; a forced method
+    // that happens to match still gets the costed rendering.
+    if (*request.method == plan.method) out.cost_tree = plan.TreeString();
+  } else {
+    out.method = plan.method;
+    out.planner_chosen = true;
+    out.cost_tree = plan.TreeString();
+  }
+  spec.method = out.method;
+  if (request.window.has_value()) {
+    spec.window = WindowFilter{*request.window, &r->mbrs, &s->mbrs};
+  }
+
+  // Build (but never open) the operator tree the exec layer would drive.
+  // No index is pinned and no heap page is touched — construction is pure.
+  const std::unique_ptr<Operator> tree =
+      BuildJoinTree(JoinInput{r->heap, r->info}, JoinInput{s->heap, s->info},
+                    spec);
+  out.tree = DescribeTree(*tree);
+  MetricsRegistry::Global().GetCounter("service.explains")->Add();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Materialized join views.
+// ---------------------------------------------------------------------------
+
+Status JoinService::CreateView(const std::string& view_name,
+                               const std::string& r_dataset,
+                               const std::string& s_dataset,
+                               SpatialPredicate predicate,
+                               uint32_t num_tiles) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is shut down");
+  }
+  {
+    std::lock_guard<std::mutex> lock(views_mutex_);
+    if (views_.find(view_name) != views_.end()) {
+      return Status::InvalidArgument("view '" + view_name +
+                                     "' already registered");
+    }
+  }
+  PBSM_ASSIGN_OR_RETURN(const DatasetRef r, FindDataset(r_dataset));
+  PBSM_ASSIGN_OR_RETURN(const DatasetRef s, FindDataset(s_dataset));
+
+  MaterializedJoinView::Config config;
+  config.name = view_name;
+  config.predicate = predicate;
+  config.num_tiles = num_tiles;
+  config.base.options = config_.join_defaults;
+  config.base.options.cancel = nullptr;  // Builds are not query-cancellable.
+  PBSM_ASSIGN_OR_RETURN(
+      std::unique_ptr<MaterializedJoinView> view,
+      MaterializedJoinView::Build(pool_, JoinInput{r->heap, r->info},
+                                  JoinInput{s->heap, s->info},
+                                  std::move(config)));
+
+  std::lock_guard<std::mutex> lock(views_mutex_);
+  const bool inserted =
+      views_
+          .emplace(view_name, ViewEntry{std::move(view), r_dataset, s_dataset})
+          .second;
+  if (!inserted) {
+    // Lost a race with a concurrent CreateView of the same name.
+    return Status::InvalidArgument("view '" + view_name +
+                                   "' already registered");
+  }
+  return Status::OK();
+}
+
+Status JoinService::DropView(const std::string& view_name) {
+  std::lock_guard<std::mutex> lock(views_mutex_);
+  auto it = views_.find(view_name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + view_name + "' not registered");
+  }
+  views_.erase(it);  // Streaming queries hold their own shared_ptr.
+  return Status::OK();
+}
+
+std::vector<std::string> JoinService::ListViews() const {
+  std::lock_guard<std::mutex> lock(views_mutex_);
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, entry] : views_) names.push_back(name);
+  return names;  // std::map iteration order is already sorted.
+}
+
+Result<uint64_t> JoinService::QueryView(const std::string& view_name,
+                                        const ResultSink& sink) const {
+  PBSM_ASSIGN_OR_RETURN(const ViewEntry entry, FindView(view_name));
+  TraceSpan span("service/query_view");
+  if (sink) entry.view->Emit(sink);
+  MetricsRegistry::Global().GetCounter("service.view_queries")->Add();
+  return entry.view->num_pairs();
+}
+
+Status JoinService::ViewInsert(const std::string& view_name,
+                               MaterializedJoinView::Side side, Oid oid,
+                               const Tuple& tuple) {
+  PBSM_ASSIGN_OR_RETURN(const ViewEntry entry, FindView(view_name));
+  PBSM_RETURN_IF_ERROR(entry.view->Insert(side, oid, tuple));
+  InvalidateAfterViewMutation(entry, side);
+  return Status::OK();
+}
+
+Status JoinService::ViewDelete(const std::string& view_name,
+                               MaterializedJoinView::Side side, Oid oid) {
+  PBSM_ASSIGN_OR_RETURN(const ViewEntry entry, FindView(view_name));
+  PBSM_RETURN_IF_ERROR(entry.view->Delete(side, oid));
+  InvalidateAfterViewMutation(entry, side);
+  return Status::OK();
+}
+
+Result<JoinService::ViewEntry> JoinService::FindView(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(views_mutex_);
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + name + "' not registered");
+  }
+  return it->second;
+}
+
+void JoinService::InvalidateAfterViewMutation(
+    const ViewEntry& entry, MaterializedJoinView::Side side) {
+  // The heap behind the mutated side changed; any cached R*-tree over it is
+  // stale. Running queries keep their refs (cache pinning contract) — only
+  // future GetOrBuild calls pay a rebuild.
+  const std::string& dataset = side == MaterializedJoinView::Side::kR
+                                   ? entry.r_dataset
+                                   : entry.s_dataset;
+  if (Result<DatasetRef> ds = FindDataset(dataset); ds.ok()) {
+    cache_.InvalidateFile(ds.value()->info.file);
+  }
+  cache_.InvalidateDataset(dataset);
 }
 
 void JoinService::Shutdown(bool drain) {
@@ -457,26 +642,19 @@ Result<JoinResponse> JoinService::ExecuteJoin(const QueryRef& query,
     }
   }
 
-  // 3. Window filter: wrap the sink so only pairs whose MBRs both overlap
-  // the window are emitted. Uses the MBR tables built at registration.
+  // 3. Window filter: pushed into the engine (a SelectOp above the join
+  // under the operator engine; a sink filter under the monolith), backed by
+  // the MBR tables built at registration. The sink wrapper only counts —
+  // it already sees the post-window stream.
   uint64_t window_results = 0;
   if (request.window.has_value()) {
     if (r->mbrs.empty() || s->mbrs.empty()) {
       return Status::FailedPrecondition(
           "window queries need datasets registered with build_stats");
     }
-    const Rect window = *request.window;
+    spec.window = WindowFilter{*request.window, &r->mbrs, &s->mbrs};
     const ResultSink user_sink = request.sink;
-    const Dataset* rd = r.get();
-    const Dataset* sd = s.get();
-    spec.sink = [&window_results, window, user_sink, rd, sd](Oid ro, Oid so) {
-      auto rit = rd->mbrs.find(ro.Encode());
-      auto sit = sd->mbrs.find(so.Encode());
-      if (rit == rd->mbrs.end() || sit == sd->mbrs.end()) return;
-      if (!rit->second.Intersects(window) ||
-          !sit->second.Intersects(window)) {
-        return;
-      }
+    spec.sink = [&window_results, user_sink](Oid ro, Oid so) {
       ++window_results;
       if (user_sink) user_sink(ro, so);
     };

@@ -24,9 +24,11 @@
 #include "common/thread_pool.h"
 #include "core/selectivity.h"
 #include "core/spatial_join.h"
+#include "exec/view_maintainer.h"
 #include "service/index_cache.h"
 #include "service/join_planner.h"
 #include "storage/buffer_pool.h"
+#include "storage/tuple.h"
 
 namespace pbsm {
 
@@ -100,6 +102,21 @@ struct JoinResponse {
   /// unconstrained multi-core host would see; the throughput bench gates
   /// on it. Empty for single-service (JoinService) execution.
   std::vector<ShardSliceStats> shard_slices;
+};
+
+/// What JoinService::Explain returns: the plan a request would run under,
+/// rendered without executing anything.
+struct ExplainResult {
+  JoinMethod method = JoinMethod::kPbsm;
+  bool planner_chosen = false;  ///< False when the request forced a method.
+  std::string plan;       ///< Cost table, cheapest first (PlanChoice::ToString).
+  /// Planner's costed operator tree (PlanChoice::TreeString); empty when the
+  /// request forced a method the planner did not pick — the planner only
+  /// costs the tree of its own choice.
+  std::string cost_tree;
+  /// The operator tree the exec layer would actually build and drive
+  /// (DescribeTree over BuildJoinTree), including window-pushdown selects.
+  std::string tree;
 };
 
 /// Ticket for one submitted query. Created by JoinService::Submit; callers
@@ -202,6 +219,48 @@ class JoinService {
   /// Submit + Wait convenience for synchronous callers.
   Result<JoinResponse> Execute(JoinRequest request);
 
+  /// Plans `request` without executing it: runs the cost-based planner
+  /// (or honours the forced method), builds the operator tree the exec
+  /// layer would drive, and returns both renderings. Touches no heap pages
+  /// beyond the statistics already captured at registration and never
+  /// builds indexes.
+  Result<ExplainResult> Explain(const JoinRequest& request) const;
+
+  /// Registers a materialized join view named `view_name` over two
+  /// registered datasets and runs the base join to populate it. The view is
+  /// then kept current through ViewInsert/ViewDelete. Fails with
+  /// kAlreadyExists-style kInvalidArgument when the name is taken.
+  Status CreateView(const std::string& view_name, const std::string& r_dataset,
+                    const std::string& s_dataset,
+                    SpatialPredicate predicate = SpatialPredicate::kIntersects,
+                    uint32_t num_tiles = 256);
+
+  /// Unregisters a view. Queries already streaming it finish first (shared
+  /// ownership).
+  Status DropView(const std::string& view_name);
+
+  /// Names of all registered views, sorted.
+  std::vector<std::string> ListViews() const;
+
+  /// Emits the view's current pair set (ascending) to `sink` and returns
+  /// the pair count — the warm path that replaces re-running the join.
+  Result<uint64_t> QueryView(const std::string& view_name,
+                             const ResultSink& sink) const;
+
+  /// Applies one tuple insertion to a view's side. The caller must have
+  /// already appended the tuple to the side's heap at `oid` (the view
+  /// fetches counterpart tuples through the shared buffer pool). Also
+  /// invalidates cached indexes over the mutated dataset — they no longer
+  /// reflect the heap.
+  Status ViewInsert(const std::string& view_name,
+                    MaterializedJoinView::Side side, Oid oid,
+                    const Tuple& tuple);
+
+  /// Logical deletion of `oid` from a view's side; invalidates cached
+  /// indexes over the mutated dataset.
+  Status ViewDelete(const std::string& view_name,
+                    MaterializedJoinView::Side side, Oid oid);
+
   /// Stops accepting queries; with `drain` finishes everything queued,
   /// otherwise fails queued queries (kCancelled) and cancels running ones.
   /// Idempotent; the first call's drain mode wins. Blocks until workers
@@ -223,6 +282,15 @@ class JoinService {
   using DatasetRef = std::shared_ptr<const Dataset>;
   using QueryRef = std::shared_ptr<JoinQuery>;
 
+  /// One registered view plus the dataset names it joins, so mutations can
+  /// invalidate the right cache entries and DropDataset can refuse while a
+  /// view still depends on the dataset.
+  struct ViewEntry {
+    std::shared_ptr<MaterializedJoinView> view;
+    std::string r_dataset;
+    std::string s_dataset;
+  };
+
   void WorkerLoop();
   void WatchdogLoop();
   void RunQuery(const QueryRef& query);
@@ -233,6 +301,11 @@ class JoinService {
   void Complete(const QueryRef& query, Result<JoinResponse> result);
 
   Result<DatasetRef> FindDataset(const std::string& name) const;
+  Result<ViewEntry> FindView(const std::string& name) const;
+  /// Common tail of ViewInsert/ViewDelete: cache invalidation over the
+  /// mutated side's dataset.
+  void InvalidateAfterViewMutation(const ViewEntry& entry,
+                                   MaterializedJoinView::Side side);
 
   /// Blocks until `bytes` of admission budget is free, the query is
   /// cancelled, or the service stops draining. True on success.
@@ -249,6 +322,9 @@ class JoinService {
 
   mutable std::mutex datasets_mutex_;
   std::map<std::string, DatasetRef> datasets_;
+
+  mutable std::mutex views_mutex_;
+  std::map<std::string, ViewEntry> views_;
 
   // Admission budget (bytes). Guarded by admission_mutex_; admission_cv_
   // wakes waiters on release and on shutdown.
